@@ -1,0 +1,122 @@
+// Google-benchmark micro-benchmarks of the substrate primitives: golden
+// ISS throughput, substrate-core simulation throughput, seed generation,
+// mutation, coverage-map operations and bandit updates. These quantify the
+// engineering claim that the whole 50K-test campaign of the paper is
+// reproducible in seconds on a laptop-scale machine.
+
+#include <benchmark/benchmark.h>
+
+#include "core/scheduler.hpp"
+#include "fuzz/backend.hpp"
+#include "fuzz/seedgen.hpp"
+#include "golden/iss.hpp"
+#include "mab/bandit.hpp"
+#include "mutation/engine.hpp"
+#include "soc/cores.hpp"
+
+namespace {
+
+using namespace mabfuzz;
+
+std::vector<isa::Word> sample_program() {
+  fuzz::SeedGenerator gen(fuzz::SeedGenConfig{}, common::Xoshiro256StarStar(1));
+  return gen.next_program();
+}
+
+void BM_GoldenIssRun(benchmark::State& state) {
+  golden::Iss iss(soc::golden_config_for(soc::CoreKind::kRocket));
+  const auto program = sample_program();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iss.run(program));
+  }
+}
+BENCHMARK(BM_GoldenIssRun);
+
+void BM_PipelineRun(benchmark::State& state) {
+  const auto kind = static_cast<soc::CoreKind>(state.range(0));
+  soc::Pipeline dut(soc::core_params(kind, soc::BugSet::none()));
+  const auto program = sample_program();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dut.run(program));
+  }
+  state.SetLabel(std::string(soc::core_name(kind)));
+}
+BENCHMARK(BM_PipelineRun)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BackendDifferentialTest(benchmark::State& state) {
+  fuzz::BackendConfig config;
+  config.core = soc::CoreKind::kRocket;
+  fuzz::Backend backend(config);
+  const fuzz::TestCase seed = backend.make_seed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.run_test(seed));
+  }
+}
+BENCHMARK(BM_BackendDifferentialTest);
+
+void BM_SeedGeneration(benchmark::State& state) {
+  fuzz::SeedGenerator gen(fuzz::SeedGenConfig{}, common::Xoshiro256StarStar(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next_program());
+  }
+}
+BENCHMARK(BM_SeedGeneration);
+
+void BM_Mutation(benchmark::State& state) {
+  mutation::Engine engine(mutation::EngineConfig{},
+                          common::Xoshiro256StarStar(3));
+  const auto program = sample_program();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.mutate(program));
+  }
+}
+BENCHMARK(BM_Mutation);
+
+void BM_CoverageMerge(benchmark::State& state) {
+  const std::size_t universe = static_cast<std::size_t>(state.range(0));
+  coverage::Map a(universe);
+  coverage::Map b(universe);
+  common::Xoshiro256StarStar rng(4);
+  for (std::size_t i = 0; i < universe / 10; ++i) {
+    a.set(static_cast<coverage::PointId>(rng.next_index(universe)));
+    b.set(static_cast<coverage::PointId>(rng.next_index(universe)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.count_new(b));
+    a.merge(b);
+  }
+}
+BENCHMARK(BM_CoverageMerge)->Arg(8192)->Arg(24576);
+
+void BM_BanditSelectUpdate(benchmark::State& state) {
+  mab::BanditConfig config;
+  config.num_arms = 10;
+  auto bandit = mab::make_bandit(
+      static_cast<mab::Algorithm>(state.range(0)), config);
+  common::Xoshiro256StarStar rng(5);
+  for (auto _ : state) {
+    const std::size_t arm = bandit->select();
+    bandit->update(arm, rng.next_double());
+  }
+  state.SetLabel(std::string(bandit->name()));
+}
+BENCHMARK(BM_BanditSelectUpdate)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MabSchedulerStep(benchmark::State& state) {
+  fuzz::BackendConfig backend_config;
+  backend_config.core = soc::CoreKind::kCva6;
+  fuzz::Backend backend(backend_config);
+  core::MabFuzzConfig config;
+  mab::BanditConfig bandit_config;
+  bandit_config.num_arms = config.num_arms;
+  core::MabScheduler scheduler(
+      backend, mab::make_bandit(mab::Algorithm::kUcb, bandit_config), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.step());
+  }
+}
+BENCHMARK(BM_MabSchedulerStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Extending MABFuzz with a custom bandit: the scheduler is agnostic to the
+// MAB algorithm (paper Sec. III-B), so plugging in a new policy is just an
+// implementation of mab::Bandit. Here: a softmax (Boltzmann-exploration)
+// bandit with a temperature schedule — not one of the library's four —
+// including the reset-arm extension, raced against library UCB and
+// Thompson sampling.
+//
+//   $ ./custom_bandit [--tests N]
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/scheduler.hpp"
+#include "fuzz/backend.hpp"
+#include "mab/bandit.hpp"
+
+namespace {
+
+using namespace mabfuzz;
+
+/// Boltzmann exploration: P(a) ∝ exp(Q(a)/τ), with τ cooling over time.
+/// reset_arm() re-initialises the arm's estimate, mirroring the paper's
+/// modification of ε-greedy/UCB (Algorithm 1, lines 11-12).
+class SoftmaxBandit final : public mab::Bandit {
+ public:
+  SoftmaxBandit(std::size_t num_arms, double initial_temperature,
+                common::Xoshiro256StarStar rng)
+      : Bandit(num_arms), tau0_(initial_temperature), rng_(rng),
+        q_(num_arms, 0.0), n_(num_arms, 0) {}
+
+  std::size_t select() override {
+    // Cool from tau0 toward tau0/10 over the first ~5000 pulls.
+    const double tau =
+        tau0_ / (1.0 + 9.0 * std::min(1.0, static_cast<double>(t_) / 5000.0));
+    double max_q = q_[0];
+    for (const double q : q_) {
+      max_q = std::max(max_q, q);
+    }
+    std::vector<double> weights(num_arms());
+    for (std::size_t a = 0; a < num_arms(); ++a) {
+      weights[a] = std::exp((q_[a] - max_q) / tau);  // shifted for stability
+    }
+    const std::size_t pick = rng_.next_weighted(weights);
+    return pick < num_arms() ? pick : 0;
+  }
+
+  void update(std::size_t arm, double reward) override {
+    ++t_;
+    ++n_[arm];
+    q_[arm] += (reward - q_[arm]) / static_cast<double>(n_[arm]);
+  }
+
+  void reset_arm(std::size_t arm) override {
+    q_[arm] = 0.0;
+    n_[arm] = 0;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "softmax";
+  }
+
+ private:
+  double tau0_;
+  common::Xoshiro256StarStar rng_;
+  std::vector<double> q_;
+  std::vector<std::uint64_t> n_;
+  std::uint64_t t_ = 0;
+};
+
+std::size_t run_campaign(std::unique_ptr<mab::Bandit> bandit,
+                         std::uint64_t max_tests) {
+  fuzz::BackendConfig backend_config;
+  backend_config.core = soc::CoreKind::kCva6;
+  backend_config.bugs = soc::BugSet::none();
+  fuzz::Backend backend(backend_config);
+  core::MabFuzzConfig config;
+  core::MabScheduler scheduler(backend, std::move(bandit), config);
+  for (std::uint64_t t = 0; t < max_tests; ++t) {
+    scheduler.step();
+  }
+  std::cout << "  " << scheduler.name() << ": "
+            << scheduler.accumulated().covered() << " points covered, "
+            << scheduler.total_resets() << " arm resets\n";
+  return scheduler.accumulated().covered();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const std::uint64_t max_tests = args.get_uint("tests", 1500);
+  core::MabFuzzConfig config;  // for num_arms default
+
+  std::cout << "MABFuzz with a custom softmax bandit vs the library's UCB "
+               "and Thompson on CVA6 (" << max_tests << " tests each):\n";
+
+  run_campaign(std::make_unique<SoftmaxBandit>(
+                   config.num_arms, 50.0, common::make_stream(1, 0, "softmax")),
+               max_tests);
+
+  mab::BanditConfig bandit_config;
+  bandit_config.num_arms = config.num_arms;
+  run_campaign(mab::make_bandit(mab::Algorithm::kUcb, bandit_config), max_tests);
+  run_campaign(mab::make_bandit(mab::Algorithm::kThompson, bandit_config),
+               max_tests);
+
+  std::cout << "\nAny mab::Bandit implementation slots into the scheduler —\n"
+            << "the paper's agnostic-by-design claim, demonstrated.\n";
+  return 0;
+}

@@ -1,0 +1,201 @@
+// The release-style command-line driver: one binary that runs any fuzzer
+// on any core with any bug set, streams progress, and ends with a coverage
+// ranking and detection report. Everything the library can do, from flags.
+//
+//   $ ./mabfuzz_cli --core cva6 --fuzzer mab --algorithm ucb
+//                   --bugs V1,V5 --tests 5000 --progress 1000 --csv
+//
+// Flags:
+//   --core cva6|rocket|boom        (default cva6)
+//   --fuzzer mab|thehuzz|random    (default mab)
+//   --algorithm eps|ucb|exp3|thompson   (MABFuzz only; default ucb)
+//   --bugs V1,..,V7|default|none   (default: the core's paper bug set)
+//   --tests N  --seed S  --run R
+//   --arms N --alpha A --gamma G --epsilon E --eta H
+//   --adaptive-ops --adaptive-length     (Sec. V extensions)
+//   --progress N   (print a status line every N tests; 0 = quiet)
+//   --csv          (emit a per-sample coverage CSV at the end)
+//   --ranking N    (show top-N uncovered groups; default 10)
+
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/adaptive.hpp"
+#include "core/scheduler.hpp"
+#include "coverage/summary.hpp"
+#include "fuzz/random_fuzzer.hpp"
+#include "fuzz/thehuzz.hpp"
+#include "mab/bandit.hpp"
+#include "soc/cores.hpp"
+
+namespace {
+
+using namespace mabfuzz;
+
+soc::BugSet parse_bugs(const std::string& text, soc::CoreKind core) {
+  if (text == "default") {
+    return soc::default_bugs(core);
+  }
+  if (text == "none") {
+    return soc::BugSet::none();
+  }
+  soc::BugSet bugs;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    bool known = false;
+    for (const soc::BugInfo& info : soc::all_bugs()) {
+      if (info.name == token) {
+        bugs.enable(info.id);
+        known = true;
+      }
+    }
+    if (!known) {
+      throw std::invalid_argument("unknown bug '" + token + "' (V1..V7)");
+    }
+  }
+  return bugs;
+}
+
+mab::Algorithm parse_algorithm(const std::string& text) {
+  if (text == "eps" || text == "epsilon-greedy") {
+    return mab::Algorithm::kEpsilonGreedy;
+  }
+  if (text == "ucb") {
+    return mab::Algorithm::kUcb;
+  }
+  if (text == "exp3") {
+    return mab::Algorithm::kExp3;
+  }
+  if (text == "thompson") {
+    return mab::Algorithm::kThompson;
+  }
+  throw std::invalid_argument("unknown algorithm '" + text + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const common::CliArgs args(argc, argv);
+    soc::CoreKind core = soc::CoreKind::kCva6;
+    for (const soc::CoreKind kind : soc::kAllCores) {
+      if (args.get_string("core", "cva6") == soc::core_name(kind)) {
+        core = kind;
+      }
+    }
+    const std::string fuzzer_kind = args.get_string("fuzzer", "mab");
+    const std::uint64_t max_tests = args.get_uint("tests", 3000);
+    const std::uint64_t progress = args.get_uint("progress", 1000);
+    const std::uint64_t ranking = args.get_uint("ranking", 10);
+
+    fuzz::BackendConfig backend_config;
+    backend_config.core = core;
+    backend_config.bugs =
+        parse_bugs(args.get_string("bugs", "default"), core);
+    backend_config.rng_seed = args.get_uint("seed", 1);
+    backend_config.rng_run = args.get_uint("run", 0);
+
+    core::MabFuzzConfig mab_config;
+    mab_config.num_arms = args.get_uint("arms", 10);
+    mab_config.alpha = args.get_double("alpha", 0.25);
+    mab_config.gamma = args.get_uint("gamma", 3);
+
+    if (args.get_bool("adaptive-ops", false)) {
+      mab::BanditConfig op_bandit;
+      op_bandit.num_arms = mutation::kNumOps;
+      op_bandit.rng_seed =
+          common::derive_seed(backend_config.rng_seed, backend_config.rng_run,
+                              "op-bandit");
+      backend_config.operator_policy = std::make_shared<core::MabOperatorPolicy>(
+          mab::make_bandit(mab::Algorithm::kEpsilonGreedy, op_bandit));
+    }
+    if (args.get_bool("adaptive-length", false)) {
+      mab::BanditConfig len_bandit;
+      len_bandit.num_arms = 4;
+      len_bandit.rng_seed =
+          common::derive_seed(backend_config.rng_seed, backend_config.rng_run,
+                              "len-bandit");
+      mab_config.length_policy = std::make_shared<core::SeedLengthPolicy>(
+          std::vector<unsigned>{12, 20, 28, 40},
+          mab::make_bandit(mab::Algorithm::kUcb, len_bandit));
+    }
+
+    fuzz::Backend backend(backend_config);
+    std::unique_ptr<fuzz::Fuzzer> fuzzer;
+    if (fuzzer_kind == "thehuzz") {
+      fuzzer = std::make_unique<fuzz::TheHuzz>(backend, fuzz::TheHuzzConfig{});
+    } else if (fuzzer_kind == "random") {
+      fuzzer = std::make_unique<fuzz::RandomFuzzer>(backend);
+    } else if (fuzzer_kind == "mab") {
+      mab::BanditConfig bandit_config;
+      bandit_config.num_arms = mab_config.num_arms;
+      bandit_config.epsilon = args.get_double("epsilon", 0.1);
+      bandit_config.eta = args.get_double("eta", 0.1);
+      bandit_config.rng_seed = common::derive_seed(
+          backend_config.rng_seed, backend_config.rng_run, "bandit");
+      fuzzer = std::make_unique<core::MabScheduler>(
+          backend,
+          mab::make_bandit(parse_algorithm(args.get_string("algorithm", "ucb")),
+                           bandit_config),
+          mab_config);
+    } else {
+      throw std::invalid_argument("unknown fuzzer '" + fuzzer_kind + "'");
+    }
+
+    std::cout << "fuzzing " << soc::core_display_name(core) << " with "
+              << fuzzer->name() << " for " << max_tests << " tests...\n";
+
+    std::vector<std::pair<std::uint64_t, std::size_t>> samples;
+    std::uint64_t detections = 0;
+    std::uint64_t first_detection = 0;
+    for (std::uint64_t t = 1; t <= max_tests; ++t) {
+      const fuzz::StepResult r = fuzzer->step();
+      if (r.mismatch && ++detections == 1) {
+        first_detection = t;
+        std::cout << "  first golden-model divergence at test #" << t << "\n";
+      }
+      if (progress != 0 && (t % progress == 0 || t == max_tests)) {
+        samples.emplace_back(t, fuzzer->accumulated().covered());
+        std::cout << "  [" << t << "] covered "
+                  << fuzzer->accumulated().covered() << " / "
+                  << fuzzer->accumulated().universe() << ", mismatches "
+                  << detections << "\n";
+      }
+    }
+
+    std::cout << "\n=== summary ===\n"
+              << "covered           : " << fuzzer->accumulated().covered()
+              << " / " << fuzzer->accumulated().universe() << " ("
+              << common::format_double(fuzzer->accumulated().fraction() * 100, 2)
+              << "%)\n"
+              << "mismatching tests : " << detections;
+    if (first_detection != 0) {
+      std::cout << " (first at #" << first_detection << ")";
+    }
+    std::cout << "\n\n";
+
+    const auto groups = coverage::summarize_groups(
+        backend.dut().registry(), fuzzer->accumulated().global());
+    common::Table table({"uncovered frontier", "covered", "total", "%"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(ranking, groups.size()); ++i) {
+      table.add_row({groups[i].group, std::to_string(groups[i].covered),
+                     std::to_string(groups[i].total),
+                     common::format_double(groups[i].fraction() * 100, 1) + "%"});
+    }
+    table.render(std::cout);
+
+    if (args.get_bool("csv", false)) {
+      std::cout << "\ntests,covered\n";
+      for (const auto& [t, covered] : samples) {
+        std::cout << t << "," << covered << "\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

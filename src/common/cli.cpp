@@ -1,0 +1,114 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace mabfuzz::common {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) {
+      throw std::invalid_argument("bare '--' is not a valid option");
+    }
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      options_.emplace(std::string(arg.substr(0, eq)),
+                       std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // "--key value" unless the next token is itself an option or absent,
+    // in which case this is a boolean flag.
+    if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+      options_.emplace(std::string(arg), std::string(argv[++i]));
+    } else {
+      options_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view key) const {
+  return options_.find(key) != options_.end();
+}
+
+std::optional<std::string> CliArgs::get(std::string_view key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string CliArgs::get_string(std::string_view key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+namespace {
+
+template <typename T>
+T parse_number(std::string_view key, const std::string& text, T fallback) {
+  T out = fallback;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc{} || ptr != last) {
+    throw std::invalid_argument("option --" + std::string(key) +
+                                ": cannot parse '" + text + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t CliArgs::get_int(std::string_view key, std::int64_t fallback) const {
+  auto v = get(key);
+  return v ? parse_number<std::int64_t>(key, *v, fallback) : fallback;
+}
+
+std::uint64_t CliArgs::get_uint(std::string_view key, std::uint64_t fallback) const {
+  auto v = get(key);
+  return v ? parse_number<std::uint64_t>(key, *v, fallback) : fallback;
+}
+
+double CliArgs::get_double(std::string_view key, double fallback) const {
+  auto v = get(key);
+  if (!v) {
+    return fallback;
+  }
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*v, &pos);
+    if (pos != v->size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + std::string(key) +
+                                ": cannot parse '" + *v + "'");
+  }
+}
+
+bool CliArgs::get_bool(std::string_view key, bool fallback) const {
+  auto v = get(key);
+  if (!v) {
+    return fallback;
+  }
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") {
+    return true;
+  }
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") {
+    return false;
+  }
+  throw std::invalid_argument("option --" + std::string(key) +
+                              ": expected a boolean, got '" + *v + "'");
+}
+
+}  // namespace mabfuzz::common

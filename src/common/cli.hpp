@@ -1,0 +1,48 @@
+#pragma once
+// Minimal command-line parsing for the benchmark harnesses and examples.
+// Supports "--key value", "--key=value" and boolean "--flag" forms.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mabfuzz::common {
+
+class CliArgs {
+ public:
+  /// Parses argv; unknown arguments are retained and can be inspected.
+  /// Throws std::invalid_argument on a malformed option ("--" alone).
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback) const;
+
+  /// Throws std::invalid_argument when present but unparsable.
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(std::string_view key,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mabfuzz::common

@@ -1,0 +1,60 @@
+#pragma once
+// Streaming and batch statistics used by the experiment harness to
+// aggregate multi-run results (means, medians, confidence intervals) in the
+// same way the paper reports repetition-averaged numbers.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mabfuzz::common {
+
+/// Welford single-pass accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Half-width of the 95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a full summary; tolerates an empty input (all-zero summary).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolation percentile, p in [0,100]. Empty input -> 0.
+[[nodiscard]] double percentile(std::span<const double> samples, double p);
+
+/// Geometric mean of strictly positive samples; non-positive entries are
+/// skipped. Empty/all-skipped input -> 0.
+[[nodiscard]] double geometric_mean(std::span<const double> samples);
+
+/// Median convenience wrapper.
+[[nodiscard]] double median(std::span<const double> samples);
+
+}  // namespace mabfuzz::common

@@ -1,0 +1,144 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace mabfuzz::common {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != 'x' && c != '%' &&
+               static_cast<unsigned char>(c) < 0x80) {  // allow UTF-8 '×' etc.
+      return false;
+    }
+  }
+  return digits > 0;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      const bool right = looks_numeric(cell);
+      os << ' ' << (right ? std::string(width[c] - cell.size(), ' ') : "")
+         << cell << (right ? "" : std::string(width[c] - cell.size(), ' '))
+         << ' ' << '|';
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      emit(row);
+    }
+  }
+  rule();
+}
+
+void Table::render_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) {
+        os << ',';
+      }
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) {
+      emit(row);
+    }
+  }
+}
+
+std::string format_double(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << value;
+  std::string s = ss.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s.empty() ? "0" : s;
+}
+
+std::string format_speedup(double value) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2) << value << "x";
+  return ss.str();
+}
+
+std::string format_scientific(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, value);
+  return buf;
+}
+
+}  // namespace mabfuzz::common

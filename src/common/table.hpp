@@ -1,0 +1,47 @@
+#pragma once
+// Console table / CSV rendering used by the benchmark harness to print the
+// paper's tables and figure series in a readable, diffable form.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mabfuzz::common {
+
+/// A simple left/right-aligned monospace table. Columns are sized to fit
+/// the widest cell; numeric-looking cells are right-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; short rows are padded with empty cells, long rows are
+  /// truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with box-drawing rules suitable for terminal output.
+  void render(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("3.40" -> "3.4", "2.00" -> "2").
+[[nodiscard]] std::string format_double(double value, int digits = 2);
+
+/// Formats "N.NNx" speedup strings as the paper prints them.
+[[nodiscard]] std::string format_speedup(double value);
+
+/// Formats a count in scientific-ish paper style, e.g. 600 -> "6.00e+02".
+[[nodiscard]] std::string format_scientific(double value, int digits = 2);
+
+}  // namespace mabfuzz::common

@@ -1,0 +1,41 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mabfuzz::core {
+
+MabOperatorPolicy::MabOperatorPolicy(std::unique_ptr<mab::Bandit> bandit)
+    : bandit_(std::move(bandit)) {
+  if (!bandit_ || bandit_->num_arms() != mutation::kNumOps) {
+    std::abort();  // arms must map 1:1 onto mutation operators
+  }
+}
+
+mutation::Op MabOperatorPolicy::choose(common::Xoshiro256StarStar& /*rng*/) {
+  return static_cast<mutation::Op>(bandit_->select());
+}
+
+void MabOperatorPolicy::feedback(mutation::Op op, double reward) {
+  bandit_->update(static_cast<std::size_t>(op), reward);
+}
+
+SeedLengthPolicy::SeedLengthPolicy(std::vector<unsigned> choices,
+                                   std::unique_ptr<mab::Bandit> bandit)
+    : choices_(std::move(choices)), bandit_(std::move(bandit)) {
+  if (choices_.empty() || !bandit_ || bandit_->num_arms() != choices_.size()) {
+    std::abort();
+  }
+}
+
+unsigned SeedLengthPolicy::choose() { return choices_[bandit_->select()]; }
+
+void SeedLengthPolicy::feedback(unsigned length, double reward) {
+  const auto it = std::find(choices_.begin(), choices_.end(), length);
+  if (it == choices_.end()) {
+    return;  // a length this policy did not hand out (e.g. pre-reset seed)
+  }
+  bandit_->update(static_cast<std::size_t>(it - choices_.begin()), reward);
+}
+
+}  // namespace mabfuzz::core

@@ -1,0 +1,26 @@
+#include "core/arm.hpp"
+
+namespace mabfuzz::core {
+
+Arm::Arm(fuzz::TestCase seed, std::size_t coverage_universe, std::size_t gamma,
+         std::size_t pool_cap)
+    : seed_(seed), pool_(pool_cap), coverage_(coverage_universe),
+      monitor_(gamma) {
+  pool_.push(std::move(seed));
+}
+
+fuzz::TestCase Arm::next() {
+  ++pulls_;
+  return *pool_.pop();
+}
+
+void Arm::reset(fuzz::TestCase new_seed) {
+  seed_ = new_seed;
+  pool_.clear();
+  pool_.push(std::move(new_seed));
+  coverage_.clear();
+  monitor_.reset();
+  ++resets_;
+}
+
+}  // namespace mabfuzz::core

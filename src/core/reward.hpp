@@ -1,0 +1,38 @@
+#pragma once
+// The MABFuzz reward function (paper Sec. III-B):
+//
+//   R_t(a) = α · |covL_t(a)| + (1 − α) · |covG_t(a)|
+//
+//   covL_t(a) — points covered by this test but never before by arm `a`
+//   covG_t(a) — points covered by this test and never before by ANY arm
+//               (covG ⊆ covL, since an arm's history is part of global
+//               history)
+//
+// α = 0.25 gives globally-new points 3x the weight of arm-locally-new
+// points (paper Sec. IV-A).
+
+#include <cstddef>
+
+#include "coverage/map.hpp"
+
+namespace mabfuzz::core {
+
+struct RewardConfig {
+  double alpha = 0.25;
+};
+
+struct RewardBreakdown {
+  std::size_t cov_local = 0;   // |covL_t(a)|
+  std::size_t cov_global = 0;  // |covG_t(a)|
+  double reward = 0.0;
+};
+
+/// Computes the reward of one test executed for one arm, given the arm's
+/// accumulated map and the global accumulated map (both *before* absorbing
+/// this test).
+[[nodiscard]] RewardBreakdown compute_reward(const RewardConfig& config,
+                                             const coverage::Map& test_coverage,
+                                             const coverage::Map& arm_coverage,
+                                             const coverage::Map& global_coverage);
+
+}  // namespace mabfuzz::core

@@ -1,0 +1,44 @@
+#pragma once
+// Runtime coverage context: binds a frozen Registry to the per-test hit
+// map that substrate components mark during execution.
+
+#include "coverage/map.hpp"
+#include "coverage/registry.hpp"
+
+namespace mabfuzz::coverage {
+
+class Context {
+ public:
+  Context() = default;
+
+  /// Construction phase: components register points through this.
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
+
+  /// Ends the construction phase and sizes the hit map.
+  void freeze() {
+    registry_.freeze();
+    map_.resize(registry_.size());
+  }
+
+  /// Clears the per-test map (called at the start of every test).
+  void begin_test() noexcept { map_.clear(); }
+
+  /// Marks one point hit in the current test.
+  void hit(PointId id) noexcept { map_.set(id); }
+
+  /// Marks `base + offset` hit; offset is the instance index of a
+  /// replicated structure (cache set, BTB entry, ...).
+  void hit(PointId base, std::size_t offset) noexcept {
+    map_.set(base + static_cast<PointId>(offset));
+  }
+
+  [[nodiscard]] const Map& test_map() const noexcept { return map_; }
+  [[nodiscard]] std::size_t universe() const noexcept { return registry_.size(); }
+
+ private:
+  Registry registry_;
+  Map map_;
+};
+
+}  // namespace mabfuzz::coverage

@@ -1,0 +1,92 @@
+#include "coverage/map.hpp"
+
+#include <bit>
+
+#include "common/bitops.hpp"
+
+namespace mabfuzz::coverage {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t points) {
+  return (points + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+Map::Map(std::size_t num_points)
+    : num_points_(num_points), words_(words_for(num_points), 0) {}
+
+void Map::resize(std::size_t num_points) {
+  num_points_ = num_points;
+  words_.assign(words_for(num_points), 0);
+}
+
+void Map::set(PointId id) noexcept {
+  if (id < num_points_) {
+    words_[id / kWordBits] |= 1ULL << (id % kWordBits);
+  }
+}
+
+bool Map::test(PointId id) const noexcept {
+  if (id >= num_points_) {
+    return false;
+  }
+  return (words_[id / kWordBits] >> (id % kWordBits)) & 1ULL;
+}
+
+std::size_t Map::count() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+void Map::merge(const Map& other) noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+std::size_t Map::count_new(const Map& other) const noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
+    total += static_cast<std::size_t>(std::popcount(words_[i] & ~theirs));
+  }
+  return total;
+}
+
+Map Map::difference(const Map& other) const {
+  Map out(num_points_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
+    out.words_[i] = words_[i] & ~theirs;
+  }
+  return out;
+}
+
+bool Map::subset_of(const Map& other) const noexcept { return count_new(other) == 0; }
+
+void Map::clear() noexcept {
+  for (std::uint64_t& w : words_) {
+    w = 0;
+  }
+}
+
+std::size_t Accumulator::absorb(const Map& test_map) {
+  const std::size_t fresh = test_map.count_new(global_);
+  if (fresh > 0) {
+    global_.merge(test_map);
+  }
+  return fresh;
+}
+
+double Accumulator::fraction() const noexcept {
+  const std::size_t u = universe();
+  return u == 0 ? 0.0 : static_cast<double>(covered()) / static_cast<double>(u);
+}
+
+}  // namespace mabfuzz::coverage

@@ -1,0 +1,76 @@
+#pragma once
+// Dense coverage bitmaps and the accumulated-coverage bookkeeping the
+// reward computation needs: covL (new for this arm) and covG (new
+// globally) from the paper's Sec. III-B.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "coverage/registry.hpp"
+
+namespace mabfuzz::coverage {
+
+/// Fixed-size bitset over the registry's id space.
+class Map {
+ public:
+  Map() = default;
+  explicit Map(std::size_t num_points);
+
+  void resize(std::size_t num_points);
+  [[nodiscard]] std::size_t universe() const noexcept { return num_points_; }
+
+  void set(PointId id) noexcept;
+  [[nodiscard]] bool test(PointId id) const noexcept;
+
+  /// Population count.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// this |= other. Maps must share a universe size.
+  void merge(const Map& other) noexcept;
+
+  /// Number of bits set in `this` but not in `other` (|this \ other|).
+  [[nodiscard]] std::size_t count_new(const Map& other) const noexcept;
+
+  /// Bits set in `this` but not in `other`, as a new map.
+  [[nodiscard]] Map difference(const Map& other) const;
+
+  /// True when no bit of `this \ other` is set.
+  [[nodiscard]] bool subset_of(const Map& other) const noexcept;
+
+  void clear() noexcept;
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  friend bool operator==(const Map& a, const Map& b) noexcept {
+    return a.num_points_ == b.num_points_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::size_t num_points_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Tracks accumulated global coverage plus the per-test delta extraction
+/// used for rewards and interesting-test detection.
+class Accumulator {
+ public:
+  Accumulator() = default;
+  explicit Accumulator(std::size_t num_points) : global_(num_points) {}
+
+  void resize(std::size_t num_points) { global_.resize(num_points); }
+
+  /// Merges a test's hit map; returns how many points were globally new.
+  std::size_t absorb(const Map& test_map);
+
+  [[nodiscard]] const Map& global() const noexcept { return global_; }
+  [[nodiscard]] std::size_t covered() const noexcept { return global_.count(); }
+  [[nodiscard]] std::size_t universe() const noexcept { return global_.universe(); }
+
+  /// Covered fraction in [0,1]; 0 for an empty universe.
+  [[nodiscard]] double fraction() const noexcept;
+
+ private:
+  Map global_;
+};
+
+}  // namespace mabfuzz::coverage

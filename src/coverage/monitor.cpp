@@ -1,0 +1,4 @@
+#include "coverage/monitor.hpp"
+
+// GammaWindowMonitor is fully inline; this translation unit anchors the
+// module in the build so future out-of-line additions have a home.

@@ -1,0 +1,46 @@
+#pragma once
+// The γ-window coverage monitor from MABFuzz Sec. III-C: an arm whose last
+// γ selected iterations produced no new (arm-local) coverage is declared
+// *depleted* and must be reset (replaced by a fresh seed).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mabfuzz::coverage {
+
+class GammaWindowMonitor {
+ public:
+  /// `gamma` is the reset threshold (paper default: 3). gamma == 0 disables
+  /// depletion detection entirely (the preliminary formulation of Sec. III-B).
+  explicit GammaWindowMonitor(std::size_t gamma = 3) noexcept : gamma_(gamma) {}
+
+  /// Records the coverage gain of one iteration in which this arm was
+  /// selected. Returns true when the arm has just become depleted.
+  bool record(std::size_t new_points) noexcept {
+    if (gamma_ == 0) {
+      return false;
+    }
+    if (new_points > 0) {
+      zero_streak_ = 0;
+      return false;
+    }
+    ++zero_streak_;
+    return zero_streak_ >= gamma_;
+  }
+
+  [[nodiscard]] bool depleted() const noexcept {
+    return gamma_ != 0 && zero_streak_ >= gamma_;
+  }
+
+  [[nodiscard]] std::size_t zero_streak() const noexcept { return zero_streak_; }
+  [[nodiscard]] std::size_t gamma() const noexcept { return gamma_; }
+
+  /// Forgets history (called when the arm is reset to a fresh seed).
+  void reset() noexcept { zero_streak_ = 0; }
+
+ private:
+  std::size_t gamma_;
+  std::size_t zero_streak_ = 0;
+};
+
+}  // namespace mabfuzz::coverage

@@ -1,0 +1,28 @@
+#include "coverage/registry.hpp"
+
+#include <cstdlib>
+
+namespace mabfuzz::coverage {
+
+PointId Registry::add(std::string name) {
+  if (frozen_) {
+    std::abort();  // registration after freeze() is a programming error
+  }
+  const auto id = static_cast<PointId>(names_.size());
+  names_.push_back(std::move(name));
+  return id;
+}
+
+PointId Registry::add_array(std::string_view prefix, std::size_t count) {
+  if (frozen_) {
+    std::abort();
+  }
+  const auto base = static_cast<PointId>(names_.size());
+  names_.reserve(names_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    names_.push_back(std::string(prefix) + "[" + std::to_string(i) + "]");
+  }
+  return base;
+}
+
+}  // namespace mabfuzz::coverage

@@ -1,0 +1,42 @@
+#pragma once
+// Coverage-point registry. Substrate components register their branch
+// coverage points at construction time (one point per control-decision
+// edge, replicated structures register replicated points), producing the
+// dense id space the coverage maps are sized to — the C++ analogue of the
+// branch-coverage instrumentation a VCS/Verilator flow compiles into RTL.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mabfuzz::coverage {
+
+/// Dense id of one coverage point.
+using PointId = std::uint32_t;
+
+class Registry {
+ public:
+  /// Registers a single named point; returns its id.
+  PointId add(std::string name);
+
+  /// Registers `count` points "<prefix>[0]".."<prefix>[count-1]";
+  /// returns the id of element 0 (ids are consecutive).
+  PointId add_array(std::string_view prefix, std::size_t count);
+
+  /// Number of registered points (|C| in the paper's EXP3 normalisation).
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+  [[nodiscard]] const std::string& name(PointId id) const { return names_.at(id); }
+
+  /// Freezes the registry; further registration aborts. Called once the
+  /// core finishes construction so the map size is stable.
+  void freeze() noexcept { frozen_ = true; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+ private:
+  std::vector<std::string> names_;
+  bool frozen_ = false;
+};
+
+}  // namespace mabfuzz::coverage

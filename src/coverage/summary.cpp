@@ -1,0 +1,56 @@
+#include "coverage/summary.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mabfuzz::coverage {
+
+namespace {
+
+std::string stem_of(const std::string& name) {
+  const auto bracket = name.find('[');
+  return bracket == std::string::npos ? name : name.substr(0, bracket);
+}
+
+std::string unit_of(const std::string& name) {
+  const auto slash = name.find('/');
+  return slash == std::string::npos ? name : name.substr(0, slash);
+}
+
+std::vector<GroupSummary> summarize_by(const Registry& registry, const Map& covered,
+                                       std::string (*key)(const std::string&)) {
+  std::map<std::string, GroupSummary> groups;
+  for (PointId id = 0; id < registry.size(); ++id) {
+    GroupSummary& g = groups[key(registry.name(id))];
+    ++g.total;
+    if (covered.test(id)) {
+      ++g.covered;
+    }
+  }
+  std::vector<GroupSummary> out;
+  out.reserve(groups.size());
+  for (auto& [name, group] : groups) {
+    group.group = name;
+    out.push_back(std::move(group));
+  }
+  std::sort(out.begin(), out.end(), [](const GroupSummary& a, const GroupSummary& b) {
+    const std::size_t ua = a.total - a.covered;
+    const std::size_t ub = b.total - b.covered;
+    return ua != ub ? ua > ub : a.group < b.group;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<GroupSummary> summarize_groups(const Registry& registry,
+                                           const Map& covered) {
+  return summarize_by(registry, covered, stem_of);
+}
+
+std::vector<GroupSummary> summarize_units(const Registry& registry,
+                                          const Map& covered) {
+  return summarize_by(registry, covered, unit_of);
+}
+
+}  // namespace mabfuzz::coverage

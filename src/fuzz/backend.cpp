@@ -1,0 +1,60 @@
+#include "fuzz/backend.hpp"
+
+namespace mabfuzz::fuzz {
+
+Backend::Backend(const BackendConfig& config)
+    : config_(config),
+      dut_(soc::core_params(config.core, config.bugs)),
+      golden_(soc::golden_config_for(config.core)),
+      seedgen_(config.seedgen,
+               common::make_stream(config.rng_seed, config.rng_run, "seedgen")),
+      mutation_(config.mutation,
+                common::make_stream(config.rng_seed, config.rng_run, "mutation"),
+                config.operator_policy) {}
+
+TestOutcome Backend::run_test(const TestCase& test) {
+  ++tests_executed_;
+  soc::RunOutput dut_out = dut_.run(test.words);
+  const isa::ArchResult golden_out = golden_.run(test.words);
+
+  TestOutcome outcome;
+  outcome.coverage = std::move(dut_out.test_coverage);
+  outcome.firings = std::move(dut_out.firings);
+  outcome.dut_cycles = dut_out.cycles;
+  outcome.commits = dut_out.arch.commits.size();
+  if (const auto mismatch = compare(dut_out.arch, golden_out)) {
+    outcome.mismatch = true;
+    outcome.mismatch_description = mismatch->description;
+    outcome.mismatch_commit = mismatch->commit_index;
+  }
+  return outcome;
+}
+
+TestCase Backend::make_seed() { return make_seed(0); }
+
+TestCase Backend::make_seed(unsigned length) {
+  TestCase test;
+  test.id = next_test_id_++;
+  test.seed_id = test.id;
+  test.parent_id = 0;
+  test.generation = 0;
+  test.words = seedgen_.next_program(length);
+  return test;
+}
+
+TestCase Backend::make_mutant(const TestCase& parent) {
+  TestCase test;
+  test.id = next_test_id_++;
+  test.seed_id = parent.seed_id;
+  test.parent_id = parent.id;
+  test.generation = parent.generation + 1;
+  std::vector<mutation::Op> applied;
+  test.words = mutation_.mutate(parent.words, &applied);
+  test.mutation_ops.reserve(applied.size());
+  for (const mutation::Op op : applied) {
+    test.mutation_ops.push_back(static_cast<std::uint8_t>(op));
+  }
+  return test;
+}
+
+}  // namespace mabfuzz::fuzz

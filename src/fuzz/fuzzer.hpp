@@ -1,0 +1,37 @@
+#pragma once
+// The scheduling-policy interface: a fuzzer is "something that executes one
+// test per step against the shared backend". TheHuzz (static FIFO policy)
+// and MABFuzz (MAB seed selection) both implement this, so the experiment
+// harness can drive either interchangeably.
+
+#include <cstdint>
+#include <string_view>
+
+#include "coverage/map.hpp"
+#include "fuzz/backend.hpp"
+
+namespace mabfuzz::fuzz {
+
+/// What one scheduling step produced (one executed test).
+struct StepResult {
+  std::uint64_t test_index = 0;       // 1-based count of executed tests
+  std::size_t new_global_points = 0;  // globally new coverage this test
+  bool mismatch = false;
+  soc::FiringLog firings;
+  std::size_t arm = 0;  // MABFuzz: selected arm; TheHuzz: always 0
+};
+
+class Fuzzer {
+ public:
+  virtual ~Fuzzer() = default;
+
+  /// Executes exactly one test and updates internal state.
+  virtual StepResult step() = 0;
+
+  /// Accumulated global coverage so far.
+  [[nodiscard]] virtual const coverage::Accumulator& accumulated() const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace mabfuzz::fuzz

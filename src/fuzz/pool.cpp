@@ -1,0 +1,22 @@
+#include "fuzz/pool.hpp"
+
+namespace mabfuzz::fuzz {
+
+void TestPool::push(TestCase test) {
+  if (queue_.size() >= max_size_ && !queue_.empty()) {
+    queue_.pop_front();
+    ++dropped_;
+  }
+  queue_.push_back(std::move(test));
+}
+
+std::optional<TestCase> TestPool::pop() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  TestCase test = std::move(queue_.front());
+  queue_.pop_front();
+  return test;
+}
+
+}  // namespace mabfuzz::fuzz

@@ -1,0 +1,39 @@
+#pragma once
+// FIFO test pool. TheHuzz drains one global pool front-to-back; MABFuzz
+// keeps one pool per arm. A size cap bounds memory during long campaigns
+// (oldest tests are dropped first, as a real fuzzer's database GC would).
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "fuzz/test_case.hpp"
+
+namespace mabfuzz::fuzz {
+
+class TestPool {
+ public:
+  explicit TestPool(std::size_t max_size = 4096) : max_size_(max_size) {}
+
+  /// Appends a test; when full, the oldest queued test is dropped.
+  void push(TestCase test);
+
+  /// Pops the oldest test (FIFO); nullopt when empty.
+  [[nodiscard]] std::optional<TestCase> pop();
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t max_size() const noexcept { return max_size_; }
+
+  /// Total tests ever dropped by the cap (for stats/tests).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void clear() noexcept { queue_.clear(); }
+
+ private:
+  std::size_t max_size_;
+  std::deque<TestCase> queue_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mabfuzz::fuzz

@@ -1,0 +1,41 @@
+#pragma once
+// Random-regression baseline: fresh random seeds only, no coverage
+// feedback, no mutation — the pre-fuzzing verification practice the
+// paper's introduction contrasts hardware fuzzers against. Useful as a
+// scientific control: any fuzzer worth its name must beat this.
+
+#include "fuzz/backend.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace mabfuzz::fuzz {
+
+class RandomFuzzer final : public Fuzzer {
+ public:
+  explicit RandomFuzzer(Backend& backend)
+      : backend_(backend), accumulated_(backend.coverage_universe()) {}
+
+  StepResult step() override {
+    const TestCase test = backend_.make_seed();
+    const TestOutcome outcome = backend_.run_test(test);
+    StepResult result;
+    result.test_index = ++steps_;
+    result.mismatch = outcome.mismatch;
+    result.firings = outcome.firings;
+    result.new_global_points = accumulated_.absorb(outcome.coverage);
+    return result;
+  }
+
+  [[nodiscard]] const coverage::Accumulator& accumulated() const override {
+    return accumulated_;
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "RandomRegression";
+  }
+
+ private:
+  Backend& backend_;
+  coverage::Accumulator accumulated_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace mabfuzz::fuzz

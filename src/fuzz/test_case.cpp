@@ -1,0 +1,25 @@
+#include "fuzz/test_case.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "isa/disasm.hpp"
+#include "isa/platform.hpp"
+
+namespace mabfuzz::fuzz {
+
+std::string to_listing(const TestCase& test) {
+  std::ostringstream ss;
+  ss << "test #" << test.id << " (seed " << test.seed_id << ", gen "
+     << test.generation << ", " << test.words.size() << " instrs)\n";
+  for (std::size_t i = 0; i < test.words.size(); ++i) {
+    char head[48];
+    std::snprintf(head, sizeof head, "  %08llx:  %08x  ",
+                  static_cast<unsigned long long>(isa::kProgramBase + 4 * i),
+                  test.words[i]);
+    ss << head << isa::disassemble_word(test.words[i]) << '\n';
+  }
+  return ss.str();
+}
+
+}  // namespace mabfuzz::fuzz

@@ -1,0 +1,30 @@
+#pragma once
+// Test representation: an encoded instruction sequence plus provenance
+// metadata (which seed it descends from, its mutation generation).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/fields.hpp"
+
+namespace mabfuzz::fuzz {
+
+struct TestCase {
+  std::uint64_t id = 0;         // unique per fuzzing session
+  std::uint64_t seed_id = 0;    // root seed this test descends from
+  std::uint64_t parent_id = 0;  // 0 for seeds
+  unsigned generation = 0;      // 0 for seeds, parent.generation+1 for mutants
+  std::vector<isa::Word> words;
+  /// Mutation operators applied to derive this test from its parent
+  /// (mutation::Op values; empty for seeds). Enables operator-level
+  /// credit assignment for adaptive operator policies.
+  std::vector<std::uint8_t> mutation_ops;
+
+  [[nodiscard]] bool is_seed() const noexcept { return generation == 0; }
+};
+
+/// Multi-line disassembly listing of the test (for reports and examples).
+[[nodiscard]] std::string to_listing(const TestCase& test);
+
+}  // namespace mabfuzz::fuzz

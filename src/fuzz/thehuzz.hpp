@@ -1,0 +1,54 @@
+#pragma once
+// TheHuzz baseline fuzzer: the static scheduling policy MABFuzz improves
+// on. One global FIFO working queue fed from a test *database*:
+// interesting tests (those covering new points) enter the database and
+// spawn a fixed burst of mutants; when the queue runs dry, TheHuzz cycles
+// its database first-in-first-out and mutates the next entry — "selects
+// the tests from its database in a static first-in-first-out method and
+// does not prioritize selecting the tests with more potential first"
+// (paper Sec. I). Fresh random seeds are generated only when the database
+// has nothing to offer.
+
+#include <deque>
+
+#include "fuzz/backend.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/pool.hpp"
+
+namespace mabfuzz::fuzz {
+
+struct TheHuzzConfig {
+  unsigned initial_seeds = 10;
+  unsigned mutants_per_interesting = 5;
+  std::size_t pool_cap = 4096;
+  std::size_t database_cap = 2048;
+};
+
+class TheHuzz final : public Fuzzer {
+ public:
+  TheHuzz(Backend& backend, const TheHuzzConfig& config);
+
+  StepResult step() override;
+  [[nodiscard]] const coverage::Accumulator& accumulated() const override {
+    return accumulated_;
+  }
+  [[nodiscard]] std::string_view name() const override { return "TheHuzz"; }
+
+  [[nodiscard]] const TestPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] std::size_t database_size() const noexcept {
+    return database_.size();
+  }
+
+ private:
+  void refill_from_database();
+
+  Backend& backend_;
+  TheHuzzConfig config_;
+  TestPool pool_;
+  std::deque<TestCase> database_;  // interesting tests, insertion order
+  std::size_t db_cursor_ = 0;      // static FIFO replay position
+  coverage::Accumulator accumulated_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace mabfuzz::fuzz

@@ -1,0 +1,130 @@
+#include "golden/csr.hpp"
+
+namespace mabfuzz::golden {
+
+namespace {
+using isa::CsrAddr;
+namespace csr = isa::csr;
+
+constexpr std::uint64_t kMstatusMie = 1ULL << 3;
+constexpr std::uint64_t kMstatusMpie = 1ULL << 7;
+constexpr std::uint64_t kMstatusMppMachine = 0b11ULL << 11;
+// RV64IM: MXL=2 in bits [63:62], extensions I and M.
+constexpr std::uint64_t kMisaValue =
+    (2ULL << 62) | (1ULL << ('i' - 'a')) | (1ULL << ('m' - 'a'));
+constexpr std::uint64_t kMieMask = (1ULL << 3) | (1ULL << 7) | (1ULL << 11);
+constexpr std::uint64_t kMcounterenMask = 0b111;  // CY, TM, IR
+}  // namespace
+
+CsrFile::CsrFile(CsrIdentity identity) : identity_(identity) { reset(); }
+
+void CsrFile::reset() noexcept {
+  mie_bit_ = false;
+  mpie_bit_ = true;
+  mie_ = 0;
+  mtvec_ = isa::kHandlerBase;
+  mcounteren_ = 0;
+  mscratch_ = 0;
+  mepc_ = 0;
+  mcause_ = 0;
+  mtval_ = 0;
+}
+
+std::uint64_t CsrFile::mstatus() const noexcept {
+  std::uint64_t v = kMstatusMppMachine;  // MPP is hardwired to M.
+  if (mie_bit_) {
+    v |= kMstatusMie;
+  }
+  if (mpie_bit_) {
+    v |= kMstatusMpie;
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> CsrFile::read(CsrAddr addr,
+                                           std::uint64_t instret) const noexcept {
+  switch (addr) {
+    case csr::kMstatus: return mstatus();
+    case csr::kMisa: return kMisaValue;
+    case csr::kMie: return mie_;
+    case csr::kMtvec: return mtvec_;
+    case csr::kMcounteren: return mcounteren_;
+    case csr::kMscratch: return mscratch_;
+    case csr::kMepc: return mepc_;
+    case csr::kMcause: return mcause_;
+    case csr::kMtval: return mtval_;
+    case csr::kMip: return 0;  // no interrupt sources in the model
+    case csr::kMcycle: return virtual_cycle(instret);
+    case csr::kMinstret: return instret;
+    case csr::kMvendorid: return identity_.vendorid;
+    case csr::kMarchid: return identity_.archid;
+    case csr::kMimpid: return identity_.impid;
+    case csr::kMhartid: return identity_.hartid;
+    case csr::kCycle: return virtual_cycle(instret);
+    case csr::kTime: return virtual_time(instret);
+    case csr::kInstret: return instret;
+    default: return std::nullopt;
+  }
+}
+
+CsrFile::WriteResult CsrFile::write(CsrAddr addr, std::uint64_t value) noexcept {
+  if (!isa::csr_implemented(addr)) {
+    return WriteResult::kIllegal;
+  }
+  if (isa::csr_read_only(addr)) {
+    return WriteResult::kIllegal;
+  }
+  switch (addr) {
+    case csr::kMstatus:
+      mie_bit_ = (value & kMstatusMie) != 0;
+      mpie_bit_ = (value & kMstatusMpie) != 0;
+      return WriteResult::kOk;
+    case csr::kMisa:
+      return WriteResult::kOk;  // WARL: writes ignored
+    case csr::kMie:
+      mie_ = value & kMieMask;
+      return WriteResult::kOk;
+    case csr::kMtvec:
+      mtvec_ = value & ~0b11ULL;  // direct mode only
+      return WriteResult::kOk;
+    case csr::kMcounteren:
+      mcounteren_ = value & kMcounterenMask;
+      return WriteResult::kOk;
+    case csr::kMscratch:
+      mscratch_ = value;
+      return WriteResult::kOk;
+    case csr::kMepc:
+      mepc_ = value & ~0b11ULL;  // IALIGN = 32
+      return WriteResult::kOk;
+    case csr::kMcause:
+      mcause_ = value & ((1ULL << 63) - 1);
+      return WriteResult::kOk;
+    case csr::kMtval:
+      mtval_ = value;
+      return WriteResult::kOk;
+    case csr::kMip:
+      return WriteResult::kOk;  // no writable bits
+    case csr::kMcycle:
+    case csr::kMinstret:
+      return WriteResult::kOk;  // hardwired counters: write ignored
+    default:
+      return WriteResult::kIllegal;
+  }
+}
+
+void CsrFile::enter_trap(std::uint64_t pc, isa::TrapCause cause,
+                         std::uint64_t tval) noexcept {
+  mepc_ = pc & ~0b11ULL;
+  mcause_ = static_cast<std::uint64_t>(cause);
+  mtval_ = tval;
+  mpie_bit_ = mie_bit_;
+  mie_bit_ = false;
+}
+
+std::uint64_t CsrFile::take_mret() noexcept {
+  mie_bit_ = mpie_bit_;
+  mpie_bit_ = true;
+  return mepc_;
+}
+
+}  // namespace mabfuzz::golden

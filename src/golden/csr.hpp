@@ -1,0 +1,78 @@
+#pragma once
+// Machine-mode CSR file for the golden ISS.
+//
+// Determinism note (DESIGN.md §4): the modelled platform architecturally
+// defines its timebase CSRs as functions of the retired-instruction count
+// (mcycle = 2·instret, time = instret/8). Both the golden model and the
+// substrate cores implement the same definition, so timing CSR reads are
+// bit-identical across the differential pair and never need oracle masking.
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/csr_defs.hpp"
+#include "isa/platform.hpp"
+
+namespace mabfuzz::golden {
+
+/// Per-core identity constants (marchid distinguishes the three cores).
+struct CsrIdentity {
+  std::uint64_t vendorid = 0;
+  std::uint64_t archid = 0;
+  std::uint64_t impid = 1;
+  std::uint64_t hartid = 0;
+};
+
+/// Architecturally-deterministic timebase (see header comment).
+[[nodiscard]] constexpr std::uint64_t virtual_cycle(std::uint64_t instret) noexcept {
+  return instret * 2;
+}
+[[nodiscard]] constexpr std::uint64_t virtual_time(std::uint64_t instret) noexcept {
+  return instret / 8;
+}
+
+class CsrFile {
+ public:
+  explicit CsrFile(CsrIdentity identity = {});
+
+  void reset() noexcept;
+
+  /// CSR read; `instret` feeds the counter CSRs. nullopt => the access must
+  /// raise an illegal-instruction exception.
+  [[nodiscard]] std::optional<std::uint64_t> read(isa::CsrAddr addr,
+                                                  std::uint64_t instret) const noexcept;
+
+  enum class WriteResult : std::uint8_t { kOk, kIllegal };
+
+  /// CSR write with WARL masking. Writes to the read-only ranges are
+  /// illegal; writes to the hardwired counters are accepted and ignored
+  /// (a WARL-legal implementation choice shared with the substrate cores).
+  WriteResult write(isa::CsrAddr addr, std::uint64_t value) noexcept;
+
+  /// Trap entry: saves pc/cause/tval, stacks MIE per the privileged spec.
+  void enter_trap(std::uint64_t pc, isa::TrapCause cause, std::uint64_t tval) noexcept;
+
+  /// MRET: unstacks MIE and returns the resume pc (mepc).
+  std::uint64_t take_mret() noexcept;
+
+  [[nodiscard]] std::uint64_t mstatus() const noexcept;
+  [[nodiscard]] std::uint64_t mepc() const noexcept { return mepc_; }
+  [[nodiscard]] std::uint64_t mcause() const noexcept { return mcause_; }
+  [[nodiscard]] std::uint64_t mtval() const noexcept { return mtval_; }
+  [[nodiscard]] std::uint64_t mtvec() const noexcept { return mtvec_; }
+  [[nodiscard]] std::uint64_t mscratch() const noexcept { return mscratch_; }
+
+ private:
+  CsrIdentity identity_;
+  bool mie_bit_ = false;   // mstatus.MIE
+  bool mpie_bit_ = true;   // mstatus.MPIE
+  std::uint64_t mie_ = 0;
+  std::uint64_t mtvec_ = isa::kHandlerBase;
+  std::uint64_t mcounteren_ = 0;
+  std::uint64_t mscratch_ = 0;
+  std::uint64_t mepc_ = 0;
+  std::uint64_t mcause_ = 0;
+  std::uint64_t mtval_ = 0;
+};
+
+}  // namespace mabfuzz::golden

@@ -1,0 +1,70 @@
+#pragma once
+// Golden-reference instruction-set simulator (the SPIKE substitute).
+//
+// A purely functional RV64IM+Zicsr hart with precise synchronous-exception
+// semantics. Runs one bare-metal test program to completion and emits the
+// architectural commit trace the differential oracle consumes.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "golden/csr.hpp"
+#include "golden/memory.hpp"
+#include "golden/trap.hpp"
+#include "isa/commit.hpp"
+#include "isa/platform.hpp"
+
+namespace mabfuzz::golden {
+
+struct IssConfig {
+  std::uint64_t dram_size = isa::kDramSizeDefault;
+  CsrIdentity identity{};
+  std::uint64_t instruction_budget = isa::kDefaultInstructionBudget;
+};
+
+class Iss {
+ public:
+  explicit Iss(IssConfig config = {});
+
+  /// Loads the trap handler and `program` into a fresh DRAM, resets the
+  /// hart, runs to completion, and returns the architectural trace.
+  [[nodiscard]] isa::ArchResult run(const std::vector<isa::Word>& program);
+
+  [[nodiscard]] const IssConfig& config() const noexcept { return config_; }
+
+ private:
+  struct StepOutcome {
+    std::uint64_t next_pc = 0;
+    bool has_trap = false;
+    Trap trap;
+  };
+
+  void reset_hart() noexcept;
+  void load(const std::vector<isa::Word>& program);
+
+  /// Executes the decoded instruction at pc_, filling `record` with its
+  /// architectural effects (rd/memory writes).
+  StepOutcome execute(const isa::Instruction& instr, isa::Word word,
+                      isa::CommitRecord& record);
+
+  StepOutcome execute_csr(const isa::Instruction& instr, isa::Word word,
+                          isa::CommitRecord& record);
+
+  void write_reg(isa::RegIndex rd, std::uint64_t value,
+                 isa::CommitRecord& record) noexcept;
+
+  [[nodiscard]] std::uint64_t reg(isa::RegIndex index) const noexcept {
+    return regs_[index & 0x1f];
+  }
+
+  IssConfig config_;
+  Memory memory_;
+  CsrFile csrs_;
+  std::array<std::uint64_t, isa::kNumRegs> regs_{};
+  std::uint64_t pc_ = 0;
+  std::uint64_t instret_ = 0;
+  std::uint64_t sentinel_pc_ = 0;
+};
+
+}  // namespace mabfuzz::golden

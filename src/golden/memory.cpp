@@ -1,0 +1,70 @@
+#include "golden/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "isa/platform.hpp"
+
+namespace mabfuzz::golden {
+
+Memory::Memory(std::uint64_t base, std::uint64_t size)
+    : base_(base), bytes_(size, 0) {}
+
+bool Memory::contains(std::uint64_t addr, unsigned bytes) const noexcept {
+  addr &= isa::kPhysAddrMask;
+  if (addr < base_) {
+    return false;
+  }
+  const std::uint64_t offset = addr - base_;
+  return offset <= bytes_.size() && bytes <= bytes_.size() - offset;
+}
+
+std::optional<std::uint64_t> Memory::load(std::uint64_t addr,
+                                          unsigned bytes) const noexcept {
+  addr &= isa::kPhysAddrMask;
+  if (bytes == 0 || bytes > 8 || !contains(addr, bytes)) {
+    return std::nullopt;
+  }
+  const std::uint64_t offset = addr - base_;
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    value |= static_cast<std::uint64_t>(bytes_[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+bool Memory::store(std::uint64_t addr, std::uint64_t value, unsigned bytes) noexcept {
+  addr &= isa::kPhysAddrMask;
+  if (bytes == 0 || bytes > 8 || !contains(addr, bytes)) {
+    return false;
+  }
+  const std::uint64_t offset = addr - base_;
+  for (unsigned i = 0; i < bytes; ++i) {
+    bytes_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return true;
+}
+
+std::optional<isa::Word> Memory::fetch(std::uint64_t addr) const noexcept {
+  const auto value = load(addr, 4);
+  if (!value) {
+    return std::nullopt;
+  }
+  return static_cast<isa::Word>(*value);
+}
+
+bool Memory::write_words(std::uint64_t addr, const std::vector<isa::Word>& words) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(words.size()) * 4;
+  if (addr < base_ || addr - base_ > bytes_.size() ||
+      span > bytes_.size() - (addr - base_)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    store(addr + i * 4, words[i], 4);
+  }
+  return true;
+}
+
+void Memory::clear() noexcept { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+}  // namespace mabfuzz::golden

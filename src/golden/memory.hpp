@@ -1,0 +1,52 @@
+#pragma once
+// Flat physical memory with bounds checking. Used by the golden ISS and by
+// the substrate cores (behind their cache hierarchy), so both sides of the
+// differential comparison observe an identical memory system.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/fields.hpp"
+
+namespace mabfuzz::golden {
+
+/// Byte-addressable RAM spanning [base, base + size). All accesses are
+/// little-endian. Out-of-range accesses are reported, never clamped —
+/// the caller turns them into access faults.
+///
+/// Addresses are canonicalised to the 32-bit physical bus
+/// (isa::kPhysAddrMask) before decoding, on every access.
+class Memory {
+ public:
+  Memory(std::uint64_t base, std::uint64_t size);
+
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return bytes_.size(); }
+
+  /// True when [addr, addr + bytes) lies fully inside the RAM.
+  [[nodiscard]] bool contains(std::uint64_t addr, unsigned bytes) const noexcept;
+
+  /// Little-endian load of 1/2/4/8 bytes; nullopt when out of range.
+  [[nodiscard]] std::optional<std::uint64_t> load(std::uint64_t addr,
+                                                  unsigned bytes) const noexcept;
+
+  /// Little-endian store; false when out of range (nothing written).
+  bool store(std::uint64_t addr, std::uint64_t value, unsigned bytes) noexcept;
+
+  /// Instruction fetch (4-byte aligned load); nullopt when out of range.
+  [[nodiscard]] std::optional<isa::Word> fetch(std::uint64_t addr) const noexcept;
+
+  /// Writes a program image (consecutive words) starting at `addr`;
+  /// false when it does not fit.
+  bool write_words(std::uint64_t addr, const std::vector<isa::Word>& words) noexcept;
+
+  /// Zero-fills the RAM.
+  void clear() noexcept;
+
+ private:
+  std::uint64_t base_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace mabfuzz::golden

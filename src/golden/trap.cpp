@@ -1,0 +1,14 @@
+#include "golden/trap.hpp"
+
+#include <cstdio>
+
+namespace mabfuzz::golden {
+
+std::string describe(const Trap& trap) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s (tval=0x%llx)", trap_cause_name(trap.cause),
+                static_cast<unsigned long long>(trap.tval));
+  return buf;
+}
+
+}  // namespace mabfuzz::golden

@@ -1,0 +1,22 @@
+#pragma once
+// Trap value type shared across the golden ISS execution paths.
+
+#include <cstdint>
+#include <string>
+
+#include "isa/platform.hpp"
+
+namespace mabfuzz::golden {
+
+/// A pending synchronous exception.
+struct Trap {
+  isa::TrapCause cause = isa::TrapCause::kIllegalInstruction;
+  std::uint64_t tval = 0;
+
+  friend bool operator==(const Trap&, const Trap&) = default;
+};
+
+/// "illegal-instruction (tval=0xdeadbeef)" — for mismatch reports.
+[[nodiscard]] std::string describe(const Trap& trap);
+
+}  // namespace mabfuzz::golden

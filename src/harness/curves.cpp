@@ -1,0 +1,90 @@
+#include "harness/curves.hpp"
+
+#include <mutex>
+
+namespace mabfuzz::harness {
+
+CoverageCurve measure_coverage(const ExperimentConfig& config,
+                               std::uint64_t sample_every) {
+  Session session(config);
+  CoverageCurve curve;
+  curve.universe = session.backend().coverage_universe();
+  if (sample_every == 0) {
+    sample_every = 1;
+  }
+  for (std::uint64_t t = 1; t <= config.max_tests; ++t) {
+    session.fuzzer().step();
+    if (t % sample_every == 0 || t == config.max_tests) {
+      curve.grid.push_back(t);
+      curve.covered.push_back(
+          static_cast<double>(session.fuzzer().accumulated().covered()));
+    }
+  }
+  curve.final_covered = curve.covered.empty() ? 0.0 : curve.covered.back();
+  return curve;
+}
+
+CoverageCurve measure_coverage_multi(ExperimentConfig config,
+                                     std::uint64_t sample_every,
+                                     std::uint64_t runs) {
+  CoverageCurve average;
+  std::mutex mutex;
+
+  parallel_runs(runs, [&](std::uint64_t r) {
+    ExperimentConfig run_config = config;
+    run_config.run_index = r;
+    const CoverageCurve curve = measure_coverage(run_config, sample_every);
+    const std::scoped_lock lock(mutex);
+    if (average.grid.empty()) {
+      average.grid = curve.grid;
+      average.covered.assign(curve.covered.size(), 0.0);
+      average.universe = curve.universe;
+    }
+    for (std::size_t i = 0; i < curve.covered.size(); ++i) {
+      average.covered[i] += curve.covered[i] / static_cast<double>(runs);
+    }
+  });
+
+  average.final_covered =
+      average.covered.empty() ? 0.0 : average.covered.back();
+  return average;
+}
+
+std::uint64_t tests_to_reach(const CoverageCurve& curve, double target) {
+  for (std::size_t i = 0; i < curve.grid.size(); ++i) {
+    if (curve.covered[i] >= target) {
+      return curve.grid[i];
+    }
+  }
+  return 0;
+}
+
+double coverage_speedup(const CoverageCurve& baseline,
+                        const CoverageCurve& candidate) {
+  if (baseline.grid.empty() || candidate.grid.empty()) {
+    return 1.0;
+  }
+  const double target = baseline.final_covered;
+  const std::uint64_t baseline_tests = baseline.grid.back();
+  const std::uint64_t candidate_tests = tests_to_reach(candidate, target);
+  if (candidate_tests == 0) {
+    // Candidate never reached the baseline's final coverage: speedup < 1,
+    // lower-bounded by assuming it would get there right after the run.
+    const double candidate_final =
+        candidate.final_covered > 0 ? candidate.final_covered : 1.0;
+    return candidate_final / (target > 0 ? target : 1.0);
+  }
+  return static_cast<double>(baseline_tests) /
+         static_cast<double>(candidate_tests);
+}
+
+double coverage_increment_percent(const CoverageCurve& baseline,
+                                  const CoverageCurve& candidate) {
+  if (baseline.final_covered <= 0) {
+    return 0.0;
+  }
+  return (candidate.final_covered - baseline.final_covered) /
+         baseline.final_covered * 100.0;
+}
+
+}  // namespace mabfuzz::harness

@@ -1,0 +1,46 @@
+#pragma once
+// Coverage-over-time measurement (paper Fig. 3) and the derived speedup /
+// increment metrics (paper Fig. 4):
+//
+//  - coverage speedup  = N_base / M, where the baseline reaches its final
+//    coverage C_base after N_base tests and the candidate first reaches
+//    C_base after M tests (∞-safe: reported as N_base when never reached).
+//  - coverage increment = (C_cand − C_base) / C_base × 100 %.
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace mabfuzz::harness {
+
+struct CoverageCurve {
+  std::vector<std::uint64_t> grid;    // test counts at the sample points
+  std::vector<double> covered;        // points covered at each sample
+  std::size_t universe = 0;
+  double final_covered = 0.0;
+};
+
+/// Runs one session for config.max_tests, sampling accumulated coverage
+/// every `sample_every` tests (plus the final point).
+[[nodiscard]] CoverageCurve measure_coverage(const ExperimentConfig& config,
+                                             std::uint64_t sample_every);
+
+/// Averages per-run curves over `runs` repetitions (same grid).
+[[nodiscard]] CoverageCurve measure_coverage_multi(ExperimentConfig config,
+                                                   std::uint64_t sample_every,
+                                                   std::uint64_t runs);
+
+/// First test count at which `curve` reaches `target` coverage;
+/// returns 0 when never reached.
+[[nodiscard]] std::uint64_t tests_to_reach(const CoverageCurve& curve, double target);
+
+/// Fig. 4 left axis: speedup of `candidate` over `baseline`.
+[[nodiscard]] double coverage_speedup(const CoverageCurve& baseline,
+                                      const CoverageCurve& candidate);
+
+/// Fig. 4 right axis: percent increment in final covered points.
+[[nodiscard]] double coverage_increment_percent(const CoverageCurve& baseline,
+                                                const CoverageCurve& candidate);
+
+}  // namespace mabfuzz::harness

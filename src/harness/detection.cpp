@@ -1,0 +1,61 @@
+#include "harness/detection.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace mabfuzz::harness {
+
+DetectionResult measure_detection(const ExperimentConfig& config, soc::BugId bug) {
+  Session session(config);
+  DetectionResult result;
+  for (std::uint64_t t = 0; t < config.max_tests; ++t) {
+    const fuzz::StepResult step = session.fuzzer().step();
+    if (!step.mismatch) {
+      continue;
+    }
+    const bool fired = std::any_of(
+        step.firings.begin(), step.firings.end(),
+        [bug](const soc::BugFiring& f) { return f.id == bug; });
+    if (fired) {
+      result.detected = true;
+      result.tests_to_detection = step.test_index;
+      MABFUZZ_INFO() << soc::bug_info(bug).name << " detected by "
+                     << session.fuzzer().name() << " at test "
+                     << step.test_index;
+      return result;
+    }
+  }
+  result.tests_to_detection = config.max_tests;
+  return result;
+}
+
+DetectionSummary measure_detection_multi(ExperimentConfig config, soc::BugId bug,
+                                         std::uint64_t runs) {
+  DetectionSummary summary;
+  summary.runs = runs;
+  summary.per_run_tests.assign(runs, 0.0);
+  std::mutex mutex;
+  std::uint64_t detected = 0;
+
+  parallel_runs(runs, [&](std::uint64_t r) {
+    ExperimentConfig run_config = config;
+    run_config.run_index = r;
+    const DetectionResult result = measure_detection(run_config, bug);
+    const std::scoped_lock lock(mutex);
+    summary.per_run_tests[r] = static_cast<double>(result.tests_to_detection);
+    if (result.detected) {
+      ++detected;
+    }
+  });
+
+  summary.detected_runs = detected;
+  const common::Summary s = common::summarize(summary.per_run_tests);
+  summary.mean_tests = s.mean;
+  summary.median_tests = s.median;
+  return summary;
+}
+
+}  // namespace mabfuzz::harness

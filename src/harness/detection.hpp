@@ -1,0 +1,40 @@
+#pragma once
+// Vulnerability time-to-detection measurement (paper Table I). A bug is
+// *detected* at the first test whose differential comparison mismatches
+// while the bug's gated path fired in the DUT — the same accounting the
+// paper applies per vulnerability. Table I experiments enable one bug at a
+// time so attribution is unambiguous.
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "soc/bugs.hpp"
+
+namespace mabfuzz::harness {
+
+struct DetectionResult {
+  bool detected = false;
+  std::uint64_t tests_to_detection = 0;  // valid when detected
+};
+
+/// Runs one fuzzing session until `bug` is detected or max_tests expire.
+[[nodiscard]] DetectionResult measure_detection(const ExperimentConfig& config,
+                                                soc::BugId bug);
+
+struct DetectionSummary {
+  std::uint64_t runs = 0;
+  std::uint64_t detected_runs = 0;
+  /// Mean #tests over detecting runs; undetected runs are charged
+  /// max_tests (a right-censored lower bound, reported as such).
+  double mean_tests = 0.0;
+  double median_tests = 0.0;
+  std::vector<double> per_run_tests;
+};
+
+/// Repeats measure_detection over `runs` repetitions (parallelised).
+[[nodiscard]] DetectionSummary measure_detection_multi(ExperimentConfig config,
+                                                       soc::BugId bug,
+                                                       std::uint64_t runs);
+
+}  // namespace mabfuzz::harness

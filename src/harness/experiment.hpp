@@ -1,0 +1,70 @@
+#pragma once
+// Experiment plumbing shared by every bench target: fuzzer construction
+// from a declarative config, and a small multi-run parallel driver
+// (repetitions decorrelate through the run index in every RNG stream).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "fuzz/backend.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/thehuzz.hpp"
+
+namespace mabfuzz::harness {
+
+enum class FuzzerKind : std::uint8_t {
+  kTheHuzz,
+  kMabEpsilonGreedy,
+  kMabUcb,
+  kMabExp3,
+};
+
+inline constexpr std::array<FuzzerKind, 4> kAllFuzzers = {
+    FuzzerKind::kTheHuzz, FuzzerKind::kMabEpsilonGreedy, FuzzerKind::kMabUcb,
+    FuzzerKind::kMabExp3};
+
+inline constexpr std::array<FuzzerKind, 3> kMabFuzzers = {
+    FuzzerKind::kMabEpsilonGreedy, FuzzerKind::kMabUcb, FuzzerKind::kMabExp3};
+
+[[nodiscard]] std::string_view fuzzer_name(FuzzerKind kind) noexcept;
+
+struct ExperimentConfig {
+  soc::CoreKind core = soc::CoreKind::kRocket;
+  soc::BugSet bugs;  // default: none (coverage experiments)
+  FuzzerKind fuzzer = FuzzerKind::kTheHuzz;
+  std::uint64_t max_tests = 10'000;
+  std::uint64_t rng_seed = 1;
+  std::uint64_t run_index = 0;
+
+  // MABFuzz parameters (paper Sec. IV-A defaults).
+  core::MabFuzzConfig mab{};
+  double epsilon = 0.1;
+  double eta = 0.1;
+
+  // Baseline parameters.
+  fuzz::TheHuzzConfig thehuzz{};
+};
+
+/// One constructed fuzzing session (backend + policy), ready to step.
+class Session {
+ public:
+  explicit Session(const ExperimentConfig& config);
+
+  [[nodiscard]] fuzz::Fuzzer& fuzzer() noexcept { return *fuzzer_; }
+  [[nodiscard]] fuzz::Backend& backend() noexcept { return *backend_; }
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<fuzz::Backend> backend_;
+  std::unique_ptr<fuzz::Fuzzer> fuzzer_;
+};
+
+/// Runs `fn(run_index)` for run_index in [0, runs), using up to
+/// `hardware_concurrency` worker threads. Exceptions propagate.
+void parallel_runs(std::uint64_t runs, const std::function<void(std::uint64_t)>& fn);
+
+}  // namespace mabfuzz::harness

@@ -1,0 +1,45 @@
+#pragma once
+// Paper-style result rendering: Table I rows, Fig. 3 coverage series and
+// ASCII curve plots, Fig. 4 speedup/increment tables.
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "harness/curves.hpp"
+#include "harness/detection.hpp"
+#include "soc/bugs.hpp"
+
+namespace mabfuzz::harness {
+
+/// One Table I row: baseline #tests plus each MABFuzz variant's speedup.
+struct Table1Row {
+  soc::BugId bug{};
+  double thehuzz_tests = 0.0;
+  std::map<FuzzerKind, double> speedup;  // MABFuzz variants only
+  std::map<FuzzerKind, bool> detected;
+};
+
+void render_table1(std::ostream& os, const std::vector<Table1Row>& rows);
+
+/// Fig. 3: prints the sampled coverage series of every fuzzer on one core,
+/// then a compact ASCII plot.
+void render_fig3(std::ostream& os, std::string_view core_display,
+                 const std::map<FuzzerKind, CoverageCurve>& curves);
+
+/// Fig. 4 rows (one core): speedup and increment per MABFuzz variant.
+struct Fig4Row {
+  std::string core;
+  std::map<FuzzerKind, double> speedup;
+  std::map<FuzzerKind, double> increment_percent;
+};
+
+void render_fig4(std::ostream& os, const std::vector<Fig4Row>& rows);
+
+/// Small ASCII line plot (rows x cols) of one or more named series sharing
+/// an x-grid; used by the Fig. 3 renderer and the examples.
+void ascii_plot(std::ostream& os,
+                const std::vector<std::pair<std::string, const CoverageCurve*>>& series,
+                unsigned rows = 12, unsigned cols = 60);
+
+}  // namespace mabfuzz::harness

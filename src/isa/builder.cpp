@@ -1,0 +1,138 @@
+#include "isa/builder.hpp"
+
+namespace mabfuzz::isa {
+
+namespace {
+Instruction base(Mnemonic m) noexcept {
+  Instruction i;
+  i.mnemonic = m;
+  return i;
+}
+}  // namespace
+
+Instruction make_r(Mnemonic m, RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept {
+  Instruction i = base(m);
+  i.rd = rd & 0x1f;
+  i.rs1 = rs1 & 0x1f;
+  i.rs2 = rs2 & 0x1f;
+  return i;
+}
+
+Instruction make_i(Mnemonic m, RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept {
+  Instruction i = base(m);
+  i.rd = rd & 0x1f;
+  i.rs1 = rs1 & 0x1f;
+  i.imm = imm;
+  return i;
+}
+
+Instruction make_s(Mnemonic m, RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept {
+  Instruction i = base(m);
+  i.rs1 = rs1 & 0x1f;
+  i.rs2 = rs2 & 0x1f;
+  i.imm = imm;
+  return i;
+}
+
+Instruction make_b(Mnemonic m, RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept {
+  return make_s(m, rs1, rs2, offset);
+}
+
+Instruction make_u(Mnemonic m, RegIndex rd, std::int64_t imm) noexcept {
+  Instruction i = base(m);
+  i.rd = rd & 0x1f;
+  i.imm = imm;
+  return i;
+}
+
+Instruction make_csr(Mnemonic m, RegIndex rd, CsrAddr addr, RegIndex rs1_or_zimm) noexcept {
+  Instruction i = base(m);
+  i.rd = rd & 0x1f;
+  i.rs1 = rs1_or_zimm & 0x1f;
+  i.csr = static_cast<std::uint16_t>(addr & 0xfff);
+  return i;
+}
+
+Instruction lui(RegIndex rd, std::int64_t imm) noexcept { return make_u(Mnemonic::kLui, rd, imm); }
+Instruction auipc(RegIndex rd, std::int64_t imm) noexcept { return make_u(Mnemonic::kAuipc, rd, imm); }
+Instruction jal(RegIndex rd, std::int64_t offset) noexcept { return make_u(Mnemonic::kJal, rd, offset); }
+Instruction jalr(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kJalr, rd, rs1, imm); }
+Instruction beq(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept { return make_b(Mnemonic::kBeq, rs1, rs2, offset); }
+Instruction bne(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept { return make_b(Mnemonic::kBne, rs1, rs2, offset); }
+Instruction blt(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept { return make_b(Mnemonic::kBlt, rs1, rs2, offset); }
+Instruction bge(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept { return make_b(Mnemonic::kBge, rs1, rs2, offset); }
+Instruction bltu(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept { return make_b(Mnemonic::kBltu, rs1, rs2, offset); }
+Instruction bgeu(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept { return make_b(Mnemonic::kBgeu, rs1, rs2, offset); }
+Instruction lb(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kLb, rd, rs1, imm); }
+Instruction lh(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kLh, rd, rs1, imm); }
+Instruction lw(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kLw, rd, rs1, imm); }
+Instruction ld(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kLd, rd, rs1, imm); }
+Instruction lbu(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kLbu, rd, rs1, imm); }
+Instruction lhu(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kLhu, rd, rs1, imm); }
+Instruction lwu(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kLwu, rd, rs1, imm); }
+Instruction sb(RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept { return make_s(Mnemonic::kSb, rs1, rs2, imm); }
+Instruction sh(RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept { return make_s(Mnemonic::kSh, rs1, rs2, imm); }
+Instruction sw(RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept { return make_s(Mnemonic::kSw, rs1, rs2, imm); }
+Instruction sd(RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept { return make_s(Mnemonic::kSd, rs1, rs2, imm); }
+Instruction addi(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kAddi, rd, rs1, imm); }
+Instruction slti(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kSlti, rd, rs1, imm); }
+Instruction sltiu(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kSltiu, rd, rs1, imm); }
+Instruction xori(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kXori, rd, rs1, imm); }
+Instruction ori(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kOri, rd, rs1, imm); }
+Instruction andi(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kAndi, rd, rs1, imm); }
+Instruction slli(RegIndex rd, RegIndex rs1, unsigned shamt) noexcept { return make_i(Mnemonic::kSlli, rd, rs1, shamt & 0x3f); }
+Instruction srli(RegIndex rd, RegIndex rs1, unsigned shamt) noexcept { return make_i(Mnemonic::kSrli, rd, rs1, shamt & 0x3f); }
+Instruction srai(RegIndex rd, RegIndex rs1, unsigned shamt) noexcept { return make_i(Mnemonic::kSrai, rd, rs1, shamt & 0x3f); }
+Instruction add(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kAdd, rd, rs1, rs2); }
+Instruction sub(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kSub, rd, rs1, rs2); }
+Instruction sll(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kSll, rd, rs1, rs2); }
+Instruction slt(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kSlt, rd, rs1, rs2); }
+Instruction sltu(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kSltu, rd, rs1, rs2); }
+Instruction xor_(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kXor, rd, rs1, rs2); }
+Instruction srl(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kSrl, rd, rs1, rs2); }
+Instruction sra(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kSra, rd, rs1, rs2); }
+Instruction or_(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kOr, rd, rs1, rs2); }
+Instruction and_(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kAnd, rd, rs1, rs2); }
+Instruction addiw(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept { return make_i(Mnemonic::kAddiw, rd, rs1, imm); }
+Instruction addw(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kAddw, rd, rs1, rs2); }
+Instruction subw(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kSubw, rd, rs1, rs2); }
+
+Instruction fence() noexcept {
+  Instruction i = base(Mnemonic::kFence);
+  i.imm = 0x0ff;  // pred = succ = iorw
+  return i;
+}
+Instruction fence_i() noexcept { return base(Mnemonic::kFenceI); }
+Instruction ecall() noexcept { return base(Mnemonic::kEcall); }
+Instruction ebreak() noexcept { return base(Mnemonic::kEbreak); }
+Instruction mret() noexcept { return base(Mnemonic::kMret); }
+Instruction wfi() noexcept { return base(Mnemonic::kWfi); }
+
+Instruction mul(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kMul, rd, rs1, rs2); }
+Instruction mulh(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kMulh, rd, rs1, rs2); }
+Instruction div_(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kDiv, rd, rs1, rs2); }
+Instruction divu(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kDivu, rd, rs1, rs2); }
+Instruction rem(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kRem, rd, rs1, rs2); }
+Instruction remu(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept { return make_r(Mnemonic::kRemu, rd, rs1, rs2); }
+
+Instruction csrrw(RegIndex rd, CsrAddr addr, RegIndex rs1) noexcept { return make_csr(Mnemonic::kCsrrw, rd, addr, rs1); }
+Instruction csrrs(RegIndex rd, CsrAddr addr, RegIndex rs1) noexcept { return make_csr(Mnemonic::kCsrrs, rd, addr, rs1); }
+Instruction csrrc(RegIndex rd, CsrAddr addr, RegIndex rs1) noexcept { return make_csr(Mnemonic::kCsrrc, rd, addr, rs1); }
+Instruction csrrwi(RegIndex rd, CsrAddr addr, std::uint8_t zimm) noexcept { return make_csr(Mnemonic::kCsrrwi, rd, addr, zimm); }
+Instruction csrrsi(RegIndex rd, CsrAddr addr, std::uint8_t zimm) noexcept { return make_csr(Mnemonic::kCsrrsi, rd, addr, zimm); }
+Instruction csrrci(RegIndex rd, CsrAddr addr, std::uint8_t zimm) noexcept { return make_csr(Mnemonic::kCsrrci, rd, addr, zimm); }
+
+Instruction nop() noexcept { return addi(0, 0, 0); }
+Instruction li(RegIndex rd, std::int64_t imm12) noexcept { return addi(rd, 0, imm12); }
+Instruction mv(RegIndex rd, RegIndex rs) noexcept { return addi(rd, rs, 0); }
+
+std::vector<Word> assemble(const std::vector<Instruction>& program) {
+  std::vector<Word> words;
+  words.reserve(program.size());
+  for (const Instruction& instr : program) {
+    words.push_back(encode_or_die(instr));
+  }
+  return words;
+}
+
+}  // namespace mabfuzz::isa

@@ -1,0 +1,98 @@
+#pragma once
+// Typed instruction constructors, used by tests, examples and the directed
+// portions of the seed generator. Every builder produces an Instruction
+// whose operands encode cleanly (aborts otherwise via encode_or_die in
+// word()), so hand-written programs are validated at construction.
+
+#include <vector>
+
+#include "isa/csr_defs.hpp"
+#include "isa/encoder.hpp"
+#include "isa/opcode.hpp"
+
+namespace mabfuzz::isa {
+
+// --- generic format constructors -----------------------------------------
+[[nodiscard]] Instruction make_r(Mnemonic m, RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction make_i(Mnemonic m, RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction make_s(Mnemonic m, RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction make_b(Mnemonic m, RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept;
+[[nodiscard]] Instruction make_u(Mnemonic m, RegIndex rd, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction make_csr(Mnemonic m, RegIndex rd, CsrAddr addr, RegIndex rs1_or_zimm) noexcept;
+
+// --- RV64I ----------------------------------------------------------------
+[[nodiscard]] Instruction lui(RegIndex rd, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction auipc(RegIndex rd, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction jal(RegIndex rd, std::int64_t offset) noexcept;
+[[nodiscard]] Instruction jalr(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction beq(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept;
+[[nodiscard]] Instruction bne(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept;
+[[nodiscard]] Instruction blt(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept;
+[[nodiscard]] Instruction bge(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept;
+[[nodiscard]] Instruction bltu(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept;
+[[nodiscard]] Instruction bgeu(RegIndex rs1, RegIndex rs2, std::int64_t offset) noexcept;
+[[nodiscard]] Instruction lb(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction lh(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction lw(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction ld(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction lbu(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction lhu(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction lwu(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction sb(RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction sh(RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction sw(RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction sd(RegIndex rs1, RegIndex rs2, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction addi(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction slti(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction sltiu(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction xori(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction ori(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction andi(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction slli(RegIndex rd, RegIndex rs1, unsigned shamt) noexcept;
+[[nodiscard]] Instruction srli(RegIndex rd, RegIndex rs1, unsigned shamt) noexcept;
+[[nodiscard]] Instruction srai(RegIndex rd, RegIndex rs1, unsigned shamt) noexcept;
+[[nodiscard]] Instruction add(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction sub(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction sll(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction slt(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction sltu(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction xor_(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction srl(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction sra(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction or_(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction and_(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction addiw(RegIndex rd, RegIndex rs1, std::int64_t imm) noexcept;
+[[nodiscard]] Instruction addw(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction subw(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction fence() noexcept;
+[[nodiscard]] Instruction fence_i() noexcept;
+[[nodiscard]] Instruction ecall() noexcept;
+[[nodiscard]] Instruction ebreak() noexcept;
+[[nodiscard]] Instruction mret() noexcept;
+[[nodiscard]] Instruction wfi() noexcept;
+
+// --- M extension -----------------------------------------------------------
+[[nodiscard]] Instruction mul(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction mulh(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction div_(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction divu(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction rem(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+[[nodiscard]] Instruction remu(RegIndex rd, RegIndex rs1, RegIndex rs2) noexcept;
+
+// --- Zicsr ------------------------------------------------------------------
+[[nodiscard]] Instruction csrrw(RegIndex rd, CsrAddr addr, RegIndex rs1) noexcept;
+[[nodiscard]] Instruction csrrs(RegIndex rd, CsrAddr addr, RegIndex rs1) noexcept;
+[[nodiscard]] Instruction csrrc(RegIndex rd, CsrAddr addr, RegIndex rs1) noexcept;
+[[nodiscard]] Instruction csrrwi(RegIndex rd, CsrAddr addr, std::uint8_t zimm) noexcept;
+[[nodiscard]] Instruction csrrsi(RegIndex rd, CsrAddr addr, std::uint8_t zimm) noexcept;
+[[nodiscard]] Instruction csrrci(RegIndex rd, CsrAddr addr, std::uint8_t zimm) noexcept;
+
+/// Pseudo-instructions.
+[[nodiscard]] Instruction nop() noexcept;                      // addi x0, x0, 0
+[[nodiscard]] Instruction li(RegIndex rd, std::int64_t imm12) noexcept;  // addi rd, x0, imm
+[[nodiscard]] Instruction mv(RegIndex rd, RegIndex rs) noexcept;         // addi rd, rs, 0
+
+/// Encodes a whole program; aborts if any instruction is unencodable.
+[[nodiscard]] std::vector<Word> assemble(const std::vector<Instruction>& program);
+
+}  // namespace mabfuzz::isa

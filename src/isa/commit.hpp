@@ -1,0 +1,58 @@
+#pragma once
+// Architectural commit trace: the common output format of the golden ISS
+// and the substrate cores. The differential-testing oracle compares two of
+// these traces record-by-record — exactly the comparison TheHuzz performs
+// between the DUT simulation and SPIKE.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/fields.hpp"
+
+namespace mabfuzz::isa {
+
+/// One retired (or trapped) instruction's architectural effect.
+struct CommitRecord {
+  std::uint64_t pc = 0;
+  Word word = 0;  // fetched instruction bits; 0 for fetch-stage traps
+
+  bool trapped = false;
+  std::uint64_t cause = 0;  // valid when trapped
+
+  bool wrote_rd = false;
+  RegIndex rd = 0;
+  std::uint64_t rd_value = 0;
+
+  bool wrote_mem = false;
+  std::uint64_t mem_addr = 0;
+  std::uint64_t mem_value = 0;  // truncated to mem_bytes
+  unsigned mem_bytes = 0;
+
+  friend bool operator==(const CommitRecord&, const CommitRecord&) = default;
+};
+
+/// Why a run ended.
+enum class HaltReason : std::uint8_t {
+  kSentinel,        // reached the end-of-test sentinel (normal)
+  kBudget,          // instruction budget exhausted (runaway loop)
+  kFetchOutOfRange, // control flow left DRAM
+};
+
+/// Full architectural outcome of executing one test program.
+struct ArchResult {
+  std::vector<CommitRecord> commits;
+  std::array<std::uint64_t, kNumRegs> regs{};
+  std::uint64_t instret = 0;
+  HaltReason halt = HaltReason::kSentinel;
+
+  // Final trap/handler CSR state (compared by the oracle's end-state check).
+  std::uint64_t mstatus = 0;
+  std::uint64_t mepc = 0;
+  std::uint64_t mcause = 0;
+  std::uint64_t mtval = 0;
+  std::uint64_t mtvec = 0;
+  std::uint64_t mscratch = 0;
+};
+
+}  // namespace mabfuzz::isa

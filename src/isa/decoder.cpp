@@ -1,0 +1,302 @@
+#include "isa/decoder.hpp"
+
+#include "common/bitops.hpp"
+
+namespace mabfuzz::isa {
+
+using common::bits;
+
+namespace {
+
+DecodeResult ok(Mnemonic m, Instruction instr) {
+  instr.mnemonic = m;
+  return DecodeResult{DecodeStatus::kOk, instr};
+}
+
+DecodeResult fail(DecodeStatus status) { return DecodeResult{status, {}}; }
+
+DecodeResult decode_load(Word w, Instruction base) {
+  switch (funct3_field(w)) {
+    case 0b000: return ok(Mnemonic::kLb, base);
+    case 0b001: return ok(Mnemonic::kLh, base);
+    case 0b010: return ok(Mnemonic::kLw, base);
+    case 0b011: return ok(Mnemonic::kLd, base);
+    case 0b100: return ok(Mnemonic::kLbu, base);
+    case 0b101: return ok(Mnemonic::kLhu, base);
+    case 0b110: return ok(Mnemonic::kLwu, base);
+    default: return fail(DecodeStatus::kUnknownFunct3);
+  }
+}
+
+DecodeResult decode_store(Word w, Instruction base) {
+  switch (funct3_field(w)) {
+    case 0b000: return ok(Mnemonic::kSb, base);
+    case 0b001: return ok(Mnemonic::kSh, base);
+    case 0b010: return ok(Mnemonic::kSw, base);
+    case 0b011: return ok(Mnemonic::kSd, base);
+    default: return fail(DecodeStatus::kUnknownFunct3);
+  }
+}
+
+DecodeResult decode_branch(Word w, Instruction base) {
+  switch (funct3_field(w)) {
+    case 0b000: return ok(Mnemonic::kBeq, base);
+    case 0b001: return ok(Mnemonic::kBne, base);
+    case 0b100: return ok(Mnemonic::kBlt, base);
+    case 0b101: return ok(Mnemonic::kBge, base);
+    case 0b110: return ok(Mnemonic::kBltu, base);
+    case 0b111: return ok(Mnemonic::kBgeu, base);
+    default: return fail(DecodeStatus::kUnknownFunct3);
+  }
+}
+
+DecodeResult decode_op_imm(Word w, Instruction base) {
+  switch (funct3_field(w)) {
+    case 0b000: return ok(Mnemonic::kAddi, base);
+    case 0b010: return ok(Mnemonic::kSlti, base);
+    case 0b011: return ok(Mnemonic::kSltiu, base);
+    case 0b100: return ok(Mnemonic::kXori, base);
+    case 0b110: return ok(Mnemonic::kOri, base);
+    case 0b111: return ok(Mnemonic::kAndi, base);
+    case 0b001: {
+      // RV64 SLLI: funct7[6:1] must be 000000; bit 25 is shamt[5].
+      if (bits(w, 26, 6) != 0) {
+        return fail(DecodeStatus::kUnknownFunct7);
+      }
+      base.imm = static_cast<std::int64_t>(bits(w, 20, 6));
+      return ok(Mnemonic::kSlli, base);
+    }
+    case 0b101: {
+      const auto hi6 = bits(w, 26, 6);
+      base.imm = static_cast<std::int64_t>(bits(w, 20, 6));
+      if (hi6 == 0b000000) {
+        return ok(Mnemonic::kSrli, base);
+      }
+      if (hi6 == 0b010000) {
+        return ok(Mnemonic::kSrai, base);
+      }
+      return fail(DecodeStatus::kUnknownFunct7);
+    }
+    default: return fail(DecodeStatus::kUnknownFunct3);
+  }
+}
+
+DecodeResult decode_op_imm32(Word w, Instruction base) {
+  switch (funct3_field(w)) {
+    case 0b000: return ok(Mnemonic::kAddiw, base);
+    case 0b001: {
+      if (funct7_field(w) != 0) {
+        return fail(DecodeStatus::kUnknownFunct7);
+      }
+      base.imm = static_cast<std::int64_t>(bits(w, 20, 5));
+      return ok(Mnemonic::kSlliw, base);
+    }
+    case 0b101: {
+      const Word f7 = funct7_field(w);
+      base.imm = static_cast<std::int64_t>(bits(w, 20, 5));
+      if (f7 == 0b0000000) {
+        return ok(Mnemonic::kSrliw, base);
+      }
+      if (f7 == 0b0100000) {
+        return ok(Mnemonic::kSraiw, base);
+      }
+      return fail(DecodeStatus::kUnknownFunct7);
+    }
+    default: return fail(DecodeStatus::kUnknownFunct3);
+  }
+}
+
+DecodeResult decode_op(Word w, Instruction base) {
+  const Word f3 = funct3_field(w);
+  const Word f7 = funct7_field(w);
+  if (f7 == 0b0000001) {  // RV32M
+    switch (f3) {
+      case 0b000: return ok(Mnemonic::kMul, base);
+      case 0b001: return ok(Mnemonic::kMulh, base);
+      case 0b010: return ok(Mnemonic::kMulhsu, base);
+      case 0b011: return ok(Mnemonic::kMulhu, base);
+      case 0b100: return ok(Mnemonic::kDiv, base);
+      case 0b101: return ok(Mnemonic::kDivu, base);
+      case 0b110: return ok(Mnemonic::kRem, base);
+      case 0b111: return ok(Mnemonic::kRemu, base);
+    }
+  }
+  if (f7 == 0b0000000) {
+    switch (f3) {
+      case 0b000: return ok(Mnemonic::kAdd, base);
+      case 0b001: return ok(Mnemonic::kSll, base);
+      case 0b010: return ok(Mnemonic::kSlt, base);
+      case 0b011: return ok(Mnemonic::kSltu, base);
+      case 0b100: return ok(Mnemonic::kXor, base);
+      case 0b101: return ok(Mnemonic::kSrl, base);
+      case 0b110: return ok(Mnemonic::kOr, base);
+      case 0b111: return ok(Mnemonic::kAnd, base);
+    }
+  }
+  if (f7 == 0b0100000) {
+    if (f3 == 0b000) {
+      return ok(Mnemonic::kSub, base);
+    }
+    if (f3 == 0b101) {
+      return ok(Mnemonic::kSra, base);
+    }
+  }
+  return fail(DecodeStatus::kUnknownFunct7);
+}
+
+DecodeResult decode_op32(Word w, Instruction base) {
+  const Word f3 = funct3_field(w);
+  const Word f7 = funct7_field(w);
+  if (f7 == 0b0000001) {  // RV64M
+    switch (f3) {
+      case 0b000: return ok(Mnemonic::kMulw, base);
+      case 0b100: return ok(Mnemonic::kDivw, base);
+      case 0b101: return ok(Mnemonic::kDivuw, base);
+      case 0b110: return ok(Mnemonic::kRemw, base);
+      case 0b111: return ok(Mnemonic::kRemuw, base);
+      default: return fail(DecodeStatus::kUnknownFunct3);
+    }
+  }
+  if (f7 == 0b0000000) {
+    switch (f3) {
+      case 0b000: return ok(Mnemonic::kAddw, base);
+      case 0b001: return ok(Mnemonic::kSllw, base);
+      case 0b101: return ok(Mnemonic::kSrlw, base);
+      default: return fail(DecodeStatus::kUnknownFunct3);
+    }
+  }
+  if (f7 == 0b0100000) {
+    if (f3 == 0b000) {
+      return ok(Mnemonic::kSubw, base);
+    }
+    if (f3 == 0b101) {
+      return ok(Mnemonic::kSraw, base);
+    }
+    return fail(DecodeStatus::kUnknownFunct3);
+  }
+  return fail(DecodeStatus::kUnknownFunct7);
+}
+
+DecodeResult decode_misc_mem(Word w, Instruction base) {
+  switch (funct3_field(w)) {
+    case 0b000:
+      base.imm = static_cast<std::int64_t>(funct12_field(w));
+      return ok(Mnemonic::kFence, base);
+    case 0b001:
+      // Lenient like real cores: hint bits in rd/rs1/imm are ignored.
+      base.imm = static_cast<std::int64_t>(funct12_field(w));
+      return ok(Mnemonic::kFenceI, base);
+    default:
+      return fail(DecodeStatus::kUnknownFunct3);
+  }
+}
+
+DecodeResult decode_system(Word w, Instruction base) {
+  const Word f3 = funct3_field(w);
+  if (f3 == 0b000) {
+    // Canonical nullary encodings require rd = rs1 = 0.
+    if (rd_field(w) != 0 || rs1_field(w) != 0) {
+      return fail(DecodeStatus::kBadSystemEncoding);
+    }
+    switch (funct12_field(w)) {
+      case 0x000: return ok(Mnemonic::kEcall, Instruction{});
+      case 0x001: return ok(Mnemonic::kEbreak, Instruction{});
+      case 0x302: return ok(Mnemonic::kMret, Instruction{});
+      case 0x105: return ok(Mnemonic::kWfi, Instruction{});
+      default: return fail(DecodeStatus::kBadSystemEncoding);
+    }
+  }
+  base.csr = static_cast<std::uint16_t>(funct12_field(w));
+  switch (f3) {
+    case 0b001: return ok(Mnemonic::kCsrrw, base);
+    case 0b010: return ok(Mnemonic::kCsrrs, base);
+    case 0b011: return ok(Mnemonic::kCsrrc, base);
+    case 0b101: return ok(Mnemonic::kCsrrwi, base);
+    case 0b110: return ok(Mnemonic::kCsrrsi, base);
+    case 0b111: return ok(Mnemonic::kCsrrci, base);
+    default: return fail(DecodeStatus::kUnknownFunct3);
+  }
+}
+
+}  // namespace
+
+DecodeResult decode(Word w) noexcept {
+  if ((w & 0b11) != 0b11) {
+    return fail(DecodeStatus::kNotCompressed);
+  }
+
+  Instruction base;
+  base.rd = rd_field(w);
+  base.rs1 = rs1_field(w);
+  base.rs2 = rs2_field(w);
+
+  switch (opcode_field(w)) {
+    case 0b0110111:
+      base.rs1 = base.rs2 = 0;
+      base.imm = imm_u(w);
+      return ok(Mnemonic::kLui, base);
+    case 0b0010111:
+      base.rs1 = base.rs2 = 0;
+      base.imm = imm_u(w);
+      return ok(Mnemonic::kAuipc, base);
+    case 0b1101111:
+      base.rs1 = base.rs2 = 0;
+      base.imm = imm_j(w);
+      return ok(Mnemonic::kJal, base);
+    case 0b1100111:
+      if (funct3_field(w) != 0) {
+        return fail(DecodeStatus::kUnknownFunct3);
+      }
+      base.rs2 = 0;
+      base.imm = imm_i(w);
+      return ok(Mnemonic::kJalr, base);
+    case 0b1100011:
+      base.rd = 0;  // B-format has no rd; bits [11:7] are immediate bits.
+      base.imm = imm_b(w);
+      return decode_branch(w, base);
+    case 0b0000011:
+      base.rs2 = 0;
+      base.imm = imm_i(w);
+      return decode_load(w, base);
+    case 0b0100011:
+      base.rd = 0;  // S-format has no rd; bits [11:7] are immediate bits.
+      base.imm = imm_s(w);
+      return decode_store(w, base);
+    case 0b0010011:
+      base.rs2 = 0;
+      base.imm = imm_i(w);
+      return decode_op_imm(w, base);
+    case 0b0011011:
+      base.rs2 = 0;
+      base.imm = imm_i(w);
+      return decode_op_imm32(w, base);
+    case 0b0110011:
+      base.imm = 0;
+      return decode_op(w, base);
+    case 0b0111011:
+      base.imm = 0;
+      return decode_op32(w, base);
+    case 0b0001111:
+      base.rs2 = 0;
+      return decode_misc_mem(w, base);
+    case 0b1110011:
+      base.rs2 = 0;
+      return decode_system(w, base);
+    default:
+      return fail(DecodeStatus::kUnknownMajorOpcode);
+  }
+}
+
+std::string_view decode_status_name(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNotCompressed: return "not-a-32-bit-encoding";
+    case DecodeStatus::kUnknownMajorOpcode: return "unknown-major-opcode";
+    case DecodeStatus::kUnknownFunct3: return "unknown-funct3";
+    case DecodeStatus::kUnknownFunct7: return "unknown-funct7";
+    case DecodeStatus::kBadSystemEncoding: return "bad-system-encoding";
+  }
+  return "?";
+}
+
+}  // namespace mabfuzz::isa

@@ -1,0 +1,37 @@
+#pragma once
+// Strict RV64IM+Zicsr decoder: 32-bit word -> Instruction, with a precise
+// illegal-instruction classification. The golden ISS uses this decoder
+// unmodified; the micro-architectural substrate layers its (optionally
+// buggy) decode unit on top of it, so decode-stage bugs are expressed as
+// deliberate deviations from this ground truth.
+
+#include <string_view>
+
+#include "isa/opcode.hpp"
+
+namespace mabfuzz::isa {
+
+/// Why a word failed to decode. kOk means the word is a legal instruction.
+enum class DecodeStatus : std::uint8_t {
+  kOk,
+  kNotCompressed,      // bits [1:0] != 0b11 (no C extension in the model)
+  kUnknownMajorOpcode,
+  kUnknownFunct3,
+  kUnknownFunct7,
+  kBadSystemEncoding,  // SYSTEM with f3=0 but non-canonical funct12/rd/rs1
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kUnknownMajorOpcode;
+  Instruction instr;  // valid iff status == kOk
+
+  [[nodiscard]] bool ok() const noexcept { return status == DecodeStatus::kOk; }
+};
+
+/// Decodes one instruction word.
+[[nodiscard]] DecodeResult decode(Word w) noexcept;
+
+/// Human-readable status name for diagnostics.
+[[nodiscard]] std::string_view decode_status_name(DecodeStatus status) noexcept;
+
+}  // namespace mabfuzz::isa

@@ -1,0 +1,102 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "isa/csr_defs.hpp"
+#include "isa/decoder.hpp"
+
+namespace mabfuzz::isa {
+
+namespace {
+
+std::string csr_text(std::uint16_t addr) {
+  if (const auto name = csr_name(addr)) {
+    return std::string(*name);
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%03x", addr & 0xfff);
+  return buf;
+}
+
+std::string offset_text(std::int64_t imm) {
+  std::ostringstream ss;
+  ss << ".";
+  if (imm >= 0) {
+    ss << "+";
+  }
+  ss << imm;
+  return ss.str();
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& instr) {
+  const InstrSpec& s = spec(instr.mnemonic);
+  std::ostringstream ss;
+  ss << s.name;
+
+  switch (s.format) {
+    case Format::kR:
+      ss << ' ' << reg_name(instr.rd) << ", " << reg_name(instr.rs1) << ", "
+         << reg_name(instr.rs2);
+      break;
+    case Format::kI:
+      if (is_load(s)) {
+        ss << ' ' << reg_name(instr.rd) << ", " << instr.imm << '('
+           << reg_name(instr.rs1) << ')';
+      } else if (instr.mnemonic == Mnemonic::kJalr) {
+        ss << ' ' << reg_name(instr.rd) << ", " << instr.imm << '('
+           << reg_name(instr.rs1) << ')';
+      } else {
+        ss << ' ' << reg_name(instr.rd) << ", " << reg_name(instr.rs1) << ", "
+           << instr.imm;
+      }
+      break;
+    case Format::kIShift64:
+    case Format::kIShift32:
+      ss << ' ' << reg_name(instr.rd) << ", " << reg_name(instr.rs1) << ", "
+         << instr.imm;
+      break;
+    case Format::kS:
+      ss << ' ' << reg_name(instr.rs2) << ", " << instr.imm << '('
+         << reg_name(instr.rs1) << ')';
+      break;
+    case Format::kB:
+      ss << ' ' << reg_name(instr.rs1) << ", " << reg_name(instr.rs2) << ", "
+         << offset_text(instr.imm);
+      break;
+    case Format::kU:
+      ss << ' ' << reg_name(instr.rd) << ", 0x" << std::hex
+         << ((static_cast<std::uint64_t>(instr.imm) >> 12) & 0xfffff);
+      break;
+    case Format::kJ:
+      ss << ' ' << reg_name(instr.rd) << ", " << offset_text(instr.imm);
+      break;
+    case Format::kCsr:
+      ss << ' ' << reg_name(instr.rd) << ", " << csr_text(instr.csr) << ", "
+         << reg_name(instr.rs1);
+      break;
+    case Format::kCsrImm:
+      ss << ' ' << reg_name(instr.rd) << ", " << csr_text(instr.csr) << ", "
+         << static_cast<int>(instr.rs1 & 0x1f);
+      break;
+    case Format::kFence:
+    case Format::kNullary:
+      break;
+  }
+  return ss.str();
+}
+
+std::string disassemble_word(Word w) {
+  const DecodeResult d = decode(w);
+  if (d.ok()) {
+    return disassemble(d.instr);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ".word 0x%08x <%s>", w,
+                std::string(decode_status_name(d.status)).c_str());
+  return buf;
+}
+
+}  // namespace mabfuzz::isa

@@ -1,0 +1,19 @@
+#pragma once
+// Disassembler: Instruction / raw word -> human-readable assembly. Used by
+// trace logs, mismatch reports and the examples.
+
+#include <string>
+
+#include "isa/opcode.hpp"
+
+namespace mabfuzz::isa {
+
+/// Renders `instr` in conventional assembly syntax, e.g.
+/// "addi a0, a1, -4", "lw a0, 8(sp)", "beq a0, a1, .+16",
+/// "csrrw a0, mstatus, a1".
+[[nodiscard]] std::string disassemble(const Instruction& instr);
+
+/// Decodes then renders; illegal words render as ".word 0x<hex> <status>".
+[[nodiscard]] std::string disassemble_word(Word w);
+
+}  // namespace mabfuzz::isa

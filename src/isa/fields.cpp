@@ -1,0 +1,114 @@
+#include "isa/fields.hpp"
+
+#include <array>
+
+#include "common/bitops.hpp"
+
+namespace mabfuzz::isa {
+
+using common::bit;
+using common::bits;
+using common::insert_bits;
+using common::sign_extend;
+
+Word opcode_field(Word w) noexcept { return static_cast<Word>(bits(w, 0, 7)); }
+RegIndex rd_field(Word w) noexcept { return static_cast<RegIndex>(bits(w, 7, 5)); }
+Word funct3_field(Word w) noexcept { return static_cast<Word>(bits(w, 12, 3)); }
+RegIndex rs1_field(Word w) noexcept { return static_cast<RegIndex>(bits(w, 15, 5)); }
+RegIndex rs2_field(Word w) noexcept { return static_cast<RegIndex>(bits(w, 20, 5)); }
+Word funct7_field(Word w) noexcept { return static_cast<Word>(bits(w, 25, 7)); }
+Word funct12_field(Word w) noexcept { return static_cast<Word>(bits(w, 20, 12)); }
+
+std::int64_t imm_i(Word w) noexcept { return sign_extend(bits(w, 20, 12), 12); }
+
+std::int64_t imm_s(Word w) noexcept {
+  const std::uint64_t v = (bits(w, 25, 7) << 5) | bits(w, 7, 5);
+  return sign_extend(v, 12);
+}
+
+std::int64_t imm_b(Word w) noexcept {
+  const std::uint64_t v = (bit(w, 31) << 12) | (bit(w, 7) << 11) |
+                          (bits(w, 25, 6) << 5) | (bits(w, 8, 4) << 1);
+  return sign_extend(v, 13);
+}
+
+std::int64_t imm_u(Word w) noexcept {
+  return sign_extend(bits(w, 12, 20) << 12, 32);
+}
+
+std::int64_t imm_j(Word w) noexcept {
+  const std::uint64_t v = (bit(w, 31) << 20) | (bits(w, 12, 8) << 12) |
+                          (bit(w, 20) << 11) | (bits(w, 21, 10) << 1);
+  return sign_extend(v, 21);
+}
+
+Word set_imm_i(Word w, std::int64_t imm) noexcept {
+  const auto u = static_cast<std::uint64_t>(imm);
+  return static_cast<Word>(insert_bits(w, 20, 12, u));
+}
+
+Word set_imm_s(Word w, std::int64_t imm) noexcept {
+  const auto u = static_cast<std::uint64_t>(imm);
+  Word out = static_cast<Word>(insert_bits(w, 7, 5, bits(u, 0, 5)));
+  return static_cast<Word>(insert_bits(out, 25, 7, bits(u, 5, 7)));
+}
+
+Word set_imm_b(Word w, std::int64_t imm) noexcept {
+  const auto u = static_cast<std::uint64_t>(imm);
+  Word out = static_cast<Word>(insert_bits(w, 8, 4, bits(u, 1, 4)));
+  out = static_cast<Word>(insert_bits(out, 25, 6, bits(u, 5, 6)));
+  out = static_cast<Word>(insert_bits(out, 7, 1, bit(u, 11)));
+  return static_cast<Word>(insert_bits(out, 31, 1, bit(u, 12)));
+}
+
+Word set_imm_u(Word w, std::int64_t imm) noexcept {
+  const auto u = static_cast<std::uint64_t>(imm);
+  return static_cast<Word>(insert_bits(w, 12, 20, bits(u, 12, 20)));
+}
+
+Word set_imm_j(Word w, std::int64_t imm) noexcept {
+  const auto u = static_cast<std::uint64_t>(imm);
+  Word out = static_cast<Word>(insert_bits(w, 21, 10, bits(u, 1, 10)));
+  out = static_cast<Word>(insert_bits(out, 20, 1, bit(u, 11)));
+  out = static_cast<Word>(insert_bits(out, 12, 8, bits(u, 12, 8)));
+  return static_cast<Word>(insert_bits(out, 31, 1, bit(u, 20)));
+}
+
+Word set_rd(Word w, RegIndex rd) noexcept {
+  return static_cast<Word>(insert_bits(w, 7, 5, rd & 0x1f));
+}
+
+Word set_rs1(Word w, RegIndex rs1) noexcept {
+  return static_cast<Word>(insert_bits(w, 15, 5, rs1 & 0x1f));
+}
+
+Word set_rs2(Word w, RegIndex rs2) noexcept {
+  return static_cast<Word>(insert_bits(w, 20, 5, rs2 & 0x1f));
+}
+
+bool fits_imm_i(std::int64_t imm) noexcept { return imm >= -2048 && imm <= 2047; }
+bool fits_imm_s(std::int64_t imm) noexcept { return fits_imm_i(imm); }
+
+bool fits_imm_b(std::int64_t imm) noexcept {
+  return imm >= -4096 && imm <= 4094 && (imm & 1) == 0;
+}
+
+bool fits_imm_u(std::int64_t imm) noexcept {
+  // U-type holds imm[31:12]; accept any value whose low 12 bits are zero and
+  // which sign-extends from 32 bits.
+  return (imm & 0xfff) == 0 && imm >= -(1LL << 31) && imm <= ((1LL << 31) - 1);
+}
+
+bool fits_imm_j(std::int64_t imm) noexcept {
+  return imm >= -(1LL << 20) && imm <= ((1LL << 20) - 2) && (imm & 1) == 0;
+}
+
+std::string reg_name(RegIndex index) {
+  static constexpr std::array<const char*, kNumRegs> kNames = {
+      "zero", "ra", "sp",  "gp",  "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3",  "a4",  "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8",  "s9",  "s10", "s11", "t3", "t4", "t5", "t6"};
+  return kNames[index & 0x1f];
+}
+
+}  // namespace mabfuzz::isa

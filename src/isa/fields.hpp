@@ -1,0 +1,60 @@
+#pragma once
+// RISC-V instruction-word field codecs (RV32/RV64 base encoding).
+//
+// Everything here works on raw 32-bit instruction words and is shared by
+// the encoder, the decoder, the golden ISS and the mutation engine (which
+// mutates instruction words directly, exactly as TheHuzz does).
+
+#include <cstdint>
+#include <string>
+
+namespace mabfuzz::isa {
+
+/// A raw 32-bit RISC-V instruction word.
+using Word = std::uint32_t;
+
+/// Architectural register index (x0..x31).
+using RegIndex = std::uint8_t;
+
+inline constexpr unsigned kNumRegs = 32;
+
+/// Major opcode field, bits [6:0].
+[[nodiscard]] Word opcode_field(Word w) noexcept;
+[[nodiscard]] RegIndex rd_field(Word w) noexcept;
+[[nodiscard]] Word funct3_field(Word w) noexcept;
+[[nodiscard]] RegIndex rs1_field(Word w) noexcept;
+[[nodiscard]] RegIndex rs2_field(Word w) noexcept;
+[[nodiscard]] Word funct7_field(Word w) noexcept;
+/// funct12 = bits [31:20]; used by SYSTEM instructions and CSR addresses.
+[[nodiscard]] Word funct12_field(Word w) noexcept;
+
+/// Per-format immediate extraction (sign-extended to 64 bits).
+[[nodiscard]] std::int64_t imm_i(Word w) noexcept;
+[[nodiscard]] std::int64_t imm_s(Word w) noexcept;
+[[nodiscard]] std::int64_t imm_b(Word w) noexcept;
+[[nodiscard]] std::int64_t imm_u(Word w) noexcept;
+[[nodiscard]] std::int64_t imm_j(Word w) noexcept;
+
+/// Per-format immediate insertion: returns `w` with the immediate bits
+/// replaced by the encodable low bits of `imm` (callers validate range).
+[[nodiscard]] Word set_imm_i(Word w, std::int64_t imm) noexcept;
+[[nodiscard]] Word set_imm_s(Word w, std::int64_t imm) noexcept;
+[[nodiscard]] Word set_imm_b(Word w, std::int64_t imm) noexcept;
+[[nodiscard]] Word set_imm_u(Word w, std::int64_t imm) noexcept;
+[[nodiscard]] Word set_imm_j(Word w, std::int64_t imm) noexcept;
+
+[[nodiscard]] Word set_rd(Word w, RegIndex rd) noexcept;
+[[nodiscard]] Word set_rs1(Word w, RegIndex rs1) noexcept;
+[[nodiscard]] Word set_rs2(Word w, RegIndex rs2) noexcept;
+
+/// Immediate range checks for the encoder.
+[[nodiscard]] bool fits_imm_i(std::int64_t imm) noexcept;  // 12-bit signed
+[[nodiscard]] bool fits_imm_s(std::int64_t imm) noexcept;  // 12-bit signed
+[[nodiscard]] bool fits_imm_b(std::int64_t imm) noexcept;  // 13-bit signed, even
+[[nodiscard]] bool fits_imm_u(std::int64_t imm) noexcept;  // 20-bit field
+[[nodiscard]] bool fits_imm_j(std::int64_t imm) noexcept;  // 21-bit signed, even
+
+/// ABI register name ("zero", "ra", "sp", ..., "t6"); index is masked to 5 bits.
+[[nodiscard]] std::string reg_name(RegIndex index);
+
+}  // namespace mabfuzz::isa

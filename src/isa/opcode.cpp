@@ -1,0 +1,169 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+#include <cstdlib>
+
+namespace mabfuzz::isa {
+
+namespace {
+
+// Major opcodes (bits [6:0]).
+constexpr Word kOpLui = 0b0110111;
+constexpr Word kOpAuipc = 0b0010111;
+constexpr Word kOpJal = 0b1101111;
+constexpr Word kOpJalr = 0b1100111;
+constexpr Word kOpBranch = 0b1100011;
+constexpr Word kOpLoad = 0b0000011;
+constexpr Word kOpStore = 0b0100011;
+constexpr Word kOpImm = 0b0010011;
+constexpr Word kOpImm32 = 0b0011011;
+constexpr Word kOp = 0b0110011;
+constexpr Word kOp32 = 0b0111011;
+constexpr Word kOpMiscMem = 0b0001111;
+constexpr Word kOpSystem = 0b1110011;
+
+struct SpecBuilder {
+  InstrSpec s;
+
+  constexpr SpecBuilder(Mnemonic m, std::string_view name, Format f,
+                        InstrClass k, Extension e, Word opcode) {
+    s.mnemonic = m;
+    s.name = name;
+    s.format = f;
+    s.klass = k;
+    s.extension = e;
+    s.opcode = opcode;
+  }
+  constexpr SpecBuilder& f3(Word v) { s.funct3 = v; return *this; }
+  constexpr SpecBuilder& f7(Word v) { s.funct7 = v; return *this; }
+  constexpr SpecBuilder& f12(Word v) { s.funct12 = v; return *this; }
+  constexpr SpecBuilder& r1() { s.reads_rs1 = true; return *this; }
+  constexpr SpecBuilder& r2() { s.reads_rs2 = true; return *this; }
+  constexpr SpecBuilder& wd() { s.writes_rd = true; return *this; }
+  constexpr SpecBuilder& mem(unsigned bytes, bool uns = false) {
+    s.access_bytes = bytes;
+    s.load_unsigned = uns;
+    return *this;
+  }
+  constexpr operator InstrSpec() const { return s; }  // NOLINT(google-explicit-constructor)
+};
+
+using enum Mnemonic;
+using F = Format;
+using C = InstrClass;
+using E = Extension;
+
+constexpr std::array<InstrSpec, kNumMnemonics> kTable = {
+    // --- RV32I -----------------------------------------------------------
+    SpecBuilder(kLui, "lui", F::kU, C::kUpper, E::kI, kOpLui).wd(),
+    SpecBuilder(kAuipc, "auipc", F::kU, C::kUpper, E::kI, kOpAuipc).wd(),
+    SpecBuilder(kJal, "jal", F::kJ, C::kJump, E::kI, kOpJal).wd(),
+    SpecBuilder(kJalr, "jalr", F::kI, C::kJump, E::kI, kOpJalr).f3(0b000).r1().wd(),
+    SpecBuilder(kBeq, "beq", F::kB, C::kBranch, E::kI, kOpBranch).f3(0b000).r1().r2(),
+    SpecBuilder(kBne, "bne", F::kB, C::kBranch, E::kI, kOpBranch).f3(0b001).r1().r2(),
+    SpecBuilder(kBlt, "blt", F::kB, C::kBranch, E::kI, kOpBranch).f3(0b100).r1().r2(),
+    SpecBuilder(kBge, "bge", F::kB, C::kBranch, E::kI, kOpBranch).f3(0b101).r1().r2(),
+    SpecBuilder(kBltu, "bltu", F::kB, C::kBranch, E::kI, kOpBranch).f3(0b110).r1().r2(),
+    SpecBuilder(kBgeu, "bgeu", F::kB, C::kBranch, E::kI, kOpBranch).f3(0b111).r1().r2(),
+    SpecBuilder(kLb, "lb", F::kI, C::kLoad, E::kI, kOpLoad).f3(0b000).r1().wd().mem(1),
+    SpecBuilder(kLh, "lh", F::kI, C::kLoad, E::kI, kOpLoad).f3(0b001).r1().wd().mem(2),
+    SpecBuilder(kLw, "lw", F::kI, C::kLoad, E::kI, kOpLoad).f3(0b010).r1().wd().mem(4),
+    SpecBuilder(kLbu, "lbu", F::kI, C::kLoad, E::kI, kOpLoad).f3(0b100).r1().wd().mem(1, true),
+    SpecBuilder(kLhu, "lhu", F::kI, C::kLoad, E::kI, kOpLoad).f3(0b101).r1().wd().mem(2, true),
+    SpecBuilder(kSb, "sb", F::kS, C::kStore, E::kI, kOpStore).f3(0b000).r1().r2().mem(1),
+    SpecBuilder(kSh, "sh", F::kS, C::kStore, E::kI, kOpStore).f3(0b001).r1().r2().mem(2),
+    SpecBuilder(kSw, "sw", F::kS, C::kStore, E::kI, kOpStore).f3(0b010).r1().r2().mem(4),
+    SpecBuilder(kAddi, "addi", F::kI, C::kAlu, E::kI, kOpImm).f3(0b000).r1().wd(),
+    SpecBuilder(kSlti, "slti", F::kI, C::kAlu, E::kI, kOpImm).f3(0b010).r1().wd(),
+    SpecBuilder(kSltiu, "sltiu", F::kI, C::kAlu, E::kI, kOpImm).f3(0b011).r1().wd(),
+    SpecBuilder(kXori, "xori", F::kI, C::kAlu, E::kI, kOpImm).f3(0b100).r1().wd(),
+    SpecBuilder(kOri, "ori", F::kI, C::kAlu, E::kI, kOpImm).f3(0b110).r1().wd(),
+    SpecBuilder(kAndi, "andi", F::kI, C::kAlu, E::kI, kOpImm).f3(0b111).r1().wd(),
+    SpecBuilder(kSlli, "slli", F::kIShift64, C::kAlu, E::kI, kOpImm).f3(0b001).f7(0b0000000).r1().wd(),
+    SpecBuilder(kSrli, "srli", F::kIShift64, C::kAlu, E::kI, kOpImm).f3(0b101).f7(0b0000000).r1().wd(),
+    SpecBuilder(kSrai, "srai", F::kIShift64, C::kAlu, E::kI, kOpImm).f3(0b101).f7(0b0100000).r1().wd(),
+    SpecBuilder(kAdd, "add", F::kR, C::kAlu, E::kI, kOp).f3(0b000).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kSub, "sub", F::kR, C::kAlu, E::kI, kOp).f3(0b000).f7(0b0100000).r1().r2().wd(),
+    SpecBuilder(kSll, "sll", F::kR, C::kAlu, E::kI, kOp).f3(0b001).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kSlt, "slt", F::kR, C::kAlu, E::kI, kOp).f3(0b010).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kSltu, "sltu", F::kR, C::kAlu, E::kI, kOp).f3(0b011).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kXor, "xor", F::kR, C::kAlu, E::kI, kOp).f3(0b100).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kSrl, "srl", F::kR, C::kAlu, E::kI, kOp).f3(0b101).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kSra, "sra", F::kR, C::kAlu, E::kI, kOp).f3(0b101).f7(0b0100000).r1().r2().wd(),
+    SpecBuilder(kOr, "or", F::kR, C::kAlu, E::kI, kOp).f3(0b110).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kAnd, "and", F::kR, C::kAlu, E::kI, kOp).f3(0b111).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kFence, "fence", F::kFence, C::kFence, E::kI, kOpMiscMem).f3(0b000),
+    SpecBuilder(kFenceI, "fence.i", F::kFence, C::kFence, E::kI, kOpMiscMem).f3(0b001),
+    SpecBuilder(kEcall, "ecall", F::kNullary, C::kSystem, E::kI, kOpSystem).f3(0b000).f12(0x000),
+    SpecBuilder(kEbreak, "ebreak", F::kNullary, C::kSystem, E::kI, kOpSystem).f3(0b000).f12(0x001),
+    // --- RV64I -----------------------------------------------------------
+    SpecBuilder(kLwu, "lwu", F::kI, C::kLoad, E::kI64, kOpLoad).f3(0b110).r1().wd().mem(4, true),
+    SpecBuilder(kLd, "ld", F::kI, C::kLoad, E::kI64, kOpLoad).f3(0b011).r1().wd().mem(8),
+    SpecBuilder(kSd, "sd", F::kS, C::kStore, E::kI64, kOpStore).f3(0b011).r1().r2().mem(8),
+    SpecBuilder(kAddiw, "addiw", F::kI, C::kAluW, E::kI64, kOpImm32).f3(0b000).r1().wd(),
+    SpecBuilder(kSlliw, "slliw", F::kIShift32, C::kAluW, E::kI64, kOpImm32).f3(0b001).f7(0b0000000).r1().wd(),
+    SpecBuilder(kSrliw, "srliw", F::kIShift32, C::kAluW, E::kI64, kOpImm32).f3(0b101).f7(0b0000000).r1().wd(),
+    SpecBuilder(kSraiw, "sraiw", F::kIShift32, C::kAluW, E::kI64, kOpImm32).f3(0b101).f7(0b0100000).r1().wd(),
+    SpecBuilder(kAddw, "addw", F::kR, C::kAluW, E::kI64, kOp32).f3(0b000).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kSubw, "subw", F::kR, C::kAluW, E::kI64, kOp32).f3(0b000).f7(0b0100000).r1().r2().wd(),
+    SpecBuilder(kSllw, "sllw", F::kR, C::kAluW, E::kI64, kOp32).f3(0b001).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kSrlw, "srlw", F::kR, C::kAluW, E::kI64, kOp32).f3(0b101).f7(0b0000000).r1().r2().wd(),
+    SpecBuilder(kSraw, "sraw", F::kR, C::kAluW, E::kI64, kOp32).f3(0b101).f7(0b0100000).r1().r2().wd(),
+    // --- RV32M / RV64M ---------------------------------------------------
+    SpecBuilder(kMul, "mul", F::kR, C::kMulDiv, E::kM, kOp).f3(0b000).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kMulh, "mulh", F::kR, C::kMulDiv, E::kM, kOp).f3(0b001).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kMulhsu, "mulhsu", F::kR, C::kMulDiv, E::kM, kOp).f3(0b010).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kMulhu, "mulhu", F::kR, C::kMulDiv, E::kM, kOp).f3(0b011).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kDiv, "div", F::kR, C::kMulDiv, E::kM, kOp).f3(0b100).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kDivu, "divu", F::kR, C::kMulDiv, E::kM, kOp).f3(0b101).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kRem, "rem", F::kR, C::kMulDiv, E::kM, kOp).f3(0b110).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kRemu, "remu", F::kR, C::kMulDiv, E::kM, kOp).f3(0b111).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kMulw, "mulw", F::kR, C::kMulDiv, E::kM64, kOp32).f3(0b000).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kDivw, "divw", F::kR, C::kMulDiv, E::kM64, kOp32).f3(0b100).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kDivuw, "divuw", F::kR, C::kMulDiv, E::kM64, kOp32).f3(0b101).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kRemw, "remw", F::kR, C::kMulDiv, E::kM64, kOp32).f3(0b110).f7(0b0000001).r1().r2().wd(),
+    SpecBuilder(kRemuw, "remuw", F::kR, C::kMulDiv, E::kM64, kOp32).f3(0b111).f7(0b0000001).r1().r2().wd(),
+    // --- Zicsr -----------------------------------------------------------
+    SpecBuilder(kCsrrw, "csrrw", F::kCsr, C::kCsr, E::kZicsr, kOpSystem).f3(0b001).r1().wd(),
+    SpecBuilder(kCsrrs, "csrrs", F::kCsr, C::kCsr, E::kZicsr, kOpSystem).f3(0b010).r1().wd(),
+    SpecBuilder(kCsrrc, "csrrc", F::kCsr, C::kCsr, E::kZicsr, kOpSystem).f3(0b011).r1().wd(),
+    SpecBuilder(kCsrrwi, "csrrwi", F::kCsrImm, C::kCsr, E::kZicsr, kOpSystem).f3(0b101).wd(),
+    SpecBuilder(kCsrrsi, "csrrsi", F::kCsrImm, C::kCsr, E::kZicsr, kOpSystem).f3(0b110).wd(),
+    SpecBuilder(kCsrrci, "csrrci", F::kCsrImm, C::kCsr, E::kZicsr, kOpSystem).f3(0b111).wd(),
+    // --- Privileged ------------------------------------------------------
+    SpecBuilder(kMret, "mret", F::kNullary, C::kSystem, E::kPriv, kOpSystem).f3(0b000).f12(0x302),
+    SpecBuilder(kWfi, "wfi", F::kNullary, C::kSystem, E::kPriv, kOpSystem).f3(0b000).f12(0x105),
+};
+
+constexpr bool table_is_sorted() {
+  for (std::size_t i = 0; i < kTable.size(); ++i) {
+    if (static_cast<std::size_t>(kTable[i].mnemonic) != i) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(table_is_sorted(), "kTable rows must appear in Mnemonic order");
+
+}  // namespace
+
+const InstrSpec& spec(Mnemonic m) noexcept {
+  const auto index = static_cast<std::size_t>(m);
+  if (index >= kTable.size()) {
+    std::abort();  // Mnemonic::kCount is not a real instruction.
+  }
+  return kTable[index];
+}
+
+std::span<const InstrSpec> all_specs() noexcept { return kTable; }
+
+std::optional<Mnemonic> mnemonic_from_name(std::string_view name) noexcept {
+  for (const InstrSpec& s : kTable) {
+    if (s.name == name) {
+      return s.mnemonic;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mabfuzz::isa

@@ -1,0 +1,120 @@
+#pragma once
+// Instruction-set database for the modelled ISA: RV64I + M + Zicsr plus the
+// privileged instructions the fuzzed cores implement (ECALL, EBREAK, MRET,
+// WFI, FENCE, FENCE.I). Both the golden ISS and the micro-architectural
+// substrate decode against this single table, so ISA-level disagreements
+// can only come from *injected* bugs — exactly the experimental control the
+// paper relies on.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "isa/fields.hpp"
+
+namespace mabfuzz::isa {
+
+enum class Mnemonic : std::uint8_t {
+  // RV32I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi,
+  kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kFenceI, kEcall, kEbreak,
+  // RV64I
+  kLwu, kLd, kSd,
+  kAddiw, kSlliw, kSrliw, kSraiw,
+  kAddw, kSubw, kSllw, kSrlw, kSraw,
+  // RV32M / RV64M
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kMulw, kDivw, kDivuw, kRemw, kRemuw,
+  // Zicsr
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // Privileged
+  kMret, kWfi,
+  kCount,
+};
+
+inline constexpr std::size_t kNumMnemonics = static_cast<std::size_t>(Mnemonic::kCount);
+
+/// Encoding formats. kIShift64 carries a 6-bit shamt (RV64 shifts),
+/// kIShift32 a 5-bit shamt (the *W shifts). kCsr/kCsrImm carry a CSR
+/// address in funct12. kNullary instructions have all operand fields fixed.
+enum class Format : std::uint8_t {
+  kR, kI, kIShift64, kIShift32, kS, kB, kU, kJ, kCsr, kCsrImm, kFence, kNullary,
+};
+
+/// Coarse behavioural class used by the seed generator and the
+/// micro-architectural pipeline to route instructions to units.
+enum class InstrClass : std::uint8_t {
+  kAlu, kAluW, kMulDiv, kLoad, kStore, kBranch, kJump, kUpper, kFence, kCsr,
+  kSystem,
+};
+
+enum class Extension : std::uint8_t { kI, kI64, kM, kM64, kZicsr, kPriv };
+
+/// Static description of one instruction encoding.
+struct InstrSpec {
+  Mnemonic mnemonic{};
+  std::string_view name;
+  Format format{};
+  InstrClass klass{};
+  Extension extension{};
+  Word opcode = 0;       // bits [6:0]
+  Word funct3 = 0;       // bits [14:12]; valid unless format is U/J
+  Word funct7 = 0;       // bits [31:25]; valid for R / shift formats
+  Word funct12 = 0;      // bits [31:20]; valid for kNullary
+  bool reads_rs1 = false;
+  bool reads_rs2 = false;
+  bool writes_rd = false;
+  unsigned access_bytes = 0;   // loads/stores: 1, 2, 4, 8
+  bool load_unsigned = false;  // LBU/LHU/LWU
+};
+
+/// Decoded (or builder-constructed) instruction operands.
+///
+/// Field use by format:
+///  - kCsrImm: `rs1` holds the 5-bit zimm; `csr` the CSR address.
+///  - kIShift*: `imm` holds the shamt.
+///  - kFence: `imm` holds the raw fm/pred/succ byte (fence ordering sets).
+struct Instruction {
+  Mnemonic mnemonic = Mnemonic::kAddi;
+  RegIndex rd = 0;
+  RegIndex rs1 = 0;
+  RegIndex rs2 = 0;
+  std::int64_t imm = 0;
+  std::uint16_t csr = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Immutable spec for `m`; aborts on Mnemonic::kCount.
+[[nodiscard]] const InstrSpec& spec(Mnemonic m) noexcept;
+
+/// The whole table, in Mnemonic order.
+[[nodiscard]] std::span<const InstrSpec> all_specs() noexcept;
+
+/// Name lookup (exact, lower-case, e.g. "addi", "fence.i"); nullopt if unknown.
+[[nodiscard]] std::optional<Mnemonic> mnemonic_from_name(std::string_view name) noexcept;
+
+[[nodiscard]] constexpr bool is_load(const InstrSpec& s) noexcept {
+  return s.klass == InstrClass::kLoad;
+}
+[[nodiscard]] constexpr bool is_store(const InstrSpec& s) noexcept {
+  return s.klass == InstrClass::kStore;
+}
+[[nodiscard]] constexpr bool is_branch(const InstrSpec& s) noexcept {
+  return s.klass == InstrClass::kBranch;
+}
+[[nodiscard]] constexpr bool is_control_flow(const InstrSpec& s) noexcept {
+  return s.klass == InstrClass::kBranch || s.klass == InstrClass::kJump;
+}
+[[nodiscard]] constexpr bool is_csr_op(const InstrSpec& s) noexcept {
+  return s.klass == InstrClass::kCsr;
+}
+
+}  // namespace mabfuzz::isa

@@ -1,0 +1,91 @@
+#pragma once
+// Platform conventions shared by the golden ISS and every substrate core:
+// the physical memory map, the reset state, the machine trap-cause
+// encodings, and the bare-metal trap-handler stub the loader installs.
+//
+// Mirrors the bare-metal harness TheHuzz drives through Chipyard: a single
+// DRAM region, machine mode only, and a trap handler that skips the
+// faulting instruction so one early exception does not end the test.
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/builder.hpp"
+#include "isa/opcode.hpp"
+
+namespace mabfuzz::isa {
+
+// --- Memory map -------------------------------------------------------------
+
+/// The system bus decodes 32 physical address bits; upper bits of an
+/// effective address are ignored by the memory system (on both sides of
+/// the differential pair). This matches bare-metal RV64 code that builds
+/// 0x8xxx_xxxx addresses with LUI, which sign-extends bit 31.
+inline constexpr std::uint64_t kPhysAddrMask = 0xFFFF'FFFFULL;
+
+/// DRAM base address (standard RISC-V reset region).
+inline constexpr std::uint64_t kDramBase = 0x8000'0000ULL;
+/// Default DRAM size. Small enough that caches see real eviction pressure.
+inline constexpr std::uint64_t kDramSizeDefault = 256 * 1024ULL;
+/// The trap handler is installed at DRAM base (reset mtvec).
+inline constexpr std::uint64_t kHandlerBase = kDramBase;
+/// Fuzzed programs are loaded here; also the reset PC.
+inline constexpr std::uint64_t kProgramBase = kDramBase + 0x400ULL;
+/// Start of the scratch region seeds use for memory traffic.
+inline constexpr std::uint64_t kScratchBase = kDramBase + 0x1'0000ULL;
+
+// --- Trap causes (mcause encodings, privileged spec table 3.6) --------------
+
+enum class TrapCause : std::uint64_t {
+  kInstrAddrMisaligned = 0,
+  kInstrAccessFault = 1,
+  kIllegalInstruction = 2,
+  kBreakpoint = 3,
+  kLoadAddrMisaligned = 4,
+  kLoadAccessFault = 5,
+  kStoreAddrMisaligned = 6,
+  kStoreAccessFault = 7,
+  kEcallFromM = 11,
+};
+
+[[nodiscard]] constexpr const char* trap_cause_name(TrapCause cause) noexcept {
+  switch (cause) {
+    case TrapCause::kInstrAddrMisaligned: return "instruction-address-misaligned";
+    case TrapCause::kInstrAccessFault: return "instruction-access-fault";
+    case TrapCause::kIllegalInstruction: return "illegal-instruction";
+    case TrapCause::kBreakpoint: return "breakpoint";
+    case TrapCause::kLoadAddrMisaligned: return "load-address-misaligned";
+    case TrapCause::kLoadAccessFault: return "load-access-fault";
+    case TrapCause::kStoreAddrMisaligned: return "store-address-misaligned";
+    case TrapCause::kStoreAccessFault: return "store-access-fault";
+    case TrapCause::kEcallFromM: return "ecall-from-m";
+  }
+  return "?";
+}
+
+// --- Trap handler stub -------------------------------------------------------
+
+/// Architectural scratch register the trap handler is allowed to clobber
+/// (x31 / t6), a common bare-metal harness convention.
+inline constexpr RegIndex kTrapScratchReg = 31;
+
+/// The resume-after-fault handler installed at kHandlerBase:
+///   csrrs t6, mepc, x0   ; t6 = faulting pc
+///   addi  t6, t6, 4
+///   csrrw x0, mepc, t6   ; mepc += 4
+///   mret                 ; resume after the faulting instruction
+inline std::vector<Instruction> trap_handler_stub() {
+  return {
+      csrrs(kTrapScratchReg, csr::kMepc, 0),
+      addi(kTrapScratchReg, kTrapScratchReg, 4),
+      csrrw(0, csr::kMepc, kTrapScratchReg),
+      mret(),
+  };
+}
+
+/// Upper bound on executed instructions per test (straight-line programs
+/// plus trap-handler detours; also bounds accidental loops formed by
+/// mutated backward branches).
+inline constexpr std::uint64_t kDefaultInstructionBudget = 768;
+
+}  // namespace mabfuzz::isa

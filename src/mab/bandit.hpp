@@ -1,0 +1,86 @@
+#pragma once
+// Multi-armed bandit interface with the paper's reset-arm extension.
+//
+// Contract:
+//  - select() returns the arm to pull this round.
+//  - update(arm, reward) feeds the observed reward for that pull.
+//  - reset_arm(arm) tells the algorithm the arm was *replaced by a fresh
+//    arm* (MABFuzz Sec. III-C); the algorithm must forget / re-initialise
+//    that arm's statistics per Algorithms 1 and 2.
+//  - requires_normalized_reward() is true for algorithms (EXP3) whose
+//    update assumes rewards in [0, 1]; the caller then divides the raw
+//    coverage reward by |C| (Algorithm 2, line 6).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace mabfuzz::mab {
+
+class Bandit {
+ public:
+  virtual ~Bandit() = default;
+
+  [[nodiscard]] virtual std::size_t select() = 0;
+  virtual void update(std::size_t arm, double reward) = 0;
+  virtual void reset_arm(std::size_t arm) = 0;
+
+  [[nodiscard]] virtual bool requires_normalized_reward() const noexcept {
+    return false;
+  }
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  [[nodiscard]] std::size_t num_arms() const noexcept { return num_arms_; }
+
+ protected:
+  explicit Bandit(std::size_t num_arms);
+
+  /// Uniformly random tie-break among the arms maximising `score(arm)`.
+  template <typename ScoreFn>
+  [[nodiscard]] std::size_t argmax_random_ties(ScoreFn&& score,
+                                               common::Xoshiro256StarStar& rng) const {
+    std::size_t best = 0;
+    double best_score = score(std::size_t{0});
+    std::size_t ties = 1;
+    for (std::size_t a = 1; a < num_arms_; ++a) {
+      const double s = score(a);
+      if (s > best_score) {
+        best_score = s;
+        best = a;
+        ties = 1;
+      } else if (s == best_score) {
+        // Reservoir-style uniform choice among ties.
+        ++ties;
+        if (rng.next_below(ties) == 0) {
+          best = a;
+        }
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::size_t num_arms_;
+};
+
+/// Which algorithm a factory call should build. kThompson is this
+/// library's extension beyond the paper's three (Sec. V future work).
+enum class Algorithm : std::uint8_t { kEpsilonGreedy, kUcb, kExp3, kThompson };
+
+[[nodiscard]] std::string_view algorithm_name(Algorithm algorithm) noexcept;
+
+struct BanditConfig {
+  std::size_t num_arms = 10;
+  double epsilon = 0.1;       // ε-greedy exploration rate
+  double eta = 0.1;           // EXP3 learning rate (paper Sec. IV-A)
+  std::uint64_t rng_seed = 1; // derived stream seed
+};
+
+/// Factory covering the three paper algorithms.
+[[nodiscard]] std::unique_ptr<Bandit> make_bandit(Algorithm algorithm,
+                                                  const BanditConfig& config);
+
+}  // namespace mabfuzz::mab

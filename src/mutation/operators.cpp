@@ -1,0 +1,173 @@
+#include "mutation/operators.hpp"
+
+#include <algorithm>
+
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "isa/opcode.hpp"
+
+namespace mabfuzz::mutation {
+
+using common::Xoshiro256StarStar;
+using isa::Word;
+
+namespace {
+
+Word& pick_word(std::vector<Word>& program, Xoshiro256StarStar& rng) {
+  return program[rng.next_index(program.size())];
+}
+
+bool flip_bits(std::vector<Word>& program, Xoshiro256StarStar& rng, unsigned count) {
+  Word& w = pick_word(program, rng);
+  const unsigned start = static_cast<unsigned>(rng.next_index(33 - count));
+  for (unsigned i = 0; i < count; ++i) {
+    w ^= 1u << (start + i);
+  }
+  return true;
+}
+
+bool arith(std::vector<Word>& program, Xoshiro256StarStar& rng, unsigned bytes) {
+  Word& w = pick_word(program, rng);
+  const unsigned lanes = 4 / bytes;
+  const unsigned lane = static_cast<unsigned>(rng.next_index(lanes));
+  const unsigned shift = lane * bytes * 8;
+  const std::uint32_t mask =
+      bytes == 4 ? ~0u : ((1u << (bytes * 8)) - 1u) << shift;
+  const auto delta = static_cast<std::uint32_t>(rng.next_range(-35, 35));
+  const std::uint32_t field = (w & mask) >> shift;
+  const std::uint32_t mutated = (field + delta) << shift;
+  w = (w & ~mask) | (mutated & mask);
+  return true;
+}
+
+bool opcode_swap(std::vector<Word>& program, Xoshiro256StarStar& rng) {
+  Word& w = pick_word(program, rng);
+  const isa::DecodeResult decoded = isa::decode(w);
+  if (!decoded.ok()) {
+    return false;
+  }
+  const isa::Format format = isa::spec(decoded.instr.mnemonic).format;
+
+  // Collect candidate mnemonics sharing the format.
+  std::vector<isa::Mnemonic> candidates;
+  for (const isa::InstrSpec& s : isa::all_specs()) {
+    if (s.format == format && s.mnemonic != decoded.instr.mnemonic) {
+      candidates.push_back(s.mnemonic);
+    }
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  isa::Instruction swapped = decoded.instr;
+  swapped.mnemonic = candidates[rng.next_index(candidates.size())];
+  // Shift-family immediates may exceed the target's range; clamp via retry.
+  const auto encoded = isa::encode(swapped);
+  if (!encoded) {
+    return false;
+  }
+  w = *encoded;
+  return true;
+}
+
+bool operand_shuffle(std::vector<Word>& program, Xoshiro256StarStar& rng) {
+  Word& w = pick_word(program, rng);
+  switch (rng.next_index(4)) {
+    case 0:
+      w = isa::set_rd(w, static_cast<isa::RegIndex>(rng.next_index(32)));
+      return true;
+    case 1:
+      w = isa::set_rs1(w, static_cast<isa::RegIndex>(rng.next_index(32)));
+      return true;
+    case 2:
+      w = isa::set_rs2(w, static_cast<isa::RegIndex>(rng.next_index(32)));
+      return true;
+    default:
+      // Randomise the I-immediate field (bits [31:20]).
+      w = isa::set_imm_i(w, rng.next_range(-2048, 2047));
+      return true;
+  }
+}
+
+}  // namespace
+
+std::string_view op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kBitFlip1: return "bitflip1";
+    case Op::kBitFlip2: return "bitflip2";
+    case Op::kBitFlip4: return "bitflip4";
+    case Op::kByteFlip: return "byteflip";
+    case Op::kArith8: return "arith8";
+    case Op::kArith16: return "arith16";
+    case Op::kArith32: return "arith32";
+    case Op::kRandomByte: return "random_byte";
+    case Op::kRandomWord: return "random_word";
+    case Op::kOpcodeSwap: return "opcode_swap";
+    case Op::kOperandShuffle: return "operand_shuffle";
+    case Op::kInstrDelete: return "instr_delete";
+    case Op::kInstrClone: return "instr_clone";
+    case Op::kInstrSwap: return "instr_swap";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+bool apply(Op op, std::vector<Word>& program, Xoshiro256StarStar& rng) {
+  if (program.empty()) {
+    return false;
+  }
+  switch (op) {
+    case Op::kBitFlip1: return flip_bits(program, rng, 1);
+    case Op::kBitFlip2: return flip_bits(program, rng, 2);
+    case Op::kBitFlip4: return flip_bits(program, rng, 4);
+    case Op::kByteFlip: {
+      Word& w = pick_word(program, rng);
+      w ^= 0xffu << (8 * rng.next_index(4));
+      return true;
+    }
+    case Op::kArith8: return arith(program, rng, 1);
+    case Op::kArith16: return arith(program, rng, 2);
+    case Op::kArith32: return arith(program, rng, 4);
+    case Op::kRandomByte: {
+      Word& w = pick_word(program, rng);
+      const unsigned shift = 8 * static_cast<unsigned>(rng.next_index(4));
+      w = (w & ~(0xffu << shift)) |
+          (static_cast<Word>(rng.next_below(256)) << shift);
+      return true;
+    }
+    case Op::kRandomWord:
+      pick_word(program, rng) = static_cast<Word>(rng.next());
+      return true;
+    case Op::kOpcodeSwap: return opcode_swap(program, rng);
+    case Op::kOperandShuffle: return operand_shuffle(program, rng);
+    case Op::kInstrDelete:
+      if (program.size() <= 1) {
+        return false;
+      }
+      program.erase(program.begin() +
+                    static_cast<std::ptrdiff_t>(rng.next_index(program.size())));
+      return true;
+    case Op::kInstrClone: {
+      if (program.size() >= kMaxProgramWords) {
+        return false;
+      }
+      const Word cloned = program[rng.next_index(program.size())];
+      program.insert(program.begin() + static_cast<std::ptrdiff_t>(
+                                           rng.next_index(program.size() + 1)),
+                     cloned);
+      return true;
+    }
+    case Op::kInstrSwap: {
+      if (program.size() <= 1) {
+        return false;
+      }
+      const std::size_t i = rng.next_index(program.size());
+      const std::size_t j = rng.next_index(program.size());
+      std::swap(program[i], program[j]);
+      return true;
+    }
+    case Op::kCount: break;
+  }
+  return false;
+}
+
+}  // namespace mabfuzz::mutation

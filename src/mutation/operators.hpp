@@ -1,0 +1,48 @@
+#pragma once
+// TheHuzz-style mutation operators. TheHuzz mutates tests at the encoded
+// instruction-word level with AFL-inspired bit/byte/arithmetic operators
+// plus instruction-aware operators (opcode swap, operand shuffle,
+// delete/clone/swap) — the operator inventory below mirrors that engine.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/fields.hpp"
+
+namespace mabfuzz::mutation {
+
+enum class Op : std::uint8_t {
+  kBitFlip1,       // flip 1 bit
+  kBitFlip2,       // flip 2 adjacent bits
+  kBitFlip4,       // flip 4 adjacent bits
+  kByteFlip,       // flip one byte
+  kArith8,         // +/- small constant on one byte
+  kArith16,        // +/- small constant on a half-word
+  kArith32,        // +/- small constant on the whole word
+  kRandomByte,     // replace one byte with a random byte
+  kRandomWord,     // replace the whole word with a random word
+  kOpcodeSwap,     // re-encode with a different mnemonic of the same format
+  kOperandShuffle, // randomise one operand field (rd/rs1/rs2/imm)
+  kInstrDelete,    // remove one instruction
+  kInstrClone,     // duplicate one instruction at a random position
+  kInstrSwap,      // exchange two instructions
+  kCount,
+};
+
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kCount);
+
+[[nodiscard]] std::string_view op_name(Op op) noexcept;
+
+/// Applies `op` to `program` in place using `rng` for all random choices.
+/// Returns false when the operator is not applicable (e.g. delete on a
+/// single-instruction program); the program is unchanged in that case.
+bool apply(Op op, std::vector<isa::Word>& program,
+           common::Xoshiro256StarStar& rng);
+
+/// Maximum program length enforced by the growing operators.
+inline constexpr std::size_t kMaxProgramWords = 64;
+
+}  // namespace mabfuzz::mutation

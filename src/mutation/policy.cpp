@@ -1,0 +1,12 @@
+#include "mutation/policy.hpp"
+
+namespace mabfuzz::mutation {
+
+void OperatorPolicy::feedback(Op /*op*/, double /*reward*/) {}
+
+Op StaticPolicy::choose(common::Xoshiro256StarStar& rng) {
+  const std::size_t pick = rng.next_weighted(weights_);
+  return pick < kNumOps ? static_cast<Op>(pick) : Op::kBitFlip1;
+}
+
+}  // namespace mabfuzz::mutation

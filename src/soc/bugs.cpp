@@ -1,0 +1,45 @@
+#include "soc/bugs.hpp"
+
+#include <array>
+#include <cstdlib>
+
+namespace mabfuzz::soc {
+
+namespace {
+constexpr std::array<BugInfo, kNumBugs> kBugTable = {{
+    {BugId::kV1FenceIDecode, "V1", "CWE-440", "cva6",
+     "FENCE.I instruction decoded incorrectly"},
+    {BugId::kV2IllegalOpExec, "V2", "CWE-1242", "cva6",
+     "Some illegal instructions can be executed"},
+    {BugId::kV3ExcQueueCause, "V3", "CWE-1202", "cva6",
+     "Exception type incorrectly propagated in instruction queue"},
+    {BugId::kV4LostWriteback, "V4", "CWE-1202", "cva6",
+     "Undetected cache coherency violation"},
+    {BugId::kV5SilentLoadFault, "V5", "CWE-1252", "cva6",
+     "Exception not thrown when invalid addresses accessed"},
+    {BugId::kV6CsrXValue, "V6", "CWE-1281", "cva6",
+     "Accessing unimplemented CSRs returns X-values"},
+    {BugId::kV7EbreakInstret, "V7", "CWE-1201", "rocket",
+     "EBREAK does not increase instruction count"},
+}};
+}  // namespace
+
+const BugInfo& bug_info(BugId id) noexcept {
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= kBugTable.size()) {
+    std::abort();
+  }
+  return kBugTable[index];
+}
+
+std::span<const BugInfo> all_bugs() noexcept { return kBugTable; }
+
+BugSet BugSet::all() noexcept {
+  BugSet s;
+  for (const BugInfo& info : kBugTable) {
+    s.enable(info.id);
+  }
+  return s;
+}
+
+}  // namespace mabfuzz::soc

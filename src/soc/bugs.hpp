@@ -1,0 +1,79 @@
+#pragma once
+// The injected vulnerability library: seven micro-architectural bugs
+// mirroring the trigger classes of V1-V7 from the paper's Table I
+// (CWE-classified CVA6 / Rocket Core bugs). Each bug is a deliberate,
+// gated deviation of the substrate core from the golden-model semantics;
+// detection is by differential-testing mismatch, never by the gate itself.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mabfuzz::soc {
+
+enum class BugId : std::uint8_t {
+  kV1FenceIDecode,    // CVA6, CWE-440: FENCE.I with rd bits set spuriously writes rd
+  kV2IllegalOpExec,   // CVA6, CWE-1242: reserved funct7 encodings execute instead of trapping
+  kV3ExcQueueCause,   // CVA6, CWE-1202: younger queued exception overwrites trap cause
+  kV4LostWriteback,   // CVA6, CWE-1202: dirty eviction dropped when writeback buffer busy
+  kV5SilentLoadFault, // CVA6, CWE-1252: loads to unmapped addresses return 0, no fault
+  kV6CsrXValue,       // CVA6, CWE-1281: unimplemented CSR reads return X-values, no trap
+  kV7EbreakInstret,   // Rocket, CWE-1201: EBREAK does not increment minstret
+  kCount,
+};
+
+inline constexpr std::size_t kNumBugs = static_cast<std::size_t>(BugId::kCount);
+
+struct BugInfo {
+  BugId id{};
+  std::string_view name;        // "V1".."V7"
+  std::string_view cwe;         // CWE number from Table I
+  std::string_view core;        // which paper core carries it
+  std::string_view description; // Table I row text
+};
+
+[[nodiscard]] const BugInfo& bug_info(BugId id) noexcept;
+[[nodiscard]] std::span<const BugInfo> all_bugs() noexcept;
+
+/// Which injected bugs are active in a core instance.
+class BugSet {
+ public:
+  constexpr BugSet() = default;
+
+  [[nodiscard]] static constexpr BugSet none() noexcept { return BugSet{}; }
+  [[nodiscard]] static constexpr BugSet single(BugId id) noexcept {
+    BugSet s;
+    s.enable(id);
+    return s;
+  }
+  [[nodiscard]] static BugSet all() noexcept;
+
+  constexpr void enable(BugId id) noexcept { mask_ |= bit(id); }
+  constexpr void disable(BugId id) noexcept { mask_ &= ~bit(id); }
+  [[nodiscard]] constexpr bool enabled(BugId id) const noexcept {
+    return (mask_ & bit(id)) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return mask_ == 0; }
+
+  friend constexpr bool operator==(BugSet, BugSet) = default;
+
+ private:
+  static constexpr std::uint32_t bit(BugId id) noexcept {
+    return 1u << static_cast<unsigned>(id);
+  }
+  std::uint32_t mask_ = 0;
+};
+
+/// One activation of a bug's gated path during a test, tagged with the
+/// commit index at which its architectural effect (if any) lands.
+struct BugFiring {
+  BugId id{};
+  std::uint64_t commit_index = 0;
+
+  friend bool operator==(const BugFiring&, const BugFiring&) = default;
+};
+
+using FiringLog = std::vector<BugFiring>;
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,307 @@
+#include "soc/cache.hpp"
+
+#include <string>
+
+#include "isa/platform.hpp"
+
+namespace mabfuzz::soc {
+
+namespace {
+constexpr std::uint32_t kLruMax = 0xffffffffu;
+}  // namespace
+
+// --- InstructionCache -------------------------------------------------------
+
+InstructionCache::InstructionCache(const CacheParams& params, coverage::Context& ctx)
+    : params_(params), lines_(params.sets * params.ways) {
+  auto& reg = ctx.registry();
+  cov_hit_ = reg.add_array("icache/hit_set", params_.sets);
+  cov_miss_ = reg.add_array("icache/miss_set", params_.sets);
+  cov_evict_ = reg.add_array("icache/evict_set", params_.sets);
+  cov_fill_ = reg.add_array("icache/fill_way", params_.sets * params_.ways);
+  cov_flush_ = reg.add("icache/fencei_flush");
+}
+
+void InstructionCache::reset() noexcept {
+  for (Line& line : lines_) {
+    line = Line{};
+  }
+  lru_clock_ = 0;
+}
+
+bool InstructionCache::access(std::uint64_t addr, coverage::Context& ctx) {
+  const std::uint64_t line_no = addr / params_.line_bytes;
+  const unsigned set = static_cast<unsigned>(line_no % params_.sets);
+  const std::uint64_t tag = line_no / params_.sets;
+  Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+
+  ++lru_clock_;
+  for (unsigned w = 0; w < params_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = lru_clock_;
+      ctx.hit(cov_hit_, set);
+      return true;
+    }
+  }
+  ctx.hit(cov_miss_, set);
+
+  // Choose the LRU victim.
+  unsigned victim = 0;
+  std::uint32_t oldest = kLruMax;
+  for (unsigned w = 0; w < params_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      oldest = 0;
+      break;
+    }
+    if (base[w].lru < oldest) {
+      oldest = base[w].lru;
+      victim = w;
+    }
+  }
+  if (base[victim].valid) {
+    ctx.hit(cov_evict_, set);
+  }
+  base[victim] = Line{true, tag, lru_clock_};
+  ctx.hit(cov_fill_, static_cast<std::size_t>(set) * params_.ways + victim);
+  return false;
+}
+
+void InstructionCache::invalidate_all(coverage::Context& ctx) noexcept {
+  for (Line& line : lines_) {
+    line.valid = false;
+  }
+  ctx.hit(cov_flush_);
+}
+
+// --- DataCache --------------------------------------------------------------
+
+DataCache::DataCache(const CacheParams& params, coverage::Context& ctx)
+    : params_(params), lines_(params.sets * params.ways) {
+  for (Line& line : lines_) {
+    line.data.resize(params_.line_bytes, 0);
+  }
+  auto& reg = ctx.registry();
+  cov_read_hit_ = reg.add_array("dcache/read_hit_set", params_.sets);
+  cov_read_miss_ = reg.add_array("dcache/read_miss_set", params_.sets);
+  cov_write_hit_ = reg.add_array("dcache/write_hit_set", params_.sets);
+  cov_write_miss_ = reg.add_array("dcache/write_miss_set", params_.sets);
+  cov_dirty_evict_ = reg.add_array("dcache/dirty_evict_set", params_.sets);
+  cov_fill_ = reg.add_array("dcache/fill_way", params_.sets * params_.ways);
+  cov_flush_dirty_ = reg.add("dcache/flush_dirty_line");
+  cov_wb_busy_ = reg.add("dcache/writeback_buffer_busy");
+}
+
+void DataCache::reset() noexcept {
+  for (Line& line : lines_) {
+    line.valid = false;
+    line.dirty = false;
+    line.tag = 0;
+    line.lru = 0;
+  }
+  lru_clock_ = 0;
+  wb_buffer_busy_ = 0;
+}
+
+unsigned DataCache::set_index(std::uint64_t addr) const noexcept {
+  return static_cast<unsigned>((addr / params_.line_bytes) % params_.sets);
+}
+
+std::uint64_t DataCache::line_addr(std::uint64_t addr) const noexcept {
+  return addr & ~static_cast<std::uint64_t>(params_.line_bytes - 1);
+}
+
+DataCache::Line* DataCache::find(std::uint64_t addr) noexcept {
+  const std::uint64_t line_no = addr / params_.line_bytes;
+  const unsigned set = static_cast<unsigned>(line_no % params_.sets);
+  const std::uint64_t tag = line_no / params_.sets;
+  Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+  for (unsigned w = 0; w < params_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const DataCache::Line* DataCache::find(std::uint64_t addr) const noexcept {
+  return const_cast<DataCache*>(this)->find(addr);
+}
+
+void DataCache::write_line_back(Line& line, unsigned set, golden::Memory& memory,
+                                coverage::Context& ctx, bool allow_drop,
+                                AccessOutcome& outcome) {
+  const std::uint64_t addr =
+      (line.tag * params_.sets + set) * params_.line_bytes;
+  outcome.dirty_eviction = true;
+  ctx.hit(cov_dirty_evict_, set);
+  if (wb_buffer_busy_ > 0) {
+    ctx.hit(cov_wb_busy_);
+  }
+
+  // Bug V4: the writeback path's bank decoder mishandles addresses whose
+  // bits [7:6] are both set, aliasing the line into a non-existent bank;
+  // such writebacks are silently dropped and DRAM keeps the stale data —
+  // an undetected coherency violation between the L1 and DRAM.
+  if (allow_drop && (addr & 0xC0) == 0xC0) {
+    outcome.writeback_dropped = true;
+    wb_buffer_busy_ = 3;
+    return;
+  }
+  for (unsigned i = 0; i < params_.line_bytes; ++i) {
+    memory.store(addr + i, line.data[i], 1);
+  }
+  wb_buffer_busy_ = 3;
+}
+
+unsigned DataCache::evict_and_fill(std::uint64_t addr, golden::Memory& memory,
+                                   coverage::Context& ctx,
+                                   bool drop_writeback_when_busy,
+                                   AccessOutcome& outcome) {
+  const std::uint64_t line_no = addr / params_.line_bytes;
+  const unsigned set = static_cast<unsigned>(line_no % params_.sets);
+  const std::uint64_t tag = line_no / params_.sets;
+  Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+
+  unsigned victim = 0;
+  std::uint32_t oldest = kLruMax;
+  for (unsigned w = 0; w < params_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      oldest = 0;
+      break;
+    }
+    if (base[w].lru < oldest) {
+      oldest = base[w].lru;
+      victim = w;
+    }
+  }
+  Line& line = base[victim];
+  if (line.valid && line.dirty) {
+    write_line_back(line, set, memory, ctx, drop_writeback_when_busy, outcome);
+  }
+
+  // Fill from DRAM.
+  const std::uint64_t fill_addr = line_addr(addr);
+  for (unsigned i = 0; i < params_.line_bytes; ++i) {
+    const auto byte = memory.load(fill_addr + i, 1);
+    line.data[i] = byte ? static_cast<std::uint8_t>(*byte) : 0;
+  }
+  line.valid = true;
+  line.dirty = false;
+  line.tag = tag;
+  line.lru = lru_clock_;
+  ctx.hit(cov_fill_, static_cast<std::size_t>(set) * params_.ways + victim);
+  return victim;
+}
+
+DataCache::AccessOutcome DataCache::load(std::uint64_t addr, unsigned bytes,
+                                         golden::Memory& memory,
+                                         coverage::Context& ctx,
+                                         bool drop_writeback_when_busy) {
+  addr &= isa::kPhysAddrMask;  // canonical 32-bit physical bus address
+  AccessOutcome outcome;
+  if (!memory.contains(addr, bytes)) {
+    return outcome;  // unmapped: the LSU raises (or V5-suppresses) the fault
+  }
+  outcome.ok = true;
+  const unsigned set = set_index(addr);
+  ++lru_clock_;
+  if (wb_buffer_busy_ > 0) {
+    --wb_buffer_busy_;
+  }
+
+  Line* line = find(addr);
+  if (line != nullptr) {
+    outcome.hit = true;
+    line->lru = lru_clock_;
+    ctx.hit(cov_read_hit_, set);
+  } else {
+    ctx.hit(cov_read_miss_, set);
+    const unsigned way = evict_and_fill(addr, memory, ctx,
+                                        drop_writeback_when_busy, outcome);
+    line = &lines_[static_cast<std::size_t>(set) * params_.ways + way];
+  }
+
+  const unsigned offset = static_cast<unsigned>(addr % params_.line_bytes);
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    value |= static_cast<std::uint64_t>(line->data[offset + i]) << (8 * i);
+  }
+  outcome.value = value;
+  return outcome;
+}
+
+DataCache::AccessOutcome DataCache::store(std::uint64_t addr, std::uint64_t value,
+                                          unsigned bytes, golden::Memory& memory,
+                                          coverage::Context& ctx,
+                                          bool drop_writeback_when_busy) {
+  addr &= isa::kPhysAddrMask;
+  AccessOutcome outcome;
+  if (!memory.contains(addr, bytes)) {
+    return outcome;
+  }
+  outcome.ok = true;
+  const unsigned set = set_index(addr);
+  ++lru_clock_;
+  if (wb_buffer_busy_ > 0) {
+    --wb_buffer_busy_;
+  }
+
+  Line* line = find(addr);
+  if (line != nullptr) {
+    outcome.hit = true;
+    line->lru = lru_clock_;
+    ctx.hit(cov_write_hit_, set);
+  } else {
+    ctx.hit(cov_write_miss_, set);
+    const unsigned way = evict_and_fill(addr, memory, ctx,
+                                        drop_writeback_when_busy, outcome);
+    line = &lines_[static_cast<std::size_t>(set) * params_.ways + way];
+  }
+
+  const unsigned offset = static_cast<unsigned>(addr % params_.line_bytes);
+  for (unsigned i = 0; i < bytes; ++i) {
+    line->data[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  line->dirty = true;
+  return outcome;
+}
+
+std::optional<std::uint64_t> DataCache::snoop(std::uint64_t addr,
+                                              unsigned bytes) const noexcept {
+  addr &= isa::kPhysAddrMask;
+  const Line* line = find(addr);
+  if (line == nullptr) {
+    return std::nullopt;
+  }
+  const unsigned offset = static_cast<unsigned>(addr % params_.line_bytes);
+  if (offset + bytes > params_.line_bytes) {
+    return std::nullopt;  // crosses the line; let DRAM serve it
+  }
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    value |= static_cast<std::uint64_t>(line->data[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+void DataCache::flush_all(golden::Memory& memory, coverage::Context& ctx) {
+  for (unsigned set = 0; set < params_.sets; ++set) {
+    for (unsigned w = 0; w < params_.ways; ++w) {
+      Line& line = lines_[static_cast<std::size_t>(set) * params_.ways + w];
+      if (line.valid && line.dirty) {
+        const std::uint64_t addr =
+            (line.tag * params_.sets + set) * params_.line_bytes;
+        for (unsigned i = 0; i < params_.line_bytes; ++i) {
+          memory.store(addr + i, line.data[i], 1);
+        }
+        line.dirty = false;
+        ctx.hit(cov_flush_dirty_);
+      }
+    }
+  }
+  wb_buffer_busy_ = 0;
+}
+
+}  // namespace mabfuzz::soc

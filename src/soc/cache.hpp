@@ -1,0 +1,138 @@
+#pragma once
+// Set-associative cache models for the substrate cores.
+//
+//  - InstructionCache: presence-only (tag/LRU state); instruction bytes are
+//    always served coherently from the data cache or DRAM, so self-modifying
+//    code behaves identically to the golden model. FENCE.I invalidates it.
+//  - DataCache: a true write-back, write-allocate cache with line storage.
+//    Dirty lines live in the cache until eviction; evictions write the line
+//    back to DRAM through a single-entry writeback buffer. Bug V4 drops a
+//    writeback when the buffer is busy, leaving DRAM stale.
+//
+// Coverage: each set registers hit/miss/eviction points; each (set, way)
+// registers a fill point — the replicated-structure mass that dominates
+// RTL branch coverage.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coverage/context.hpp"
+#include "golden/memory.hpp"
+
+namespace mabfuzz::soc {
+
+struct CacheParams {
+  unsigned sets = 64;
+  unsigned ways = 4;
+  unsigned line_bytes = 32;  // power of two, >= 8
+};
+
+/// Presence-only I-cache (timing + coverage).
+class InstructionCache {
+ public:
+  InstructionCache(const CacheParams& params, coverage::Context& ctx);
+
+  void reset() noexcept;
+
+  /// Looks up `addr`, allocating on miss. Returns true on hit.
+  bool access(std::uint64_t addr, coverage::Context& ctx);
+
+  /// FENCE.I: invalidate everything.
+  void invalidate_all(coverage::Context& ctx) noexcept;
+
+  [[nodiscard]] const CacheParams& params() const noexcept { return params_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint32_t lru = 0;
+  };
+
+  CacheParams params_;
+  std::vector<Line> lines_;  // sets * ways
+  std::uint32_t lru_clock_ = 0;
+
+  coverage::PointId cov_hit_ = 0;        // per set
+  coverage::PointId cov_miss_ = 0;       // per set
+  coverage::PointId cov_evict_ = 0;      // per set
+  coverage::PointId cov_fill_ = 0;       // per set*way
+  coverage::PointId cov_flush_ = 0;      // single
+};
+
+/// Write-back, write-allocate D-cache with real line storage.
+class DataCache {
+ public:
+  DataCache(const CacheParams& params, coverage::Context& ctx);
+
+  void reset() noexcept;
+
+  struct AccessOutcome {
+    bool ok = false;            // false => the physical address is unmapped
+    bool hit = false;
+    bool dirty_eviction = false;
+    bool writeback_dropped = false;  // V4 fired on this access
+    std::uint64_t value = 0;         // loads only
+  };
+
+  /// Aligned load of `bytes` (1/2/4/8). Fills on miss.
+  AccessOutcome load(std::uint64_t addr, unsigned bytes, golden::Memory& memory,
+                     coverage::Context& ctx, bool drop_writeback_when_busy);
+
+  /// Aligned store (write-allocate). The line is marked dirty; DRAM is not
+  /// updated until eviction or flush.
+  AccessOutcome store(std::uint64_t addr, std::uint64_t value, unsigned bytes,
+                      golden::Memory& memory, coverage::Context& ctx,
+                      bool drop_writeback_when_busy);
+
+  /// Coherent read for instruction fetch: returns the line-held bytes when
+  /// the line is cached (possibly dirty), nullopt to fall through to DRAM.
+  [[nodiscard]] std::optional<std::uint64_t> snoop(std::uint64_t addr,
+                                                   unsigned bytes) const noexcept;
+
+  /// FENCE / end-of-test: write back all dirty lines (never dropped).
+  void flush_all(golden::Memory& memory, coverage::Context& ctx);
+
+  [[nodiscard]] const CacheParams& params() const noexcept { return params_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+    std::uint32_t lru = 0;
+    std::vector<std::uint8_t> data;
+  };
+
+  [[nodiscard]] unsigned set_index(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::uint64_t line_addr(std::uint64_t addr) const noexcept;
+  Line* find(std::uint64_t addr) noexcept;
+  [[nodiscard]] const Line* find(std::uint64_t addr) const noexcept;
+
+  /// Selects a victim way in `set`, writing back its line if dirty.
+  /// Returns the way index; sets flags on the outcome.
+  unsigned evict_and_fill(std::uint64_t addr, golden::Memory& memory,
+                          coverage::Context& ctx, bool drop_writeback_when_busy,
+                          AccessOutcome& outcome);
+
+  void write_line_back(Line& line, unsigned set, golden::Memory& memory,
+                       coverage::Context& ctx, bool allow_drop,
+                       AccessOutcome& outcome);
+
+  CacheParams params_;
+  std::vector<Line> lines_;
+  std::uint32_t lru_clock_ = 0;
+  unsigned wb_buffer_busy_ = 0;  // accesses until the writeback buffer drains
+
+  coverage::PointId cov_read_hit_ = 0;    // per set
+  coverage::PointId cov_read_miss_ = 0;   // per set
+  coverage::PointId cov_write_hit_ = 0;   // per set
+  coverage::PointId cov_write_miss_ = 0;  // per set
+  coverage::PointId cov_dirty_evict_ = 0; // per set
+  coverage::PointId cov_fill_ = 0;        // per set*way
+  coverage::PointId cov_flush_dirty_ = 0; // single
+  coverage::PointId cov_wb_busy_ = 0;     // single: eviction hit a busy buffer
+};
+
+}  // namespace mabfuzz::soc

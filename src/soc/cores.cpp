@@ -1,0 +1,106 @@
+#include "soc/cores.hpp"
+
+namespace mabfuzz::soc {
+
+std::string_view core_name(CoreKind kind) noexcept {
+  switch (kind) {
+    case CoreKind::kCva6: return "cva6";
+    case CoreKind::kRocket: return "rocket";
+    case CoreKind::kBoom: return "boom";
+  }
+  return "?";
+}
+
+std::string_view core_display_name(CoreKind kind) noexcept {
+  switch (kind) {
+    case CoreKind::kCva6: return "CVA6";
+    case CoreKind::kRocket: return "Rocket Core";
+    case CoreKind::kBoom: return "BOOM";
+  }
+  return "?";
+}
+
+BugSet default_bugs(CoreKind kind) noexcept {
+  BugSet bugs;
+  switch (kind) {
+    case CoreKind::kCva6:
+      bugs.enable(BugId::kV1FenceIDecode);
+      bugs.enable(BugId::kV2IllegalOpExec);
+      bugs.enable(BugId::kV3ExcQueueCause);
+      bugs.enable(BugId::kV4LostWriteback);
+      bugs.enable(BugId::kV5SilentLoadFault);
+      bugs.enable(BugId::kV6CsrXValue);
+      break;
+    case CoreKind::kRocket:
+      bugs.enable(BugId::kV7EbreakInstret);
+      break;
+    case CoreKind::kBoom:
+      break;
+  }
+  return bugs;
+}
+
+PipelineParams core_params(CoreKind kind, BugSet bugs) {
+  PipelineParams p;
+  p.bugs = bugs;
+  p.name = std::string(core_name(kind));
+  switch (kind) {
+    case CoreKind::kCva6:
+      // 6-stage application-class in-order core: disabled FPU/SIMD units
+      // leave a big pre-decode coverage tail; the scaled-down write-back D$
+      // keeps real eviction pressure at 20-instruction test scale.
+      p.lanes = 1;
+      p.icache = CacheParams{32, 4, 32};
+      p.dcache = CacheParams{2, 1, 32};
+      p.predictor = PredictorParams{128};
+      p.rob_slots = 48;  // issue-queue analogue
+      p.decode = DecodeUnitParams{1, 12, 1536};
+      p.exec = ExecUnitParams{1, 24};
+      p.lsu = LsuParams{64};
+      p.identity = golden::CsrIdentity{0, 3, 1, 0};  // marchid 3 = CVA6/Ariane
+      break;
+    case CoreKind::kRocket:
+      // 5-stage in-order Rocket: mid-size caches, a large BTB dominating
+      // the replicated-structure mass.
+      p.lanes = 1;
+      p.icache = CacheParams{64, 4, 32};
+      p.dcache = CacheParams{64, 4, 32};
+      p.predictor = PredictorParams{384};
+      p.rob_slots = 0;
+      p.decode = DecodeUnitParams{1, 16, 0};
+      p.exec = ExecUnitParams{1, 32};
+      p.lsu = LsuParams{64};
+      p.identity = golden::CsrIdentity{0, 1, 1, 0};  // marchid 1 = Rocket
+      break;
+    case CoreKind::kBoom:
+      // 2-wide superscalar BOOM: duplicated decode/execute lanes and a big
+      // ROB; its coverage mass is dominated by easily-exercised datapath
+      // toggles, so coverage saturates >95% (paper Sec. IV-C).
+      p.lanes = 2;
+      p.icache = CacheParams{64, 8, 32};
+      p.dcache = CacheParams{64, 8, 32};
+      p.predictor = PredictorParams{128};
+      p.rob_slots = 96;
+      p.decode = DecodeUnitParams{2, 12, 0};
+      p.exec = ExecUnitParams{2, 24};
+      p.lsu = LsuParams{64};
+      p.identity = golden::CsrIdentity{0, 2, 1, 0};  // marchid 2 = BOOM
+      break;
+  }
+  return p;
+}
+
+PipelineParams core_params(CoreKind kind) {
+  return core_params(kind, default_bugs(kind));
+}
+
+golden::IssConfig golden_config_for(CoreKind kind) {
+  const PipelineParams p = core_params(kind, BugSet::none());
+  golden::IssConfig config;
+  config.dram_size = p.dram_size;
+  config.identity = p.identity;
+  config.instruction_budget = p.instruction_budget;
+  return config;
+}
+
+}  // namespace mabfuzz::soc

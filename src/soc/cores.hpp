@@ -1,0 +1,39 @@
+#pragma once
+// The three evaluated processor configurations. Structure sizes are chosen
+// so each core's coverage universe and saturation behaviour mirror the
+// paper's Fig. 3 axes: CVA6 carries a large hard-to-reach tail (disabled
+// FPU/SIMD pre-decode, tiny high-pressure D$), Rocket is a mid-size
+// in-order core dominated by its big BTB, and BOOM is a 2-wide superscalar
+// whose large-but-easily-exercised datapath groups saturate above 95%.
+
+#include <array>
+#include <string_view>
+
+#include "golden/iss.hpp"
+#include "soc/pipeline.hpp"
+
+namespace mabfuzz::soc {
+
+enum class CoreKind : std::uint8_t { kCva6, kRocket, kBoom };
+
+inline constexpr std::array<CoreKind, 3> kAllCores = {
+    CoreKind::kCva6, CoreKind::kRocket, CoreKind::kBoom};
+
+[[nodiscard]] std::string_view core_name(CoreKind kind) noexcept;
+[[nodiscard]] std::string_view core_display_name(CoreKind kind) noexcept;
+
+/// The injected bugs each paper core carries (Table I): V1-V6 on CVA6,
+/// V7 on Rocket, none on BOOM.
+[[nodiscard]] BugSet default_bugs(CoreKind kind) noexcept;
+
+/// Pipeline parameters for `kind` with the given bug set.
+[[nodiscard]] PipelineParams core_params(CoreKind kind, BugSet bugs);
+
+/// Convenience: parameters with the core's default (paper) bug set.
+[[nodiscard]] PipelineParams core_params(CoreKind kind);
+
+/// Golden-ISS configuration matching `kind` (identity CSRs, DRAM size,
+/// instruction budget) so the differential pair agrees on the platform.
+[[nodiscard]] golden::IssConfig golden_config_for(CoreKind kind);
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,175 @@
+#include "soc/decode_unit.hpp"
+
+#include "common/bitops.hpp"
+#include "isa/fields.hpp"
+
+namespace mabfuzz::soc {
+
+using common::bits;
+
+namespace {
+
+constexpr unsigned kConditionsPerMnemonic = 6;
+constexpr unsigned kIllegalClasses = 5;
+
+// FP/SIMD major opcodes of the disabled CVA6 FPU/SIMD units: the pre-decode
+// logic still pattern-matches them even though execution always traps.
+bool is_fp_opcode(isa::Word opcode) noexcept {
+  return opcode == 0b1010011 ||  // OP-FP
+         opcode == 0b0000111 ||  // LOAD-FP
+         opcode == 0b0100111 ||  // STORE-FP
+         opcode == 0b1000011;    // FMADD
+}
+
+unsigned illegal_class_index(isa::DecodeStatus status) noexcept {
+  switch (status) {
+    case isa::DecodeStatus::kNotCompressed: return 0;
+    case isa::DecodeStatus::kUnknownMajorOpcode: return 1;
+    case isa::DecodeStatus::kUnknownFunct3: return 2;
+    case isa::DecodeStatus::kUnknownFunct7: return 3;
+    case isa::DecodeStatus::kBadSystemEncoding: return 4;
+    case isa::DecodeStatus::kOk: break;
+  }
+  return 1;
+}
+
+}  // namespace
+
+DecodeUnit::DecodeUnit(const DecodeUnitParams& params, BugSet bugs,
+                       coverage::Context& ctx)
+    : params_(params), bugs_(bugs) {
+  auto& reg = ctx.registry();
+  const std::size_t mnems = isa::kNumMnemonics;
+  cov_mnemonic_ = reg.add_array("decode/mnemonic", params_.lanes * mnems);
+  cov_condition_ = reg.add_array("decode/condition",
+                                 params_.lanes * mnems * kConditionsPerMnemonic);
+  cov_toggle_ = reg.add_array("decode/toggle",
+                              params_.lanes * mnems * params_.toggle_buckets);
+  cov_illegal_ = reg.add_array("decode/illegal_class",
+                               params_.lanes * kIllegalClasses);
+  if (params_.fpu_predecode_points > 0) {
+    cov_fpu_ = reg.add_array("decode/fpu_predecode", params_.fpu_predecode_points);
+  }
+}
+
+bool DecodeUnit::v2_candidate(isa::Word word) noexcept {
+  // The faulty comparator sits in the OP-32 ("W"-instruction) decode rows
+  // only — the narrower trigger surface keeps V2 a mutation-depth target,
+  // like the original CVA6 bug.
+  if (isa::opcode_field(word) != 0b0111011) {
+    return false;
+  }
+  // The truncated comparator drops funct7[6] and ignores funct7[4:1]; only
+  // encodings of the form 0b10xxxx0 slip through it.
+  const isa::Word f7 = isa::funct7_field(word);
+  if ((f7 & 0b1100001) != 0b1000000) {
+    return false;
+  }
+  const isa::DecodeResult strict = isa::decode(word);
+  return strict.status == isa::DecodeStatus::kUnknownFunct7;
+}
+
+void DecodeUnit::hit_condition_points(const isa::Instruction& instr,
+                                      isa::Word word, unsigned lane,
+                                      coverage::Context& ctx) {
+  const auto m = static_cast<std::size_t>(instr.mnemonic);
+  const std::size_t cond_base =
+      (static_cast<std::size_t>(lane) * isa::kNumMnemonics + m) *
+      kConditionsPerMnemonic;
+  if (instr.rd == 0) {
+    ctx.hit(cov_condition_, cond_base + 0);
+  }
+  if (instr.rs1 == 0) {
+    ctx.hit(cov_condition_, cond_base + 1);
+  }
+  if (instr.rs1 == instr.rs2) {
+    ctx.hit(cov_condition_, cond_base + 2);
+  }
+  if (instr.imm < 0) {
+    ctx.hit(cov_condition_, cond_base + 3);
+  }
+  if (instr.imm == 0) {
+    ctx.hit(cov_condition_, cond_base + 4);
+  }
+  if (instr.rd == instr.rs1 && instr.rd != 0) {
+    ctx.hit(cov_condition_, cond_base + 5);
+  }
+
+  // Operand-field toggle mass: which decode-datapath bit pattern this
+  // encoding exercises (funct fields + low immediate bits).
+  const std::uint64_t pattern =
+      bits(word, 7, 25);  // everything above the major opcode
+  const std::size_t bucket =
+      static_cast<std::size_t>((pattern ^ (pattern >> 7) ^ (pattern >> 14)) %
+                               params_.toggle_buckets);
+  ctx.hit(cov_toggle_,
+          (static_cast<std::size_t>(lane) * isa::kNumMnemonics + m) *
+                  params_.toggle_buckets +
+              bucket);
+}
+
+DecodeUnit::Outcome DecodeUnit::decode(isa::Word word, unsigned lane,
+                                       coverage::Context& ctx) {
+  lane %= params_.lanes == 0 ? 1 : params_.lanes;
+  Outcome outcome;
+
+  // FP/SIMD pre-decode stub fires on the raw word before legality checks.
+  if (params_.fpu_predecode_points > 0 && is_fp_opcode(isa::opcode_field(word))) {
+    const std::size_t index =
+        (bits(word, 25, 7) * 41 + bits(word, 20, 5) * 5 + bits(word, 12, 3)) %
+        params_.fpu_predecode_points;
+    ctx.hit(cov_fpu_, index);
+  }
+
+  const isa::DecodeResult strict = isa::decode(word);
+  outcome.status = strict.status;
+
+  if (strict.ok()) {
+    outcome.legal = true;
+    outcome.instr = strict.instr;
+    const auto m = static_cast<std::size_t>(strict.instr.mnemonic);
+    ctx.hit(cov_mnemonic_, static_cast<std::size_t>(lane) * isa::kNumMnemonics + m);
+    hit_condition_points(strict.instr, word, lane, ctx);
+
+    // Bug V1: FENCE.I's unused rd field is routed to the register write
+    // port; an encoding with rd != 0 spuriously writes imm_i(word) to rd.
+    if (bugs_.enabled(BugId::kV1FenceIDecode) &&
+        strict.instr.mnemonic == isa::Mnemonic::kFenceI &&
+        isa::rd_field(word) != 0) {
+      outcome.v1_spurious_rd_write = true;
+      outcome.v1_rd = isa::rd_field(word);
+    }
+    return outcome;
+  }
+
+  // Bug V2: the OP/OP-32 decoder ignores the reserved funct7 bits instead
+  // of trapping, executing the nearest legal encoding.
+  if (bugs_.enabled(BugId::kV2IllegalOpExec) && v2_candidate(word)) {
+    const isa::Word f7 = isa::funct7_field(word);
+    isa::Word masked_f7 = 0;
+    if ((f7 & 0b0000001) != 0) {
+      masked_f7 = 0b0000001;  // M-extension row
+    } else if ((f7 & 0b0100000) != 0) {
+      masked_f7 = 0b0100000;  // SUB/SRA row
+    }
+    const isa::Word masked =
+        static_cast<isa::Word>((word & ~(0x7fu << 25)) | (masked_f7 << 25));
+    const isa::DecodeResult relaxed = isa::decode(masked);
+    if (relaxed.ok()) {
+      outcome.legal = true;
+      outcome.instr = relaxed.instr;
+      outcome.v2_illegal_executed = true;
+      const auto m = static_cast<std::size_t>(relaxed.instr.mnemonic);
+      ctx.hit(cov_mnemonic_,
+              static_cast<std::size_t>(lane) * isa::kNumMnemonics + m);
+      hit_condition_points(relaxed.instr, word, lane, ctx);
+      return outcome;
+    }
+  }
+
+  ctx.hit(cov_illegal_, static_cast<std::size_t>(lane) * kIllegalClasses +
+                            illegal_class_index(strict.status));
+  return outcome;
+}
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,63 @@
+#pragma once
+// The substrate core's decode stage: per-lane, per-mnemonic branch-coverage
+// instrumentation layered over the strict ISA decoder, the CVA6-style
+// FP/SIMD pre-decode stub (a large, hard-to-reach coverage tail), and the
+// decode-stage bug gates V1 (FENCE.I mis-decode) and V2 (reserved funct7
+// encodings accepted).
+
+#include <cstdint>
+
+#include "coverage/context.hpp"
+#include "isa/decoder.hpp"
+#include "soc/bugs.hpp"
+
+namespace mabfuzz::soc {
+
+struct DecodeUnitParams {
+  unsigned lanes = 1;            // superscalar width (replicates all groups)
+  unsigned toggle_buckets = 8;   // per-mnemonic operand-toggle sub-points
+  unsigned fpu_predecode_points = 0;  // 0 disables the FP/SIMD stub group
+};
+
+class DecodeUnit {
+ public:
+  DecodeUnit(const DecodeUnitParams& params, BugSet bugs, coverage::Context& ctx);
+
+  struct Outcome {
+    bool legal = false;
+    isa::Instruction instr;
+    isa::DecodeStatus status = isa::DecodeStatus::kUnknownMajorOpcode;
+    bool v1_spurious_rd_write = false;  // V1 fired: write rd := imm_i(word)
+    isa::RegIndex v1_rd = 0;
+    bool v2_illegal_executed = false;   // V2 fired: reserved encoding accepted
+  };
+
+  /// Decodes `word` in lane `lane` (callers pass commit_index % lanes).
+  Outcome decode(isa::Word word, unsigned lane, coverage::Context& ctx);
+
+  /// True when `word` sits in the OP/OP-32 space with a reserved funct7 that
+  /// the V2 gate would accept.
+  [[nodiscard]] static bool v2_candidate(isa::Word word) noexcept;
+
+  [[nodiscard]] const DecodeUnitParams& params() const noexcept { return params_; }
+
+ private:
+  void hit_condition_points(const isa::Instruction& instr, isa::Word word,
+                            unsigned lane, coverage::Context& ctx);
+
+  DecodeUnitParams params_;
+  BugSet bugs_;
+
+  // Per lane * mnemonic.
+  coverage::PointId cov_mnemonic_ = 0;
+  // Per lane * mnemonic * 6 condition sub-points.
+  coverage::PointId cov_condition_ = 0;
+  // Per lane * mnemonic * toggle_buckets.
+  coverage::PointId cov_toggle_ = 0;
+  // Per lane * decode-status (5 illegal classes).
+  coverage::PointId cov_illegal_ = 0;
+  // FP/SIMD pre-decode stub (shared across lanes).
+  coverage::PointId cov_fpu_ = 0;
+};
+
+}  // namespace mabfuzz::soc

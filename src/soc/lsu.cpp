@@ -1,0 +1,123 @@
+#include "soc/lsu.hpp"
+
+#include "common/bitops.hpp"
+
+namespace mabfuzz::soc {
+
+Lsu::Lsu(const LsuParams& params, BugSet bugs, coverage::Context& ctx)
+    : params_(params), bugs_(bugs) {
+  auto& reg = ctx.registry();
+  cov_access_ = reg.add_array("lsu/access_size_kind", 4 * 2);
+  cov_misaligned_ = reg.add_array("lsu/misaligned_size_kind", 4 * 2);
+  cov_fault_ = reg.add_array("lsu/fault_kind_side", 2 * 2);
+  cov_region_ = reg.add_array("lsu/dram_region_kind", params_.addr_regions * 2);
+  cov_sign_ = reg.add_array("lsu/signed_extend_msb", 4);
+}
+
+std::size_t Lsu::size_index(unsigned bytes) const noexcept {
+  switch (bytes) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    default: return 3;
+  }
+}
+
+void Lsu::hit_region(std::uint64_t addr, bool is_store,
+                     coverage::Context& ctx) noexcept {
+  addr &= isa::kPhysAddrMask;
+  if (addr < isa::kDramBase) {
+    return;
+  }
+  const std::uint64_t offset = addr - isa::kDramBase;
+  const std::size_t region =
+      static_cast<std::size_t>((offset >> 12) % params_.addr_regions);
+  ctx.hit(cov_region_, region * 2 + (is_store ? 1 : 0));
+}
+
+Lsu::Outcome Lsu::load(const isa::InstrSpec& spec, std::uint64_t addr,
+                       DataCache& dcache, golden::Memory& memory,
+                       coverage::Context& ctx) {
+  Outcome out;
+  const unsigned bytes = spec.access_bytes;
+  const std::size_t si = size_index(bytes);
+
+  if (bytes > 1 && (addr & (bytes - 1)) != 0) {
+    ctx.hit(cov_misaligned_, si * 2);
+    out.trap = true;
+    out.cause = isa::TrapCause::kLoadAddrMisaligned;
+    out.tval = addr;
+    return out;
+  }
+
+  const auto access = dcache.load(addr, bytes, memory, ctx,
+                                  bugs_.enabled(BugId::kV4LostWriteback));
+  if (!access.ok) {
+    // Unmapped physical address.
+    if (bugs_.enabled(BugId::kV5SilentLoadFault)) {
+      // Bug V5: the bus returns zero and the fault is never raised.
+      out.v5_fired = true;
+      out.value = 0;
+      ctx.hit(cov_fault_, 0 * 2 + ((addr & isa::kPhysAddrMask) < isa::kDramBase ? 0 : 1));
+      return out;
+    }
+    ctx.hit(cov_fault_, 0 * 2 + ((addr & isa::kPhysAddrMask) < isa::kDramBase ? 0 : 1));
+    out.trap = true;
+    out.cause = isa::TrapCause::kLoadAccessFault;
+    out.tval = addr;
+    return out;
+  }
+
+  out.v4_fired = access.writeback_dropped;
+  ctx.hit(cov_access_, si * 2);
+  hit_region(addr, false, ctx);
+
+  std::uint64_t value = access.value;
+  if (!spec.load_unsigned) {
+    const std::uint64_t extended =
+        static_cast<std::uint64_t>(common::sign_extend(value, 8 * bytes));
+    if (extended != value) {
+      ctx.hit(cov_sign_, si);
+    }
+    value = extended;
+  }
+  out.value = value;
+  out.latency = access.hit ? 2 : 5;
+  return out;
+}
+
+Lsu::Outcome Lsu::store(const isa::InstrSpec& spec, std::uint64_t addr,
+                        std::uint64_t value, DataCache& dcache,
+                        golden::Memory& memory, coverage::Context& ctx) {
+  Outcome out;
+  const unsigned bytes = spec.access_bytes;
+  const std::size_t si = size_index(bytes);
+
+  if (bytes > 1 && (addr & (bytes - 1)) != 0) {
+    ctx.hit(cov_misaligned_, si * 2 + 1);
+    out.trap = true;
+    out.cause = isa::TrapCause::kStoreAddrMisaligned;
+    out.tval = addr;
+    return out;
+  }
+
+  const std::uint64_t truncated = value & common::low_mask(8 * bytes);
+  const auto access = dcache.store(addr, truncated, bytes, memory, ctx,
+                                   bugs_.enabled(BugId::kV4LostWriteback));
+  if (!access.ok) {
+    ctx.hit(cov_fault_, 1 * 2 + ((addr & isa::kPhysAddrMask) < isa::kDramBase ? 0 : 1));
+    out.trap = true;
+    out.cause = isa::TrapCause::kStoreAccessFault;
+    out.tval = addr;
+    return out;
+  }
+
+  out.v4_fired = access.writeback_dropped;
+  out.value = truncated;
+  ctx.hit(cov_access_, si * 2 + 1);
+  hit_region(addr, true, ctx);
+  out.latency = access.hit ? 1 : 4;
+  return out;
+}
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,56 @@
+#pragma once
+// Load/store unit: effective-address checks, D-cache access, fault
+// generation, and the memory-path bug gates V4 (lost writeback via the
+// cache) and V5 (silent load fault).
+
+#include <cstdint>
+
+#include "coverage/context.hpp"
+#include "golden/memory.hpp"
+#include "isa/opcode.hpp"
+#include "isa/platform.hpp"
+#include "soc/bugs.hpp"
+#include "soc/cache.hpp"
+
+namespace mabfuzz::soc {
+
+struct LsuParams {
+  unsigned addr_regions = 64;  // DRAM address-region toggle granularity
+};
+
+class Lsu {
+ public:
+  Lsu(const LsuParams& params, BugSet bugs, coverage::Context& ctx);
+
+  struct Outcome {
+    bool trap = false;
+    isa::TrapCause cause = isa::TrapCause::kLoadAccessFault;
+    std::uint64_t tval = 0;
+    std::uint64_t value = 0;  // loads: extended rd value; stores: stored value
+    bool v4_fired = false;
+    bool v5_fired = false;
+    unsigned latency = 2;
+  };
+
+  Outcome load(const isa::InstrSpec& spec, std::uint64_t addr, DataCache& dcache,
+               golden::Memory& memory, coverage::Context& ctx);
+
+  Outcome store(const isa::InstrSpec& spec, std::uint64_t addr,
+                std::uint64_t value, DataCache& dcache, golden::Memory& memory,
+                coverage::Context& ctx);
+
+ private:
+  [[nodiscard]] std::size_t size_index(unsigned bytes) const noexcept;
+  void hit_region(std::uint64_t addr, bool is_store, coverage::Context& ctx) noexcept;
+
+  LsuParams params_;
+  BugSet bugs_;
+
+  coverage::PointId cov_access_ = 0;      // size(4) * kind(2)
+  coverage::PointId cov_misaligned_ = 0;  // size(4) * kind(2)
+  coverage::PointId cov_fault_ = 0;       // kind(2) * side(below/above DRAM)
+  coverage::PointId cov_region_ = 0;      // addr_regions * kind(2)
+  coverage::PointId cov_sign_ = 0;        // signed-load msb-set extension (4 sizes)
+};
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,475 @@
+#include "soc/pipeline.hpp"
+
+#include "isa/encoder.hpp"
+
+namespace mabfuzz::soc {
+
+using isa::CommitRecord;
+using isa::HaltReason;
+using isa::Instruction;
+using isa::InstrClass;
+using isa::InstrSpec;
+using isa::Mnemonic;
+using isa::TrapCause;
+using isa::Word;
+
+namespace {
+constexpr unsigned kNumInstrClasses = 11;
+}  // namespace
+
+Pipeline::Pipeline(PipelineParams params)
+    : params_(std::move(params)),
+      memory_(isa::kDramBase, params_.dram_size),
+      icache_(params_.icache, ctx_),
+      dcache_(params_.dcache, ctx_),
+      predictor_(params_.predictor, ctx_),
+      scoreboard_(ctx_),
+      rob_(params_.rob_slots, ctx_),
+      csrs_(params_.identity, params_.bugs, ctx_),
+      decode_(params_.decode, params_.bugs, ctx_),
+      exec_(params_.exec, ctx_),
+      lsu_(params_.lsu, params_.bugs, ctx_) {
+  auto& reg = ctx_.registry();
+  fetch_regions_ = static_cast<unsigned>(params_.dram_size >> 12);
+  if (fetch_regions_ == 0) {
+    fetch_regions_ = 1;
+  }
+  cov_fetch_region_ = reg.add_array("pipeline/fetch_region", fetch_regions_);
+  cov_fetch_handler_ = reg.add("pipeline/fetch_in_handler");
+  cov_fetch_selfmod_ = reg.add("pipeline/fetch_from_dirty_line");
+  cov_fetch_misaligned_ = reg.add("pipeline/fetch_misaligned");
+  if (params_.lanes >= 2) {
+    cov_pair_ = reg.add_array("pipeline/issue_pair_class",
+                              kNumInstrClasses * kNumInstrClasses);
+    cov_dual_ = reg.add_array("pipeline/dual_issue_outcome", 4);
+  }
+  cov_halt_ = reg.add_array("pipeline/halt_reason", 3);
+  cov_branch_dir_ = reg.add_array("pipeline/branch_dir", 4);
+  cov_wild_jump_ = reg.add("pipeline/wild_jump");
+  // Back-to-back instruction sequences exercise distinct forwarding /
+  // unit-handoff paths: one point per (previous, current) mnemonic pair.
+  // This is the structural mass that *seed diversity* (not bit-level
+  // mutation of one lineage) is best at covering.
+  cov_seq_pair_ = reg.add_array("pipeline/seq_pair",
+                                isa::kNumMnemonics * isa::kNumMnemonics);
+  ctx_.freeze();
+}
+
+void Pipeline::cold_reset(const std::vector<Word>& program) {
+  memory_.clear();
+  memory_.write_words(isa::kHandlerBase, isa::assemble(isa::trap_handler_stub()));
+  memory_.write_words(isa::kProgramBase, program);
+  sentinel_pc_ = isa::kProgramBase + program.size() * 4;
+  memory_.store(sentinel_pc_, isa::encode_or_die(isa::jal(0, 0)), 4);
+
+  icache_.reset();
+  dcache_.reset();
+  predictor_.reset();
+  scoreboard_.reset();
+  rob_.reset();
+  csrs_.reset();
+  regs_.fill(0);
+  pc_ = isa::kProgramBase;
+  instret_ = 0;
+  cycle_ = 0;
+  have_prev_issue_ = false;
+  prev_rd_ = 0;
+  have_prev_mnemonic_ = false;
+}
+
+std::optional<Word> Pipeline::fetch_word(std::uint64_t addr,
+                                         coverage::Context& ctx) {
+  if (!memory_.contains(addr, 4)) {
+    return std::nullopt;
+  }
+  if (addr >= isa::kDramBase) {
+    const std::uint64_t offset = addr - isa::kDramBase;
+    ctx.hit(cov_fetch_region_,
+            static_cast<std::size_t>((offset >> 12) % fetch_regions_));
+  }
+  if (addr >= isa::kHandlerBase && addr < isa::kProgramBase) {
+    ctx.hit(cov_fetch_handler_);
+  }
+  // Coherent fetch: dirty D$ lines win over DRAM (unified-L2 behaviour),
+  // so self-modifying code matches the golden model.
+  if (const auto snooped = dcache_.snoop(addr, 4)) {
+    ctx.hit(cov_fetch_selfmod_);
+    return static_cast<Word>(*snooped);
+  }
+  const auto value = memory_.load(addr, 4);
+  return value ? std::optional<Word>(static_cast<Word>(*value)) : std::nullopt;
+}
+
+bool Pipeline::queued_illegal_ahead(std::uint64_t pc) {
+  for (unsigned depth = 1; depth <= 3; ++depth) {
+    const std::uint64_t addr = pc + 4 * depth;
+    if (!memory_.contains(addr, 4)) {
+      break;
+    }
+    const auto snooped = dcache_.snoop(addr, 4);
+    const auto raw = snooped ? snooped : memory_.load(addr, 4);
+    if (!raw) {
+      break;
+    }
+    const Word word = static_cast<Word>(*raw);
+    // All-zero words are frontend bubbles (uninitialised DRAM past the
+    // program image), squashed before pre-decode — they carry no exception.
+    if (word == 0) {
+      continue;
+    }
+    // Only the LSU pre-decode path tags queued exceptions early enough to
+    // race the older trap's cause: a mis-encoded LOAD/STORE major opcode.
+    const Word major = isa::opcode_field(word);
+    if ((major == 0b0000011 || major == 0b0100011) && !isa::decode(word).ok()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Pipeline::write_reg(isa::RegIndex rd, std::uint64_t value, unsigned latency,
+                         StepState& step) {
+  rd &= 0x1f;
+  if (rd == 0) {
+    return;
+  }
+  regs_[rd] = value;
+  step.record.wrote_rd = true;
+  step.record.rd = rd;
+  step.record.rd_value = value;
+  scoreboard_.mark_write(rd, cycle_ + latency, ctx_);
+}
+
+void Pipeline::note_pair_issue(InstrClass klass, bool raw_dependent,
+                               coverage::Context& ctx) {
+  if (params_.lanes < 2) {
+    return;
+  }
+  if (have_prev_issue_) {
+    const auto pair = static_cast<std::size_t>(prev_klass_) * kNumInstrClasses +
+                      static_cast<std::size_t>(klass);
+    ctx.hit(cov_pair_, pair);
+    if (raw_dependent) {
+      ctx.hit(cov_dual_, 1);  // serialised on RAW dependency
+    } else if (prev_klass_ == klass) {
+      ctx.hit(cov_dual_, 2);  // structural conflict on the same unit type
+    } else if (klass == InstrClass::kBranch || klass == InstrClass::kJump) {
+      ctx.hit(cov_dual_, 3);  // control split
+    } else {
+      ctx.hit(cov_dual_, 0);  // dual-issued
+    }
+  }
+  have_prev_issue_ = true;
+  prev_klass_ = klass;
+}
+
+RunOutput Pipeline::run(const std::vector<Word>& program) {
+  ctx_.begin_test();
+  cold_reset(program);
+
+  RunOutput out;
+  out.arch.halt = HaltReason::kBudget;
+
+  for (std::uint64_t step_count = 0; step_count < params_.instruction_budget;
+       ++step_count) {
+    if (pc_ == sentinel_pc_) {
+      out.arch.halt = HaltReason::kSentinel;
+      ctx_.hit(cov_halt_, 0);
+      break;
+    }
+    if ((pc_ & 0b11) != 0) {
+      ctx_.hit(cov_fetch_misaligned_);
+      CommitRecord record;
+      record.pc = pc_;
+      record.trapped = true;
+      record.cause = static_cast<std::uint64_t>(TrapCause::kInstrAddrMisaligned);
+      out.arch.commits.push_back(record);
+      csrs_.enter_trap(pc_, record.cause, pc_, ctx_);
+      pc_ = csrs_.mtvec();
+      cycle_ += 3;
+      continue;
+    }
+
+    const bool icache_hit = icache_.access(pc_, ctx_);
+    cycle_ += icache_hit ? 1 : 3;
+
+    const auto fetched = fetch_word(pc_, ctx_);
+    if (!fetched) {
+      out.arch.halt = HaltReason::kFetchOutOfRange;
+      ctx_.hit(cov_halt_, 1);
+      break;
+    }
+    const Word word = *fetched;
+    const unsigned lane =
+        params_.lanes == 0
+            ? 0
+            : static_cast<unsigned>(out.arch.commits.size() % params_.lanes);
+
+    StepState step;
+    step.record.pc = pc_;
+    step.record.word = word;
+    step.next_pc = pc_ + 4;
+
+    const DecodeUnit::Outcome decoded = decode_.decode(word, lane, ctx_);
+
+    // Retirement counting convention shared with the ISS; bug V7 skips the
+    // increment for EBREAK.
+    if (params_.bugs.enabled(BugId::kV7EbreakInstret) && decoded.legal &&
+        decoded.instr.mnemonic == Mnemonic::kEbreak) {
+      out.firings.push_back(BugFiring{BugId::kV7EbreakInstret,
+                                      out.arch.commits.size()});
+    } else {
+      ++instret_;
+    }
+
+    if (!decoded.legal) {
+      step.has_trap = true;
+      step.cause = TrapCause::kIllegalInstruction;
+      step.tval = word;
+    } else {
+      if (decoded.v2_illegal_executed) {
+        out.firings.push_back(BugFiring{BugId::kV2IllegalOpExec,
+                                        out.arch.commits.size()});
+      }
+      execute_instruction(decoded, word, lane, step, out);
+    }
+
+    if (decoded.legal && !step.has_trap) {
+      if (have_prev_mnemonic_) {
+        ctx_.hit(cov_seq_pair_,
+                 static_cast<std::size_t>(prev_mnemonic_) * isa::kNumMnemonics +
+                     static_cast<std::size_t>(decoded.instr.mnemonic));
+      }
+      have_prev_mnemonic_ = true;
+      prev_mnemonic_ = decoded.instr.mnemonic;
+    }
+
+    if (step.has_trap) {
+      std::uint64_t cause = static_cast<std::uint64_t>(step.cause);
+      // Bug V3: a younger pre-decode exception sitting in the fetch queue
+      // overwrites the trap cause of the older instruction.
+      const bool in_program_stream =
+          pc_ >= isa::kProgramBase && pc_ < sentinel_pc_;
+      if (params_.bugs.enabled(BugId::kV3ExcQueueCause) &&
+          step.cause != TrapCause::kIllegalInstruction && in_program_stream &&
+          queued_illegal_ahead(pc_)) {
+        cause = static_cast<std::uint64_t>(TrapCause::kIllegalInstruction);
+        out.firings.push_back(BugFiring{BugId::kV3ExcQueueCause,
+                                        out.arch.commits.size()});
+      }
+      step.record.wrote_rd = false;
+      step.record.wrote_mem = false;
+      step.record.trapped = true;
+      step.record.cause = cause;
+      csrs_.enter_trap(pc_, cause, step.tval, ctx_);
+      rob_.flush(ctx_);
+      scoreboard_.flush();
+      have_prev_issue_ = false;
+      have_prev_mnemonic_ = false;  // pipeline flush breaks the sequence
+      pc_ = csrs_.mtvec();
+      cycle_ += 4;
+    } else {
+      rob_.allocate(ctx_);
+      rob_.retire(ctx_);
+      pc_ = step.next_pc;
+      cycle_ += step.latency;
+    }
+    out.arch.commits.push_back(step.record);
+  }
+  if (out.arch.halt == HaltReason::kBudget) {
+    ctx_.hit(cov_halt_, 2);
+  }
+
+  out.arch.regs = regs_;
+  out.arch.instret = instret_;
+  out.arch.mstatus = csrs_.mstatus();
+  out.arch.mepc = csrs_.mepc();
+  out.arch.mcause = csrs_.mcause();
+  out.arch.mtval = csrs_.mtval();
+  out.arch.mtvec = csrs_.mtvec();
+  out.arch.mscratch = csrs_.mscratch();
+  out.cycles = cycle_;
+  out.test_coverage = ctx_.test_map();
+  return out;
+}
+
+void Pipeline::execute_instruction(const DecodeUnit::Outcome& decoded, Word word,
+                                   unsigned lane, StepState& step,
+                                   RunOutput& out) {
+  const Instruction& instr = decoded.instr;
+  const InstrSpec& spec = isa::spec(instr.mnemonic);
+
+  // Source-operand reads go through the scoreboard (hazard timing).
+  std::uint64_t stall = 0;
+  if (spec.reads_rs1) {
+    stall = std::max(stall, scoreboard_.check_read(instr.rs1, cycle_, ctx_));
+  }
+  if (spec.reads_rs2) {
+    stall = std::max(stall, scoreboard_.check_read(instr.rs2, cycle_, ctx_));
+  }
+  cycle_ += stall;
+
+  const bool raw_dependent =
+      have_prev_issue_ && prev_rd_ != 0 &&
+      ((spec.reads_rs1 && instr.rs1 == prev_rd_) ||
+       (spec.reads_rs2 && instr.rs2 == prev_rd_));
+  note_pair_issue(spec.klass, raw_dependent, ctx_);
+  prev_rd_ = spec.writes_rd ? instr.rd : 0;
+
+  const std::uint64_t a = reg(instr.rs1);
+  const std::uint64_t b = reg(instr.rs2);
+  const auto imm = static_cast<std::uint64_t>(instr.imm);
+
+  switch (spec.klass) {
+    case InstrClass::kAlu:
+    case InstrClass::kAluW:
+    case InstrClass::kMulDiv:
+    case InstrClass::kUpper: {
+      const ExecUnit::Result r = exec_.execute(instr, step.record.pc, a, b, lane, ctx_);
+      // Pipelined units: the instruction occupies issue for one cycle and
+      // its result becomes ready r.latency cycles later; dependent readers
+      // stall through the scoreboard, independent ones flow.
+      write_reg(instr.rd, r.value, r.latency, step);
+      step.latency = 1;
+      return;
+    }
+
+    case InstrClass::kBranch: {
+      const auto prediction = predictor_.predict(step.record.pc, ctx_);
+      const ExecUnit::Result r = exec_.execute(instr, step.record.pc, a, b, lane, ctx_);
+      const bool taken = r.value != 0;
+      const bool mispredicted = prediction.predict_taken != taken;
+      predictor_.update(step.record.pc, taken, mispredicted, ctx_);
+      ctx_.hit(cov_branch_dir_,
+               (taken ? 2u : 0u) + (instr.imm < 0 ? 1u : 0u));
+      if (taken) {
+        step.next_pc = step.record.pc + imm;
+      }
+      step.latency = mispredicted ? 4 : 1;
+      return;
+    }
+
+    case InstrClass::kJump: {
+      const ExecUnit::Result r = exec_.execute(instr, step.record.pc, a, b, lane, ctx_);
+      write_reg(instr.rd, r.value, 1, step);
+      step.next_pc = instr.mnemonic == Mnemonic::kJal
+                         ? step.record.pc + imm
+                         : ((a + imm) & ~1ULL);
+      if (step.next_pc < isa::kProgramBase || step.next_pc > sentinel_pc_) {
+        ctx_.hit(cov_wild_jump_);
+      }
+      step.latency = 2;
+      return;
+    }
+
+    case InstrClass::kLoad: {
+      const Lsu::Outcome r = lsu_.load(spec, a + imm, dcache_, memory_, ctx_);
+      if (r.v5_fired) {
+        out.firings.push_back(BugFiring{BugId::kV5SilentLoadFault,
+                                        out.arch.commits.size()});
+      }
+      if (r.v4_fired) {
+        out.firings.push_back(BugFiring{BugId::kV4LostWriteback,
+                                        out.arch.commits.size()});
+      }
+      if (r.trap) {
+        step.has_trap = true;
+        step.cause = r.cause;
+        step.tval = r.tval;
+        return;
+      }
+      write_reg(instr.rd, r.value, r.latency, step);
+      step.latency = r.latency;
+      return;
+    }
+
+    case InstrClass::kStore: {
+      const Lsu::Outcome r = lsu_.store(spec, a + imm, b, dcache_, memory_, ctx_);
+      if (r.v4_fired) {
+        out.firings.push_back(BugFiring{BugId::kV4LostWriteback,
+                                        out.arch.commits.size()});
+      }
+      if (r.trap) {
+        step.has_trap = true;
+        step.cause = r.cause;
+        step.tval = r.tval;
+        return;
+      }
+      step.record.wrote_mem = true;
+      step.record.mem_addr = a + imm;
+      step.record.mem_value = r.value;
+      step.record.mem_bytes = spec.access_bytes;
+      step.latency = r.latency;
+      return;
+    }
+
+    case InstrClass::kFence: {
+      if (instr.mnemonic == Mnemonic::kFenceI) {
+        icache_.invalidate_all(ctx_);
+        dcache_.flush_all(memory_, ctx_);
+        // Bug V1: the unused rd field of FENCE.I drives the register write
+        // port with the decoded I-immediate.
+        if (decoded.v1_spurious_rd_write) {
+          out.firings.push_back(BugFiring{BugId::kV1FenceIDecode,
+                                          out.arch.commits.size()});
+          write_reg(decoded.v1_rd, static_cast<std::uint64_t>(isa::imm_i(word)),
+                    1, step);
+        }
+        step.latency = 6;
+      } else {
+        dcache_.flush_all(memory_, ctx_);
+        step.latency = 4;
+      }
+      return;
+    }
+
+    case InstrClass::kSystem: {
+      switch (instr.mnemonic) {
+        case Mnemonic::kEcall:
+          step.has_trap = true;
+          step.cause = TrapCause::kEcallFromM;
+          step.tval = 0;
+          return;
+        case Mnemonic::kEbreak:
+          step.has_trap = true;
+          step.cause = TrapCause::kBreakpoint;
+          step.tval = step.record.pc;
+          return;
+        case Mnemonic::kMret:
+          step.next_pc = csrs_.take_mret(ctx_);
+          step.latency = 3;
+          return;
+        default:  // WFI: no interrupt sources, acts as a NOP
+          step.latency = 1;
+          return;
+      }
+    }
+
+    case InstrClass::kCsr: {
+      const bool imm_form = instr.mnemonic == Mnemonic::kCsrrwi ||
+                            instr.mnemonic == Mnemonic::kCsrrsi ||
+                            instr.mnemonic == Mnemonic::kCsrrci;
+      const std::uint64_t operand = imm_form ? (instr.rs1 & 0x1f) : a;
+      const bool write_form = instr.mnemonic == Mnemonic::kCsrrw ||
+                              instr.mnemonic == Mnemonic::kCsrrwi;
+      const bool performs_write = write_form || instr.rs1 != 0;
+      const CsrUnit::AccessOutcome r =
+          csrs_.access(instr, operand, write_form, performs_write, instret_, ctx_);
+      if (r.v6_fired) {
+        out.firings.push_back(BugFiring{BugId::kV6CsrXValue,
+                                        out.arch.commits.size()});
+      }
+      if (r.illegal) {
+        step.has_trap = true;
+        step.cause = TrapCause::kIllegalInstruction;
+        step.tval = word;
+        return;
+      }
+      write_reg(instr.rd, r.old_value, 1, step);
+      step.latency = 2;
+      return;
+    }
+  }
+}
+
+}  // namespace mabfuzz::soc

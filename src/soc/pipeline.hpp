@@ -1,0 +1,152 @@
+#pragma once
+// The substrate hart: a cycle-annotated, coverage-instrumented pipeline
+// that executes one bare-metal test and emits (a) the architectural commit
+// trace the differential oracle compares against the golden ISS, (b) the
+// per-test branch-coverage bitmap, and (c) the injected-bug firing log.
+//
+// With an empty BugSet the pipeline is architecturally bit-equivalent to
+// golden::Iss (proven by the integration test suite on random programs).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coverage/context.hpp"
+#include "golden/csr.hpp"
+#include "golden/memory.hpp"
+#include "isa/commit.hpp"
+#include "isa/platform.hpp"
+#include "soc/bugs.hpp"
+#include "soc/cache.hpp"
+#include "soc/csr_unit.hpp"
+#include "soc/decode_unit.hpp"
+#include "soc/exec_unit.hpp"
+#include "soc/lsu.hpp"
+#include "soc/predictor.hpp"
+#include "soc/rob.hpp"
+#include "soc/scoreboard.hpp"
+
+namespace mabfuzz::soc {
+
+struct PipelineParams {
+  std::string name = "core";
+  unsigned lanes = 1;
+  CacheParams icache{};
+  CacheParams dcache{};
+  PredictorParams predictor{};
+  unsigned rob_slots = 0;
+  DecodeUnitParams decode{};
+  ExecUnitParams exec{};
+  LsuParams lsu{};
+  golden::CsrIdentity identity{};
+  BugSet bugs{};
+  std::uint64_t dram_size = isa::kDramSizeDefault;
+  std::uint64_t instruction_budget = isa::kDefaultInstructionBudget;
+};
+
+/// Everything one test execution produces.
+struct RunOutput {
+  isa::ArchResult arch;
+  coverage::Map test_coverage;
+  FiringLog firings;
+  std::uint64_t cycles = 0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineParams params);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Runs one test program from a cold reset.
+  [[nodiscard]] RunOutput run(const std::vector<isa::Word>& program);
+
+  [[nodiscard]] const PipelineParams& params() const noexcept { return params_; }
+  [[nodiscard]] const coverage::Registry& registry() const noexcept {
+    return ctx_.registry();
+  }
+  [[nodiscard]] std::size_t coverage_universe() const noexcept {
+    return ctx_.universe();
+  }
+
+ private:
+  struct StepState {
+    isa::CommitRecord record;
+    std::uint64_t next_pc = 0;
+    bool has_trap = false;
+    isa::TrapCause cause = isa::TrapCause::kIllegalInstruction;
+    std::uint64_t tval = 0;
+    unsigned latency = 1;
+  };
+
+  void cold_reset(const std::vector<isa::Word>& program);
+
+  /// Coherent instruction fetch (D$ snoop, then DRAM).
+  [[nodiscard]] std::optional<isa::Word> fetch_word(std::uint64_t addr,
+                                                    coverage::Context& ctx);
+
+  /// Bug V3 helper: does the 3-deep prefetch queue beyond `pc` hold a word
+  /// that fails pre-decode?
+  [[nodiscard]] bool queued_illegal_ahead(std::uint64_t pc);
+
+  void execute_instruction(const DecodeUnit::Outcome& decoded, isa::Word word,
+                           unsigned lane, StepState& step, RunOutput& out);
+
+  void write_reg(isa::RegIndex rd, std::uint64_t value, unsigned latency,
+                 StepState& step);
+
+  [[nodiscard]] std::uint64_t reg(isa::RegIndex index) const noexcept {
+    return regs_[index & 0x1f];
+  }
+
+  void note_pair_issue(isa::InstrClass klass, bool raw_dependent,
+                       coverage::Context& ctx);
+
+  PipelineParams params_;
+  coverage::Context ctx_;
+
+  golden::Memory memory_;
+  InstructionCache icache_;
+  DataCache dcache_;
+  BranchPredictor predictor_;
+  Scoreboard scoreboard_;
+  ReorderBuffer rob_;
+  CsrUnit csrs_;
+  DecodeUnit decode_;
+  ExecUnit exec_;
+  Lsu lsu_;
+
+  // Architectural state.
+  std::array<std::uint64_t, isa::kNumRegs> regs_{};
+  std::uint64_t pc_ = 0;
+  std::uint64_t instret_ = 0;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t sentinel_pc_ = 0;
+
+  // Pair-issue tracking (superscalar front end).
+  bool have_prev_issue_ = false;
+  isa::InstrClass prev_klass_{};
+  isa::RegIndex prev_rd_ = 0;
+
+  // Instruction-sequence tracking (forwarding-path cross coverage).
+  bool have_prev_mnemonic_ = false;
+  isa::Mnemonic prev_mnemonic_{};
+
+  // Pipeline-level coverage points.
+  coverage::PointId cov_fetch_region_ = 0;   // per 4 KiB DRAM region
+  coverage::PointId cov_fetch_handler_ = 0;
+  coverage::PointId cov_fetch_selfmod_ = 0;  // fetch served by dirty D$ line
+  coverage::PointId cov_fetch_misaligned_ = 0;
+  coverage::PointId cov_pair_ = 0;           // lanes>=2: class x class issue pairs
+  coverage::PointId cov_dual_ = 0;           // lanes>=2: 4 dual-issue outcomes
+  coverage::PointId cov_halt_ = 0;           // 3 halt reasons
+  coverage::PointId cov_branch_dir_ = 0;     // taken/not x fwd/bwd
+  coverage::PointId cov_wild_jump_ = 0;      // control flow left program image
+  coverage::PointId cov_seq_pair_ = 0;       // mnemonic x mnemonic sequences
+
+  unsigned fetch_regions_ = 0;
+};
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,44 @@
+#pragma once
+// Re-order buffer occupancy model (BOOM / CVA6 issue queue analogue).
+// Tracks slot allocation/retirement round-robin and flushes on traps;
+// per-slot coverage points model the replicated ROB control logic.
+
+#include <cstdint>
+
+#include "coverage/context.hpp"
+
+namespace mabfuzz::soc {
+
+class ReorderBuffer {
+ public:
+  /// `slots` == 0 disables the structure (pure in-order cores).
+  ReorderBuffer(unsigned slots, coverage::Context& ctx);
+
+  void reset() noexcept;
+
+  /// Allocates a slot for a dispatched instruction.
+  void allocate(coverage::Context& ctx) noexcept;
+
+  /// Retires the oldest instruction.
+  void retire(coverage::Context& ctx) noexcept;
+
+  /// Trap: every occupied slot is flushed.
+  void flush(coverage::Context& ctx) noexcept;
+
+  [[nodiscard]] unsigned occupancy() const noexcept { return occupancy_; }
+  [[nodiscard]] unsigned slots() const noexcept { return slots_; }
+  [[nodiscard]] bool enabled() const noexcept { return slots_ != 0; }
+
+ private:
+  unsigned slots_;
+  unsigned head_ = 0;  // next slot to retire
+  unsigned tail_ = 0;  // next slot to allocate
+  unsigned occupancy_ = 0;
+
+  coverage::PointId cov_alloc_ = 0;   // per slot
+  coverage::PointId cov_retire_ = 0;  // per slot
+  coverage::PointId cov_flush_ = 0;   // per slot
+  coverage::PointId cov_full_ = 0;    // single: back-pressure
+};
+
+}  // namespace mabfuzz::soc

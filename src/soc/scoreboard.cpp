@@ -1,0 +1,47 @@
+#include "soc/scoreboard.hpp"
+
+namespace mabfuzz::soc {
+
+Scoreboard::Scoreboard(coverage::Context& ctx) {
+  auto& reg = ctx.registry();
+  cov_write_ = reg.add_array("scoreboard/write_reg", isa::kNumRegs);
+  cov_raw_stall_ = reg.add_array("scoreboard/raw_stall_reg", isa::kNumRegs);
+  cov_bypass_ = reg.add_array("scoreboard/bypass_reg", isa::kNumRegs);
+  cov_read_ = reg.add_array("scoreboard/read_reg", isa::kNumRegs);
+}
+
+void Scoreboard::reset() noexcept { ready_cycle_.fill(0); }
+
+void Scoreboard::mark_write(isa::RegIndex rd, std::uint64_t ready_cycle,
+                            coverage::Context& ctx) {
+  rd &= 0x1f;
+  if (rd == 0) {
+    return;
+  }
+  ready_cycle_[rd] = ready_cycle;
+  ctx.hit(cov_write_, rd);
+}
+
+std::uint64_t Scoreboard::check_read(isa::RegIndex rs, std::uint64_t now,
+                                     coverage::Context& ctx) {
+  rs &= 0x1f;
+  ctx.hit(cov_read_, rs);
+  if (rs == 0) {
+    return 0;
+  }
+  const std::uint64_t ready = ready_cycle_[rs];
+  if (ready <= now) {
+    return 0;
+  }
+  if (ready == now + 1) {
+    // One-cycle-away result: the bypass network forwards it.
+    ctx.hit(cov_bypass_, rs);
+    return 0;
+  }
+  ctx.hit(cov_raw_stall_, rs);
+  return ready - now;
+}
+
+void Scoreboard::flush() noexcept { ready_cycle_.fill(0); }
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,40 @@
+#pragma once
+// Register scoreboard: tracks in-flight writers per architectural register
+// for hazard detection (RAW stalls, bypass hits) and per-register coverage.
+
+#include <array>
+#include <cstdint>
+
+#include "coverage/context.hpp"
+#include "isa/fields.hpp"
+
+namespace mabfuzz::soc {
+
+class Scoreboard {
+ public:
+  explicit Scoreboard(coverage::Context& ctx);
+
+  void reset() noexcept;
+
+  /// Marks `rd` busy until `ready_cycle` (result latency of its producer).
+  void mark_write(isa::RegIndex rd, std::uint64_t ready_cycle,
+                  coverage::Context& ctx);
+
+  /// Checks a source read at cycle `now`. Returns the stall (0 when the
+  /// value is ready or forwarded); marks RAW/bypass coverage.
+  std::uint64_t check_read(isa::RegIndex rs, std::uint64_t now,
+                           coverage::Context& ctx);
+
+  /// Flushes all pending writers (trap / pipeline flush).
+  void flush() noexcept;
+
+ private:
+  std::array<std::uint64_t, isa::kNumRegs> ready_cycle_{};
+
+  coverage::PointId cov_write_ = 0;      // per register
+  coverage::PointId cov_raw_stall_ = 0;  // per register
+  coverage::PointId cov_bypass_ = 0;     // per register
+  coverage::PointId cov_read_ = 0;       // per register
+};
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,303 @@
+// Unit tests for the common substrate: RNG, bit ops, statistics, table
+// rendering and CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace mabfuzz::common {
+namespace {
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next() == b.next();
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256StarStar rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+  Xoshiro256StarStar rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Xoshiro256StarStar rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Xoshiro256StarStar rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolApproximatesProbability) {
+  Xoshiro256StarStar rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.next_bool(0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedSamplingFollowsWeights) {
+  Xoshiro256StarStar rng(19);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t pick = rng.next_weighted(weights);
+    ASSERT_LT(pick, 3u);
+    ++counts[pick];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedAllZeroReturnsSize) {
+  Xoshiro256StarStar rng(23);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.next_weighted(weights), weights.size());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Xoshiro256StarStar rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, DeriveSeedIsStableAndTagSensitive) {
+  const auto a1 = derive_seed(1, 0, "seedgen");
+  const auto a2 = derive_seed(1, 0, "seedgen");
+  const auto b = derive_seed(1, 0, "mutation");
+  const auto c = derive_seed(1, 1, "seedgen");
+  const auto d = derive_seed(2, 0, "seedgen");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_NE(a1, c);
+  EXPECT_NE(a1, d);
+}
+
+// --- bitops ------------------------------------------------------------------
+
+TEST(BitOps, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(12), 0xfffu);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+  EXPECT_EQ(low_mask(99), ~0ULL);
+}
+
+TEST(BitOps, BitsExtract) {
+  EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+  EXPECT_EQ(bits(0xdeadbeef, 4, 4), 0xeu);
+  EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+}
+
+TEST(BitOps, InsertBitsRoundTrip) {
+  const std::uint64_t v = insert_bits(0, 12, 8, 0xab);
+  EXPECT_EQ(bits(v, 12, 8), 0xabu);
+  EXPECT_EQ(insert_bits(v, 12, 8, 0), 0u);
+}
+
+TEST(BitOps, SignExtend) {
+  EXPECT_EQ(sign_extend(0xfff, 12), -1);
+  EXPECT_EQ(sign_extend(0x7ff, 12), 2047);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x0, 12), 0);
+  EXPECT_EQ(sign_extend(0xffffffff, 32), -1);
+}
+
+TEST(BitOps, Sext32) {
+  EXPECT_EQ(sext32(0x80000000ULL), static_cast<std::int64_t>(0xffffffff80000000ULL));
+  EXPECT_EQ(sext32(0x7fffffffULL), 0x7fffffffLL);
+}
+
+TEST(BitOps, IsAligned) {
+  EXPECT_TRUE(is_aligned(8, 4));
+  EXPECT_FALSE(is_aligned(10, 4));
+  EXPECT_TRUE(is_aligned(0, 8));
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, RunningStatsMergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, SummarizeEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+}
+
+TEST(Stats, MedianOddCount) {
+  const std::vector<double> v = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v = {1.0, 100.0};
+  EXPECT_NEAR(geometric_mean(v), 10.0, 1e-9);
+  const std::vector<double> with_zero = {0.0, 10.0};
+  EXPECT_NEAR(geometric_mean(with_zero), 10.0, 1e-9);  // zeros skipped
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "plain"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.render(os);
+  SUCCEED();  // no crash; padding handled
+}
+
+TEST(TableFormat, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(3.40, 2), "3.4");
+  EXPECT_EQ(format_double(2.00, 2), "2");
+  EXPECT_EQ(format_double(0.25, 2), "0.25");
+}
+
+TEST(TableFormat, FormatSpeedup) { EXPECT_EQ(format_speedup(3.09), "3.09x"); }
+
+TEST(TableFormat, FormatScientific) {
+  EXPECT_EQ(format_scientific(600.0), "6.00e+02");
+}
+
+// --- cli ---------------------------------------------------------------------
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--tests", "500", "--alpha=0.25", "--verbose"};
+  const CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("tests", 0), 500);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0), 0.25);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "input.txt", "--n", "3", "out.txt"};
+  const CliArgs args(5, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "out.txt");
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  const CliArgs args(3, argv);
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a", "yes", "--b", "off"};
+  const CliArgs args(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+}
+
+}  // namespace
+}  // namespace mabfuzz::common

@@ -1,0 +1,236 @@
+// Coverage infrastructure tests: registry, bitmap maps, accumulator and
+// the γ-window saturation monitor, including parameterised property-style
+// sweeps over universe sizes.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "coverage/context.hpp"
+#include "coverage/map.hpp"
+#include "coverage/monitor.hpp"
+#include "coverage/registry.hpp"
+
+namespace mabfuzz::coverage {
+namespace {
+
+// --- Registry -----------------------------------------------------------------
+
+TEST(Registry, SequentialIds) {
+  Registry reg;
+  EXPECT_EQ(reg.add("a"), 0u);
+  EXPECT_EQ(reg.add("b"), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.name(0), "a");
+}
+
+TEST(Registry, ArrayRegistration) {
+  Registry reg;
+  const PointId base = reg.add_array("cache/set", 4);
+  EXPECT_EQ(base, 0u);
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_EQ(reg.name(2), "cache/set[2]");
+}
+
+TEST(Registry, FreezeBlocksRegistration) {
+  Registry reg;
+  reg.add("x");
+  reg.freeze();
+  EXPECT_TRUE(reg.frozen());
+  EXPECT_DEATH(reg.add("y"), "");
+}
+
+// --- Map ------------------------------------------------------------------------
+
+TEST(Map, SetTestCount) {
+  Map m(100);
+  EXPECT_TRUE(m.empty());
+  m.set(0);
+  m.set(63);
+  m.set(64);
+  m.set(99);
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_TRUE(m.test(63));
+  EXPECT_FALSE(m.test(62));
+}
+
+TEST(Map, OutOfUniverseSetIsIgnored) {
+  Map m(10);
+  m.set(10);
+  m.set(9999);
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_FALSE(m.test(10));
+}
+
+TEST(Map, MergeIsUnion) {
+  Map a(70);
+  Map b(70);
+  a.set(1);
+  b.set(1);
+  b.set(65);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_TRUE(a.test(65));
+}
+
+TEST(Map, CountNewAndDifference) {
+  Map a(130);
+  Map b(130);
+  a.set(3);
+  a.set(100);
+  a.set(128);
+  b.set(100);
+  EXPECT_EQ(a.count_new(b), 2u);
+  const Map d = a.difference(b);
+  EXPECT_TRUE(d.test(3));
+  EXPECT_TRUE(d.test(128));
+  EXPECT_FALSE(d.test(100));
+  EXPECT_EQ(b.count_new(a), 0u);
+  EXPECT_TRUE(b.subset_of(a));
+  EXPECT_FALSE(a.subset_of(b));
+}
+
+TEST(Map, ClearResets) {
+  Map m(20);
+  m.set(5);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.universe(), 20u);
+}
+
+TEST(Map, EqualityIncludesUniverse) {
+  Map a(10);
+  Map b(10);
+  Map c(11);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  a.set(1);
+  EXPECT_FALSE(a == b);
+}
+
+class MapProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MapProperty, UnionCountsAreConsistent) {
+  const std::size_t universe = GetParam();
+  common::Xoshiro256StarStar rng(universe * 977 + 5);
+  for (int round = 0; round < 20; ++round) {
+    Map a(universe);
+    Map b(universe);
+    for (std::size_t i = 0; i < universe / 3 + 1; ++i) {
+      a.set(static_cast<PointId>(rng.next_index(universe)));
+      b.set(static_cast<PointId>(rng.next_index(universe)));
+    }
+    // |a ∪ b| = |b| + |a \ b|
+    Map u = b;
+    u.merge(a);
+    EXPECT_EQ(u.count(), b.count() + a.count_new(b));
+    // difference is disjoint from b
+    EXPECT_EQ(a.difference(b).count_new(b), a.difference(b).count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, MapProperty,
+                         ::testing::Values(1, 63, 64, 65, 1000, 4096, 23456));
+
+// --- Accumulator -----------------------------------------------------------------
+
+TEST(Accumulator, AbsorbReturnsFreshCount) {
+  Accumulator acc(100);
+  Map t1(100);
+  t1.set(1);
+  t1.set(2);
+  EXPECT_EQ(acc.absorb(t1), 2u);
+  Map t2(100);
+  t2.set(2);
+  t2.set(3);
+  EXPECT_EQ(acc.absorb(t2), 1u);
+  EXPECT_EQ(acc.covered(), 3u);
+}
+
+TEST(Accumulator, FractionAndUniverse) {
+  Accumulator acc(200);
+  EXPECT_DOUBLE_EQ(acc.fraction(), 0.0);
+  Map t(200);
+  for (PointId i = 0; i < 50; ++i) {
+    t.set(i);
+  }
+  acc.absorb(t);
+  EXPECT_DOUBLE_EQ(acc.fraction(), 0.25);
+  EXPECT_EQ(acc.universe(), 200u);
+}
+
+TEST(Accumulator, EmptyUniverseFractionIsZero) {
+  Accumulator acc(0);
+  EXPECT_DOUBLE_EQ(acc.fraction(), 0.0);
+}
+
+// --- Context -----------------------------------------------------------------------
+
+TEST(Context, RegistrationThenRuntime) {
+  Context ctx;
+  const PointId a = ctx.registry().add("a");
+  const PointId arr = ctx.registry().add_array("arr", 8);
+  ctx.freeze();
+  ctx.begin_test();
+  ctx.hit(a);
+  ctx.hit(arr, 5);
+  EXPECT_EQ(ctx.test_map().count(), 2u);
+  EXPECT_TRUE(ctx.test_map().test(arr + 5));
+  ctx.begin_test();
+  EXPECT_TRUE(ctx.test_map().empty());
+}
+
+// --- GammaWindowMonitor --------------------------------------------------------------
+
+TEST(Monitor, DepletesAfterGammaZeroGains) {
+  GammaWindowMonitor m(3);
+  EXPECT_FALSE(m.record(0));
+  EXPECT_FALSE(m.record(0));
+  EXPECT_TRUE(m.record(0));  // third consecutive zero
+  EXPECT_TRUE(m.depleted());
+}
+
+TEST(Monitor, GainResetsStreak) {
+  GammaWindowMonitor m(3);
+  m.record(0);
+  m.record(0);
+  EXPECT_FALSE(m.record(5));  // gain breaks the streak
+  EXPECT_EQ(m.zero_streak(), 0u);
+  m.record(0);
+  m.record(0);
+  EXPECT_TRUE(m.record(0));
+}
+
+TEST(Monitor, ResetClearsState) {
+  GammaWindowMonitor m(2);
+  m.record(0);
+  m.record(0);
+  EXPECT_TRUE(m.depleted());
+  m.reset();
+  EXPECT_FALSE(m.depleted());
+  EXPECT_EQ(m.zero_streak(), 0u);
+}
+
+TEST(Monitor, GammaZeroDisablesDepletion) {
+  GammaWindowMonitor m(0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(m.record(0));
+  }
+  EXPECT_FALSE(m.depleted());
+}
+
+class MonitorGammaSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MonitorGammaSweep, DepletesExactlyAtGamma) {
+  const std::size_t gamma = GetParam();
+  GammaWindowMonitor m(gamma);
+  for (std::size_t i = 0; i + 1 < gamma; ++i) {
+    EXPECT_FALSE(m.record(0)) << "at " << i;
+  }
+  EXPECT_TRUE(m.record(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, MonitorGammaSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 50));
+
+}  // namespace
+}  // namespace mabfuzz::coverage

@@ -1,0 +1,232 @@
+// Harness tests: session construction for every fuzzer kind, detection
+// measurement, coverage curves, the Fig. 4 speedup/increment math, the
+// parallel run driver and the report renderers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "harness/curves.hpp"
+#include "harness/detection.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace mabfuzz::harness {
+namespace {
+
+ExperimentConfig small_config(FuzzerKind kind) {
+  ExperimentConfig config;
+  config.core = soc::CoreKind::kCva6;
+  config.fuzzer = kind;
+  config.max_tests = 150;
+  return config;
+}
+
+// --- session ------------------------------------------------------------------
+
+class SessionBuild : public ::testing::TestWithParam<FuzzerKind> {};
+
+TEST_P(SessionBuild, ConstructsAndSteps) {
+  Session session(small_config(GetParam()));
+  EXPECT_FALSE(std::string(session.fuzzer().name()).empty());
+  for (int i = 0; i < 20; ++i) {
+    session.fuzzer().step();
+  }
+  EXPECT_GT(session.fuzzer().accumulated().covered(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFuzzers, SessionBuild, ::testing::ValuesIn(kAllFuzzers),
+                         [](const ::testing::TestParamInfo<FuzzerKind>& info) {
+                           std::string name(fuzzer_name(info.param));
+                           std::string out;
+                           for (const char c : name) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               out += c;
+                             }
+                           }
+                           return out;
+                         });
+
+TEST(FuzzerNames, AreDistinct) {
+  EXPECT_NE(fuzzer_name(FuzzerKind::kTheHuzz), fuzzer_name(FuzzerKind::kMabUcb));
+  EXPECT_EQ(kAllFuzzers.size(), 4u);
+  EXPECT_EQ(kMabFuzzers.size(), 3u);
+}
+
+// --- detection -------------------------------------------------------------------
+
+TEST(Detection, FindsEasyBug) {
+  ExperimentConfig config = small_config(FuzzerKind::kTheHuzz);
+  config.bugs = soc::BugSet::single(soc::BugId::kV5SilentLoadFault);
+  config.max_tests = 500;
+  const DetectionResult r =
+      measure_detection(config, soc::BugId::kV5SilentLoadFault);
+  EXPECT_TRUE(r.detected);
+  EXPECT_GT(r.tests_to_detection, 0u);
+  EXPECT_LE(r.tests_to_detection, 500u);
+}
+
+TEST(Detection, UndetectedIsCensored) {
+  ExperimentConfig config = small_config(FuzzerKind::kTheHuzz);
+  config.bugs = soc::BugSet::none();  // nothing can ever mismatch
+  config.max_tests = 50;
+  const DetectionResult r =
+      measure_detection(config, soc::BugId::kV4LostWriteback);
+  EXPECT_FALSE(r.detected);
+  EXPECT_EQ(r.tests_to_detection, 50u);
+}
+
+TEST(Detection, MultiRunAggregates) {
+  ExperimentConfig config = small_config(FuzzerKind::kMabUcb);
+  config.bugs = soc::BugSet::single(soc::BugId::kV5SilentLoadFault);
+  config.max_tests = 500;
+  const DetectionSummary s =
+      measure_detection_multi(config, soc::BugId::kV5SilentLoadFault, 3);
+  EXPECT_EQ(s.runs, 3u);
+  EXPECT_EQ(s.detected_runs, 3u);
+  EXPECT_GT(s.mean_tests, 0.0);
+  EXPECT_EQ(s.per_run_tests.size(), 3u);
+}
+
+// --- curves -----------------------------------------------------------------------
+
+TEST(Curves, MonotoneNonDecreasing) {
+  ExperimentConfig config = small_config(FuzzerKind::kTheHuzz);
+  config.max_tests = 120;
+  const CoverageCurve curve = measure_coverage(config, 10);
+  ASSERT_FALSE(curve.grid.empty());
+  for (std::size_t i = 1; i < curve.covered.size(); ++i) {
+    EXPECT_GE(curve.covered[i], curve.covered[i - 1]);
+  }
+  EXPECT_EQ(curve.grid.back(), 120u);
+  EXPECT_GT(curve.universe, 0u);
+}
+
+TEST(Curves, MultiRunAveragesOnSameGrid) {
+  ExperimentConfig config = small_config(FuzzerKind::kTheHuzz);
+  config.max_tests = 60;
+  const CoverageCurve curve = measure_coverage_multi(config, 20, 2);
+  EXPECT_EQ(curve.grid.size(), 3u);  // 20, 40, 60
+  EXPECT_GT(curve.final_covered, 0.0);
+}
+
+TEST(Curves, TestsToReach) {
+  CoverageCurve curve;
+  curve.grid = {10, 20, 30};
+  curve.covered = {5, 15, 20};
+  curve.final_covered = 20;
+  EXPECT_EQ(tests_to_reach(curve, 5), 10u);
+  EXPECT_EQ(tests_to_reach(curve, 6), 20u);
+  EXPECT_EQ(tests_to_reach(curve, 21), 0u);  // never reached
+}
+
+TEST(Curves, SpeedupMath) {
+  CoverageCurve base;
+  base.grid = {100, 200, 300};
+  base.covered = {50, 70, 80};
+  base.final_covered = 80;
+  CoverageCurve fast;
+  fast.grid = {100, 200, 300};
+  fast.covered = {80, 90, 95};
+  fast.final_covered = 95;
+  // fast reaches 80 at its first sample (100 tests): 300/100 = 3x.
+  EXPECT_DOUBLE_EQ(coverage_speedup(base, fast), 3.0);
+  // A slower candidate that never reaches the target gets < 1.
+  CoverageCurve slow;
+  slow.grid = {100, 200, 300};
+  slow.covered = {10, 20, 40};
+  slow.final_covered = 40;
+  EXPECT_LT(coverage_speedup(base, slow), 1.0);
+}
+
+TEST(Curves, IncrementPercent) {
+  CoverageCurve base;
+  base.final_covered = 1000;
+  CoverageCurve cand;
+  cand.final_covered = 1005;
+  EXPECT_NEAR(coverage_increment_percent(base, cand), 0.5, 1e-9);
+  EXPECT_NEAR(coverage_increment_percent(cand, base), -0.4975, 1e-3);
+}
+
+// --- parallel runs ------------------------------------------------------------------
+
+TEST(ParallelRuns, ExecutesAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> counts(32);
+  parallel_runs(32, [&](std::uint64_t r) { counts[r].fetch_add(1); });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ParallelRuns, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_runs(4,
+                    [&](std::uint64_t r) {
+                      if (r == 2) {
+                        throw std::runtime_error("boom");
+                      }
+                    }),
+      std::runtime_error);
+}
+
+TEST(ParallelRuns, ZeroRunsIsNoop) {
+  parallel_runs(0, [&](std::uint64_t) { FAIL(); });
+}
+
+// --- report renderers ------------------------------------------------------------------
+
+TEST(Report, Table1Renders) {
+  Table1Row row;
+  row.bug = soc::BugId::kV7EbreakInstret;
+  row.thehuzz_tests = 927;
+  row.speedup[FuzzerKind::kMabEpsilonGreedy] = 308.89;
+  row.speedup[FuzzerKind::kMabUcb] = 185.34;
+  row.speedup[FuzzerKind::kMabExp3] = 73.16;
+  std::ostringstream os;
+  render_table1(os, {row});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("V7"), std::string::npos);
+  EXPECT_NE(out.find("308.89x"), std::string::npos);
+  EXPECT_NE(out.find("CWE-1201"), std::string::npos);
+}
+
+TEST(Report, Fig3Renders) {
+  CoverageCurve curve;
+  curve.grid = {10, 20};
+  curve.covered = {100, 200};
+  curve.universe = 1000;
+  curve.final_covered = 200;
+  std::map<FuzzerKind, CoverageCurve> curves;
+  curves[FuzzerKind::kTheHuzz] = curve;
+  curves[FuzzerKind::kMabUcb] = curve;
+  std::ostringstream os;
+  render_fig3(os, "CVA6", curves);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("CVA6"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(Report, Fig4Renders) {
+  Fig4Row row;
+  row.core = "Rocket Core";
+  row.speedup[FuzzerKind::kMabExp3] = 3.05;
+  row.increment_percent[FuzzerKind::kMabExp3] = 0.68;
+  std::ostringstream os;
+  render_fig4(os, {row});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Rocket Core"), std::string::npos);
+  EXPECT_NE(out.find("3.05x"), std::string::npos);
+}
+
+TEST(Report, AsciiPlotHandlesFlatSeries) {
+  CoverageCurve curve;
+  curve.grid = {1, 2, 3};
+  curve.covered = {5, 5, 5};
+  std::ostringstream os;
+  ascii_plot(os, {{"flat", &curve}});
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace mabfuzz::harness

@@ -1,0 +1,172 @@
+// End-to-end integration tests: full fuzzing campaigns on every core with
+// every scheduler, determinism of whole campaigns, and the qualitative
+// paper properties at small scale (MABFuzz explores at least as well as
+// the static baseline; resets concentrate on depleted arms).
+
+#include <gtest/gtest.h>
+
+#include "harness/curves.hpp"
+#include "harness/detection.hpp"
+#include "harness/experiment.hpp"
+
+namespace mabfuzz::harness {
+namespace {
+
+struct CampaignCase {
+  soc::CoreKind core;
+  FuzzerKind fuzzer;
+};
+
+std::string campaign_name(const ::testing::TestParamInfo<CampaignCase>& info) {
+  std::string out(soc::core_name(info.param.core));
+  out += "_";
+  for (const char c : std::string(fuzzer_name(info.param.fuzzer))) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+class Campaign : public ::testing::TestWithParam<CampaignCase> {};
+
+TEST_P(Campaign, RunsCleanlyAndCoversDesign) {
+  ExperimentConfig config;
+  config.core = GetParam().core;
+  config.fuzzer = GetParam().fuzzer;
+  config.bugs = soc::BugSet::none();
+  config.max_tests = 200;
+  Session session(config);
+  for (std::uint64_t t = 0; t < config.max_tests; ++t) {
+    const fuzz::StepResult r = session.fuzzer().step();
+    ASSERT_FALSE(r.mismatch) << "clean core mismatched at test " << r.test_index;
+  }
+  const auto& acc = session.fuzzer().accumulated();
+  EXPECT_GT(acc.fraction(), 0.05);  // a couple hundred tests cover real ground
+  EXPECT_LT(acc.fraction(), 1.00);
+}
+
+std::vector<CampaignCase> all_campaigns() {
+  std::vector<CampaignCase> v;
+  for (const soc::CoreKind core : soc::kAllCores) {
+    for (const FuzzerKind fuzzer : kAllFuzzers) {
+      v.push_back({core, fuzzer});
+    }
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, Campaign, ::testing::ValuesIn(all_campaigns()),
+                         campaign_name);
+
+// --- determinism ------------------------------------------------------------------
+
+class CampaignDeterminism : public ::testing::TestWithParam<FuzzerKind> {};
+
+TEST_P(CampaignDeterminism, IdenticalConfigIdenticalTrajectory) {
+  auto trajectory = [&] {
+    ExperimentConfig config;
+    config.core = soc::CoreKind::kCva6;
+    config.fuzzer = GetParam();
+    config.max_tests = 120;
+    config.rng_seed = 42;
+    Session session(config);
+    std::vector<std::size_t> new_points;
+    for (std::uint64_t t = 0; t < config.max_tests; ++t) {
+      new_points.push_back(session.fuzzer().step().new_global_points);
+    }
+    new_points.push_back(session.fuzzer().accumulated().covered());
+    return new_points;
+  };
+  EXPECT_EQ(trajectory(), trajectory());
+}
+
+TEST_P(CampaignDeterminism, DifferentRunsDiffer) {
+  auto covered_for_run = [&](std::uint64_t run) {
+    ExperimentConfig config;
+    config.core = soc::CoreKind::kCva6;
+    config.fuzzer = GetParam();
+    config.max_tests = 80;
+    config.run_index = run;
+    Session session(config);
+    for (std::uint64_t t = 0; t < config.max_tests; ++t) {
+      session.fuzzer().step();
+    }
+    return session.fuzzer().accumulated().covered();
+  };
+  // Distinct repetition indices must yield distinct (decorrelated) runs.
+  EXPECT_NE(covered_for_run(0), covered_for_run(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFuzzers, CampaignDeterminism,
+                         ::testing::ValuesIn(kAllFuzzers),
+                         [](const ::testing::TestParamInfo<FuzzerKind>& info) {
+                           std::string out;
+                           for (const char c :
+                                std::string(fuzzer_name(info.param))) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               out += c;
+                             }
+                           }
+                           return out;
+                         });
+
+// --- qualitative paper properties at small scale -------------------------------------
+
+TEST(PaperProperties, MabCoverageIsCompetitiveWithBaseline) {
+  // At small scale MABFuzz must at least keep pace with TheHuzz on the
+  // hard core (the paper's CVA6 gap grows with scale).
+  ExperimentConfig base;
+  base.core = soc::CoreKind::kCva6;
+  base.max_tests = 600;
+  base.fuzzer = FuzzerKind::kTheHuzz;
+  const CoverageCurve huzz = measure_coverage_multi(base, 100, 2);
+
+  base.fuzzer = FuzzerKind::kMabUcb;
+  const CoverageCurve ucb = measure_coverage_multi(base, 100, 2);
+
+  EXPECT_GT(ucb.final_covered, 0.95 * huzz.final_covered);
+}
+
+TEST(PaperProperties, EasyBugFoundQuicklyByEveryFuzzer) {
+  for (const FuzzerKind kind : kAllFuzzers) {
+    ExperimentConfig config;
+    config.core = soc::CoreKind::kCva6;
+    config.bugs = soc::BugSet::single(soc::BugId::kV5SilentLoadFault);
+    config.fuzzer = kind;
+    config.max_tests = 400;
+    const DetectionResult r =
+        measure_detection(config, soc::BugId::kV5SilentLoadFault);
+    EXPECT_TRUE(r.detected) << fuzzer_name(kind);
+    EXPECT_LT(r.tests_to_detection, 200u) << fuzzer_name(kind);
+  }
+}
+
+TEST(PaperProperties, CleanBoomNeverMismatches) {
+  // BOOM carries no injected bugs (Table I): an entire campaign with the
+  // default bug set must stay mismatch-free.
+  ExperimentConfig config;
+  config.core = soc::CoreKind::kBoom;
+  config.bugs = soc::default_bugs(soc::CoreKind::kBoom);
+  config.fuzzer = FuzzerKind::kMabExp3;
+  config.max_tests = 150;
+  Session session(config);
+  for (std::uint64_t t = 0; t < config.max_tests; ++t) {
+    ASSERT_FALSE(session.fuzzer().step().mismatch);
+  }
+}
+
+TEST(PaperProperties, FiringsReportedOnlyWhenBugEnabled) {
+  ExperimentConfig config;
+  config.core = soc::CoreKind::kCva6;
+  config.bugs = soc::BugSet::none();
+  config.fuzzer = FuzzerKind::kTheHuzz;
+  config.max_tests = 100;
+  Session session(config);
+  for (std::uint64_t t = 0; t < config.max_tests; ++t) {
+    EXPECT_TRUE(session.fuzzer().step().firings.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mabfuzz::harness

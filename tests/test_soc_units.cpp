@@ -1,0 +1,407 @@
+// Substrate unit tests: caches (including write-back data behaviour and
+// the V4 dropped-writeback gate), branch predictor, scoreboard, ROB,
+// CSR unit and decode unit.
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+#include "coverage/context.hpp"
+#include "golden/memory.hpp"
+#include "isa/builder.hpp"
+#include "isa/encoder.hpp"
+#include "isa/platform.hpp"
+#include "soc/cache.hpp"
+#include "soc/csr_unit.hpp"
+#include "soc/decode_unit.hpp"
+#include "soc/predictor.hpp"
+#include "soc/rob.hpp"
+#include "soc/scoreboard.hpp"
+
+namespace mabfuzz::soc {
+namespace {
+
+using isa::kDramBase;
+
+// --- InstructionCache ----------------------------------------------------------
+
+class ICacheTest : public ::testing::Test {
+ protected:
+  ICacheTest() : icache_(CacheParams{4, 2, 32}, ctx_) { ctx_.freeze(); }
+  coverage::Context ctx_;
+  InstructionCache icache_;
+};
+
+TEST_F(ICacheTest, MissThenHit) {
+  ctx_.begin_test();
+  EXPECT_FALSE(icache_.access(kDramBase, ctx_));
+  EXPECT_TRUE(icache_.access(kDramBase, ctx_));
+  EXPECT_TRUE(icache_.access(kDramBase + 28, ctx_));  // same line
+  EXPECT_FALSE(icache_.access(kDramBase + 32, ctx_)); // next line
+}
+
+TEST_F(ICacheTest, LruEviction) {
+  ctx_.begin_test();
+  const std::uint64_t set_stride = 4 * 32;  // sets * line_bytes
+  icache_.access(kDramBase, ctx_);                   // way 0
+  icache_.access(kDramBase + set_stride, ctx_);      // way 1
+  icache_.access(kDramBase, ctx_);                   // touch way 0
+  icache_.access(kDramBase + 2 * set_stride, ctx_);  // evicts way 1 (LRU)
+  EXPECT_TRUE(icache_.access(kDramBase, ctx_));
+  EXPECT_FALSE(icache_.access(kDramBase + set_stride, ctx_));
+}
+
+TEST_F(ICacheTest, InvalidateAllFlushes) {
+  ctx_.begin_test();
+  icache_.access(kDramBase, ctx_);
+  icache_.invalidate_all(ctx_);
+  EXPECT_FALSE(icache_.access(kDramBase, ctx_));
+}
+
+// --- DataCache ------------------------------------------------------------------
+
+class DCacheTest : public ::testing::Test {
+ protected:
+  DCacheTest()
+      : memory_(kDramBase, 64 * 1024), dcache_(CacheParams{2, 2, 32}, ctx_) {
+    ctx_.freeze();
+    ctx_.begin_test();
+  }
+  coverage::Context ctx_;
+  golden::Memory memory_;
+  DataCache dcache_;
+};
+
+TEST_F(DCacheTest, LoadFillsFromMemory) {
+  memory_.store(kDramBase + 8, 0xabcd, 2);
+  const auto r = dcache_.load(kDramBase + 8, 2, memory_, ctx_, false);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.value, 0xabcdu);
+  const auto r2 = dcache_.load(kDramBase + 8, 2, memory_, ctx_, false);
+  EXPECT_TRUE(r2.hit);
+  EXPECT_EQ(r2.value, 0xabcdu);
+}
+
+TEST_F(DCacheTest, StoreIsWriteBack) {
+  const auto w = dcache_.store(kDramBase, 0x55, 1, memory_, ctx_, false);
+  EXPECT_TRUE(w.ok);
+  // DRAM not yet updated (write-back).
+  EXPECT_EQ(memory_.load(kDramBase, 1), 0ULL);
+  // But the cache serves the new value.
+  EXPECT_EQ(dcache_.load(kDramBase, 1, memory_, ctx_, false).value, 0x55u);
+  // Flush writes it back.
+  dcache_.flush_all(memory_, ctx_);
+  EXPECT_EQ(memory_.load(kDramBase, 1), 0x55ULL);
+}
+
+TEST_F(DCacheTest, DirtyEvictionWritesBack) {
+  const std::uint64_t set_stride = 2 * 32;
+  dcache_.store(kDramBase, 0x11, 1, memory_, ctx_, false);
+  // Fill both ways of set 0, then one more to evict the dirty line.
+  dcache_.load(kDramBase + set_stride, 1, memory_, ctx_, false);
+  const auto r = dcache_.load(kDramBase + 2 * set_stride, 1, memory_, ctx_, false);
+  EXPECT_TRUE(r.dirty_eviction);
+  EXPECT_FALSE(r.writeback_dropped);
+  EXPECT_EQ(memory_.load(kDramBase, 1), 0x11ULL);
+}
+
+TEST_F(DCacheTest, V4DropsWritebackOfAliasedLines) {
+  // kDramBase + 448 has address bits [8:6] all set: its writeback aliases
+  // into a non-existent bank and is dropped.
+  dcache_.store(kDramBase + 448, 0x22, 1, memory_, ctx_, true);  // aliased line
+  dcache_.store(kDramBase, 0x11, 1, memory_, ctx_, true);        // normal line
+  // Force both dirty set-0 lines out.
+  const auto r1 = dcache_.load(kDramBase + 64, 1, memory_, ctx_, true);
+  const auto r2 = dcache_.load(kDramBase + 128, 1, memory_, ctx_, true);
+  EXPECT_TRUE(r1.dirty_eviction);
+  EXPECT_TRUE(r1.writeback_dropped);   // +448 was LRU: dropped
+  EXPECT_TRUE(r2.dirty_eviction);
+  EXPECT_FALSE(r2.writeback_dropped);  // +0 writes back fine
+  EXPECT_EQ(memory_.load(kDramBase, 1), 0x11ULL);
+  EXPECT_EQ(memory_.load(kDramBase + 448, 1), 0x00ULL);  // stale
+}
+
+TEST_F(DCacheTest, WithoutBugAllWritebacksSurvive) {
+  const std::uint64_t set_stride = 2 * 32;
+  dcache_.store(kDramBase, 0x11, 1, memory_, ctx_, false);
+  dcache_.store(kDramBase + set_stride, 0x22, 1, memory_, ctx_, false);
+  dcache_.load(kDramBase + 2 * set_stride, 1, memory_, ctx_, false);
+  dcache_.load(kDramBase + 3 * set_stride, 1, memory_, ctx_, false);
+  EXPECT_EQ(memory_.load(kDramBase, 1), 0x11ULL);
+  EXPECT_EQ(memory_.load(kDramBase + set_stride, 1), 0x22ULL);
+}
+
+TEST_F(DCacheTest, V4FlushStillWritesBackEverything) {
+  // FENCE-initiated flushes use the full address path, not the broken
+  // writeback decoder: they are never dropped.
+  dcache_.store(kDramBase + 448, 0x33, 1, memory_, ctx_, true);  // aliased line
+  dcache_.flush_all(memory_, ctx_);
+  EXPECT_EQ(memory_.load(kDramBase + 448, 1), 0x33ULL);
+}
+
+TEST_F(DCacheTest, UnmappedAddressReported) {
+  const auto r = dcache_.load(0x1000, 4, memory_, ctx_, false);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(DCacheTest, SnoopSeesDirtyData) {
+  dcache_.store(kDramBase + 4, 0xdeadbeef, 4, memory_, ctx_, false);
+  const auto s = dcache_.snoop(kDramBase + 4, 4);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, 0xdeadbeefULL);
+  EXPECT_FALSE(dcache_.snoop(kDramBase + 4096, 4).has_value());
+}
+
+TEST_F(DCacheTest, PhysicalAliasesShareLines) {
+  const std::uint64_t alias = 0xFFFFFFFF00000000ULL | kDramBase;
+  dcache_.store(alias, 0x7f, 1, memory_, ctx_, false);
+  EXPECT_EQ(dcache_.load(kDramBase, 1, memory_, ctx_, false).value, 0x7fu);
+}
+
+// --- BranchPredictor ---------------------------------------------------------------
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  PredictorTest() : predictor_(PredictorParams{16}, ctx_) {
+    ctx_.freeze();
+    ctx_.begin_test();
+  }
+  coverage::Context ctx_;
+  BranchPredictor predictor_;
+};
+
+TEST_F(PredictorTest, ColdMiss) {
+  EXPECT_FALSE(predictor_.predict(kDramBase, ctx_).btb_hit);
+}
+
+TEST_F(PredictorTest, LearnsTakenBranch) {
+  for (int i = 0; i < 3; ++i) {
+    const auto p = predictor_.predict(kDramBase, ctx_);
+    predictor_.update(kDramBase, true, p.predict_taken != true, ctx_);
+  }
+  const auto p = predictor_.predict(kDramBase, ctx_);
+  EXPECT_TRUE(p.btb_hit);
+  EXPECT_TRUE(p.predict_taken);
+}
+
+TEST_F(PredictorTest, CounterHysteresis) {
+  // Train strongly taken, then one not-taken must not flip the prediction.
+  for (int i = 0; i < 4; ++i) {
+    predictor_.update(kDramBase, true, false, ctx_);
+  }
+  predictor_.update(kDramBase, false, true, ctx_);
+  EXPECT_TRUE(predictor_.predict(kDramBase, ctx_).predict_taken);
+}
+
+TEST_F(PredictorTest, ResetForgets) {
+  predictor_.update(kDramBase, true, false, ctx_);
+  predictor_.reset();
+  EXPECT_FALSE(predictor_.predict(kDramBase, ctx_).btb_hit);
+}
+
+// --- Scoreboard -----------------------------------------------------------------------
+
+class ScoreboardTest : public ::testing::Test {
+ protected:
+  ScoreboardTest() : sb_(ctx_) {
+    ctx_.freeze();
+    ctx_.begin_test();
+  }
+  coverage::Context ctx_;
+  Scoreboard sb_;
+};
+
+TEST_F(ScoreboardTest, ReadyRegisterNoStall) {
+  EXPECT_EQ(sb_.check_read(5, 100, ctx_), 0u);
+}
+
+TEST_F(ScoreboardTest, RawHazardStalls) {
+  sb_.mark_write(5, 110, ctx_);
+  EXPECT_EQ(sb_.check_read(5, 100, ctx_), 10u);
+}
+
+TEST_F(ScoreboardTest, BypassOneCycleAway) {
+  sb_.mark_write(5, 101, ctx_);
+  EXPECT_EQ(sb_.check_read(5, 100, ctx_), 0u);  // forwarded
+}
+
+TEST_F(ScoreboardTest, X0NeverHazards) {
+  sb_.mark_write(0, 1000, ctx_);
+  EXPECT_EQ(sb_.check_read(0, 0, ctx_), 0u);
+}
+
+TEST_F(ScoreboardTest, FlushClears) {
+  sb_.mark_write(7, 1000, ctx_);
+  sb_.flush();
+  EXPECT_EQ(sb_.check_read(7, 0, ctx_), 0u);
+}
+
+// --- ReorderBuffer ----------------------------------------------------------------------
+
+class RobTest : public ::testing::Test {
+ protected:
+  RobTest() : rob_(4, ctx_) {
+    ctx_.freeze();
+    ctx_.begin_test();
+  }
+  coverage::Context ctx_;
+  ReorderBuffer rob_;
+};
+
+TEST_F(RobTest, AllocateRetireOccupancy) {
+  rob_.allocate(ctx_);
+  rob_.allocate(ctx_);
+  EXPECT_EQ(rob_.occupancy(), 2u);
+  rob_.retire(ctx_);
+  EXPECT_EQ(rob_.occupancy(), 1u);
+}
+
+TEST_F(RobTest, FullBackpressureRetiresOldest) {
+  for (int i = 0; i < 5; ++i) {
+    rob_.allocate(ctx_);
+  }
+  EXPECT_LE(rob_.occupancy(), 4u);
+}
+
+TEST_F(RobTest, FlushEmpties) {
+  rob_.allocate(ctx_);
+  rob_.allocate(ctx_);
+  rob_.flush(ctx_);
+  EXPECT_EQ(rob_.occupancy(), 0u);
+}
+
+TEST(RobDisabled, ZeroSlotsIsNoop) {
+  coverage::Context ctx;
+  ReorderBuffer rob(0, ctx);
+  ctx.freeze();
+  ctx.begin_test();
+  rob.allocate(ctx);
+  rob.retire(ctx);
+  rob.flush(ctx);
+  EXPECT_FALSE(rob.enabled());
+  EXPECT_EQ(ctx.test_map().count(), 0u);
+}
+
+// --- CsrUnit -------------------------------------------------------------------------------
+
+class CsrUnitTest : public ::testing::Test {
+ protected:
+  CsrUnitTest() : csrs_(golden::CsrIdentity{}, BugSet::none(), ctx_) {
+    ctx_.freeze();
+    ctx_.begin_test();
+  }
+  CsrUnit::AccessOutcome do_csrrw(isa::CsrAddr addr, std::uint64_t value,
+                                  CsrUnit& unit) {
+    const isa::Instruction instr = isa::csrrw(1, addr, 2);
+    return unit.access(instr, value, /*write_form=*/true,
+                       /*performs_write=*/true, /*instret=*/1, ctx_);
+  }
+  coverage::Context ctx_;
+  CsrUnit csrs_;
+};
+
+TEST_F(CsrUnitTest, MirrorsGoldenSemantics) {
+  const auto w = do_csrrw(isa::csr::kMscratch, 0x1234, csrs_);
+  EXPECT_FALSE(w.illegal);
+  EXPECT_EQ(w.old_value, 0u);
+  EXPECT_EQ(csrs_.mscratch(), 0x1234u);
+}
+
+TEST_F(CsrUnitTest, UnimplementedIsIllegalWithoutV6) {
+  const auto r = do_csrrw(0x7C5, 1, csrs_);
+  EXPECT_TRUE(r.illegal);
+  EXPECT_FALSE(r.v6_fired);
+}
+
+TEST_F(CsrUnitTest, V6WindowMembership) {
+  EXPECT_TRUE(CsrUnit::in_v6_window(0x7C0));
+  EXPECT_TRUE(CsrUnit::in_v6_window(0x7FF));
+  EXPECT_TRUE(CsrUnit::in_v6_window(0xB10));
+  EXPECT_FALSE(CsrUnit::in_v6_window(0xB00));  // mcycle: implemented
+  EXPECT_FALSE(CsrUnit::in_v6_window(0x123));
+}
+
+TEST(CsrUnitBug, V6ReturnsXValueWithoutTrap) {
+  coverage::Context ctx;
+  CsrUnit csrs(golden::CsrIdentity{}, BugSet::single(BugId::kV6CsrXValue), ctx);
+  ctx.freeze();
+  ctx.begin_test();
+  const isa::Instruction instr = isa::csrrs(1, 0x7C5, 0);
+  const auto r = csrs.access(instr, 0, false, false, 1, ctx);
+  EXPECT_FALSE(r.illegal);
+  EXPECT_TRUE(r.v6_fired);
+  EXPECT_EQ(r.old_value, CsrUnit::x_value(0x7C5));
+  EXPECT_NE(CsrUnit::x_value(0x7C5), CsrUnit::x_value(0x7C6));
+}
+
+// --- DecodeUnit ----------------------------------------------------------------------------
+
+class DecodeUnitTest : public ::testing::Test {
+ protected:
+  DecodeUnitTest()
+      : decode_(DecodeUnitParams{1, 8, 256}, BugSet::none(), ctx_) {
+    ctx_.freeze();
+    ctx_.begin_test();
+  }
+  coverage::Context ctx_;
+  DecodeUnit decode_;
+};
+
+TEST_F(DecodeUnitTest, LegalInstructionDecodes) {
+  const auto out = decode_.decode(isa::encode_or_die(isa::addi(1, 2, 3)), 0, ctx_);
+  EXPECT_TRUE(out.legal);
+  EXPECT_EQ(out.instr.mnemonic, isa::Mnemonic::kAddi);
+  EXPECT_GT(ctx_.test_map().count(), 0u);
+}
+
+TEST_F(DecodeUnitTest, IllegalStaysIllegalWithoutBugs) {
+  isa::Word w = isa::encode_or_die(isa::add(1, 2, 3));
+  w = static_cast<isa::Word>(common::insert_bits(w, 25, 7, 0b1010000));
+  const auto out = decode_.decode(w, 0, ctx_);
+  EXPECT_FALSE(out.legal);
+  EXPECT_FALSE(out.v2_illegal_executed);
+}
+
+TEST_F(DecodeUnitTest, FpuPredecodeHitsOnFpOpcodes) {
+  ctx_.begin_test();
+  const isa::Word fp_word = 0b1010011;  // OP-FP, everything else zero
+  decode_.decode(fp_word, 0, ctx_);
+  EXPECT_GT(ctx_.test_map().count(), 0u);
+}
+
+TEST(DecodeUnitBug, V1FenceIWithRdFires) {
+  coverage::Context ctx;
+  DecodeUnit decode(DecodeUnitParams{1, 8, 0},
+                    BugSet::single(BugId::kV1FenceIDecode), ctx);
+  ctx.freeze();
+  ctx.begin_test();
+  isa::Word w = isa::encode_or_die(isa::fence_i());
+  w = isa::set_rd(w, 9);
+  const auto out = decode.decode(w, 0, ctx);
+  EXPECT_TRUE(out.legal);
+  EXPECT_TRUE(out.v1_spurious_rd_write);
+  EXPECT_EQ(out.v1_rd, 9);
+
+  // Canonical fence.i (rd = 0) must NOT fire.
+  const auto ok = decode.decode(isa::encode_or_die(isa::fence_i()), 0, ctx);
+  EXPECT_FALSE(ok.v1_spurious_rd_write);
+}
+
+TEST(DecodeUnitBug, V2ExecutesReservedFunct7) {
+  coverage::Context ctx;
+  DecodeUnit decode(DecodeUnitParams{1, 8, 0},
+                    BugSet::single(BugId::kV2IllegalOpExec), ctx);
+  ctx.freeze();
+  ctx.begin_test();
+  // ADDW with a reserved funct7 bit set (not SUBW, not MULDIV).
+  isa::Word w = isa::encode_or_die(isa::addw(3, 1, 2));
+  w = static_cast<isa::Word>(common::insert_bits(w, 25, 7, 0b1000000));
+  ASSERT_TRUE(DecodeUnit::v2_candidate(w));
+  const auto out = decode.decode(w, 0, ctx);
+  EXPECT_TRUE(out.legal);
+  EXPECT_TRUE(out.v2_illegal_executed);
+  EXPECT_EQ(out.instr.mnemonic, isa::Mnemonic::kAddw);
+}
+
+}  // namespace
+}  // namespace mabfuzz::soc
