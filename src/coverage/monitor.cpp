@@ -1,4 +1,31 @@
 #include "coverage/monitor.hpp"
 
-// GammaWindowMonitor is fully inline; this translation unit anchors the
-// module in the build so future out-of-line additions have a home.
+namespace mabfuzz::coverage {
+
+bool GammaWindowMonitor::record(std::size_t new_points) noexcept {
+  ++observations_;
+  if (gamma_ == 0) {
+    // Depletion detection disabled (Sec. III-B preliminary formulation):
+    // streaks are not even tracked, so depleted() can never fire.
+    return false;
+  }
+  if (new_points > 0) {
+    zero_streak_ = 0;
+    return false;
+  }
+  ++zero_streak_;
+  if (zero_streak_ == gamma_) {
+    // Count the crossing once; a caller that keeps pulling a depleted arm
+    // without resetting it still sees record() return true below, but the
+    // event counter only registers fresh depletions.
+    ++depletion_events_;
+  }
+  return zero_streak_ >= gamma_;
+}
+
+void GammaWindowMonitor::reset() noexcept {
+  zero_streak_ = 0;
+  observations_ = 0;
+}
+
+}  // namespace mabfuzz::coverage

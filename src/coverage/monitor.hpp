@@ -16,17 +16,7 @@ class GammaWindowMonitor {
 
   /// Records the coverage gain of one iteration in which this arm was
   /// selected. Returns true when the arm has just become depleted.
-  bool record(std::size_t new_points) noexcept {
-    if (gamma_ == 0) {
-      return false;
-    }
-    if (new_points > 0) {
-      zero_streak_ = 0;
-      return false;
-    }
-    ++zero_streak_;
-    return zero_streak_ >= gamma_;
-  }
+  bool record(std::size_t new_points) noexcept;
 
   [[nodiscard]] bool depleted() const noexcept {
     return gamma_ != 0 && zero_streak_ >= gamma_;
@@ -35,12 +25,24 @@ class GammaWindowMonitor {
   [[nodiscard]] std::size_t zero_streak() const noexcept { return zero_streak_; }
   [[nodiscard]] std::size_t gamma() const noexcept { return gamma_; }
 
+  /// Iterations recorded since construction or the last reset().
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return observations_;
+  }
+  /// How many times record() reported a fresh depletion (the streak crossing
+  /// gamma counts once; staying above it does not re-trigger).
+  [[nodiscard]] std::uint64_t depletion_events() const noexcept {
+    return depletion_events_;
+  }
+
   /// Forgets history (called when the arm is reset to a fresh seed).
-  void reset() noexcept { zero_streak_ = 0; }
+  void reset() noexcept;
 
  private:
   std::size_t gamma_;
   std::size_t zero_streak_ = 0;
+  std::uint64_t observations_ = 0;
+  std::uint64_t depletion_events_ = 0;
 };
 
 }  // namespace mabfuzz::coverage

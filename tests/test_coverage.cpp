@@ -232,5 +232,55 @@ TEST_P(MonitorGammaSweep, DepletesExactlyAtGamma) {
 INSTANTIATE_TEST_SUITE_P(Gammas, MonitorGammaSweep,
                          ::testing::Values(1, 2, 3, 5, 10, 50));
 
+TEST_P(MonitorGammaSweep, GainAtBoundaryMinusOnePreventsDepletion) {
+  // γ-1 zero-gain pulls followed by a gain must leave the arm alive: the
+  // window is a *consecutive* streak, not a moving sum.
+  const std::size_t gamma = GetParam();
+  GammaWindowMonitor m(gamma);
+  for (std::size_t i = 0; i + 1 < gamma; ++i) {
+    ASSERT_FALSE(m.record(0));
+  }
+  EXPECT_FALSE(m.record(1));
+  EXPECT_FALSE(m.depleted());
+  EXPECT_EQ(m.zero_streak(), 0u);
+  // The streak restarts from scratch: another γ-1 zeros still aren't enough.
+  for (std::size_t i = 0; i + 1 < gamma; ++i) {
+    EXPECT_FALSE(m.record(0)) << "post-gain pull " << i;
+  }
+  EXPECT_FALSE(m.depleted());
+  EXPECT_TRUE(m.record(0));
+  EXPECT_TRUE(m.depleted());
+}
+
+TEST(Monitor, DepletionEventsCountCrossingsOnce) {
+  GammaWindowMonitor m(2);
+  EXPECT_EQ(m.depletion_events(), 0u);
+  m.record(0);
+  m.record(0);  // streak crosses gamma: one event
+  EXPECT_EQ(m.depletion_events(), 1u);
+  EXPECT_TRUE(m.record(0));  // still depleted, but not a fresh event
+  EXPECT_EQ(m.depletion_events(), 1u);
+  m.reset();
+  EXPECT_FALSE(m.depleted());
+  // depletion_events survives reset() (lifetime statistic)...
+  EXPECT_EQ(m.depletion_events(), 1u);
+  m.record(0);
+  m.record(0);
+  EXPECT_EQ(m.depletion_events(), 2u);
+}
+
+TEST(Monitor, ObservationsTrackPullsAndClearOnReset) {
+  GammaWindowMonitor m(3);
+  m.record(0);
+  m.record(7);
+  m.record(0);
+  EXPECT_EQ(m.observations(), 3u);
+  m.reset();
+  EXPECT_EQ(m.observations(), 0u);
+  GammaWindowMonitor disabled(0);
+  disabled.record(0);
+  EXPECT_EQ(disabled.observations(), 1u);  // counted even when detection is off
+}
+
 }  // namespace
 }  // namespace mabfuzz::coverage

@@ -266,6 +266,101 @@ TEST(Exp3Test, SurvivesLongGreedyStreak) {
   EXPECT_GT(p[1], 0.0);
 }
 
+// --- reset_arm edge cases (Algorithms 1 & 2) -----------------------------------------------------
+
+TEST(ResetArmEdgeCases, UcbResetOfCurrentBestArmMakesItExplorationTarget) {
+  Ucb bandit(3, common::Xoshiro256StarStar(41));
+  // Make arm 2 clearly the best and pull every arm at least once.
+  for (std::size_t a = 0; a < 3; ++a) {
+    bandit.update(a, a == 2 ? 1.0 : 0.1);
+  }
+  for (int i = 0; i < 20; ++i) {
+    bandit.update(2, 1.0);
+  }
+  ASSERT_GT(bandit.q(2), bandit.q(0));
+  ASSERT_GT(bandit.q(2), bandit.q(1));
+  bandit.reset_arm(2);
+  // N(2)=0 gives the fresh arm infinite UCB bonus: it must be re-explored
+  // immediately — the behaviour Algorithm 1's modification is designed for.
+  EXPECT_EQ(bandit.n(2), 0u);
+  EXPECT_DOUBLE_EQ(bandit.q(2), 0.0);
+  EXPECT_EQ(bandit.select(), 2u);
+}
+
+TEST(ResetArmEdgeCases, EpsilonGreedyResetOfCurrentBestArmDethronesIt) {
+  EpsilonGreedy bandit(3, /*epsilon=*/0.0, common::Xoshiro256StarStar(42));
+  bandit.update(0, 0.4);
+  bandit.update(1, 0.9);
+  bandit.update(2, 0.2);
+  ASSERT_EQ(bandit.select(), 1u);
+  bandit.reset_arm(1);
+  // Q(1)=0 now trails arm 0; with epsilon=0 the greedy pick must move.
+  EXPECT_DOUBLE_EQ(bandit.q(1), 0.0);
+  EXPECT_EQ(bandit.n(1), 0u);
+  EXPECT_EQ(bandit.select(), 0u);
+}
+
+TEST(ResetArmEdgeCases, Exp3ResetOfDominantArmLevelsTheDistribution) {
+  Exp3 bandit(3, 0.1, common::Xoshiro256StarStar(43));
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t arm = bandit.select();
+    bandit.update(arm, arm == 0 ? 1.0 : 0.0);
+  }
+  ASSERT_GT(bandit.weight(0), bandit.weight(1));
+  bandit.reset_arm(0);
+  // W(0) <- mean of the survivors: no longer dominant, still positive.
+  EXPECT_NEAR(bandit.weight(0), (bandit.weight(1) + bandit.weight(2)) / 2.0,
+              1e-9);
+  const auto p = bandit.probabilities();
+  EXPECT_GT(p[0], 0.0);
+  EXPECT_LT(p[0], 0.5);
+}
+
+TEST(ResetArmEdgeCases, ResetBeforeAnyPullIsIdentity) {
+  Ucb ucb(2, common::Xoshiro256StarStar(44));
+  EpsilonGreedy eps(2, 0.1, common::Xoshiro256StarStar(45));
+  Exp3 exp3(2, 0.1, common::Xoshiro256StarStar(46));
+  ucb.reset_arm(0);
+  eps.reset_arm(0);
+  exp3.reset_arm(0);
+  EXPECT_EQ(ucb.n(0), 0u);
+  EXPECT_DOUBLE_EQ(ucb.q(0), 0.0);
+  EXPECT_EQ(eps.n(0), 0u);
+  EXPECT_DOUBLE_EQ(eps.q(0), 0.0);
+  // Fresh EXP3 weights are all 1.0; resetting one to the mean of the others
+  // must keep it at exactly 1.0.
+  EXPECT_DOUBLE_EQ(exp3.weight(0), 1.0);
+  const auto p = exp3.probabilities();
+  EXPECT_DOUBLE_EQ(p[0], p[1]);
+}
+
+TEST(ResetArmEdgeCases, OutOfRangeArmIsIgnoredByAllAlgorithms) {
+  Ucb ucb(2, common::Xoshiro256StarStar(47));
+  EpsilonGreedy eps(2, 0.1, common::Xoshiro256StarStar(48));
+  Exp3 exp3(2, 0.1, common::Xoshiro256StarStar(49));
+  ucb.update(0, 0.7);
+  eps.update(0, 0.7);
+  exp3.update(exp3.select(), 0.7);
+  const double ucb_q = ucb.q(0);
+  const double eps_q = eps.q(0);
+  const double w0 = exp3.weight(0);
+  const double w1 = exp3.weight(1);
+  for (const std::size_t bad : {std::size_t{2}, std::size_t{1000},
+                                static_cast<std::size_t>(-1)}) {
+    ucb.reset_arm(bad);
+    eps.reset_arm(bad);
+    exp3.reset_arm(bad);
+    ucb.update(bad, 1.0);
+    eps.update(bad, 1.0);
+    exp3.update(bad, 1.0);
+  }
+  // In-range state is untouched by any of the out-of-range calls.
+  EXPECT_DOUBLE_EQ(ucb.q(0), ucb_q);
+  EXPECT_DOUBLE_EQ(eps.q(0), eps_q);
+  EXPECT_DOUBLE_EQ(exp3.weight(0), w0);
+  EXPECT_DOUBLE_EQ(exp3.weight(1), w1);
+}
+
 // --- factory -------------------------------------------------------------------------------------
 
 TEST(Factory, BuildsAllAlgorithms) {
