@@ -7,20 +7,19 @@
 // Usage:
 //   ablation_alpha_gamma [--tests N] [--runs R] [--seed S]
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "harness/curves.hpp"
-#include "harness/experiment.hpp"
 
 namespace {
 
 using namespace mabfuzz;
-using harness::ExperimentConfig;
-using harness::FuzzerKind;
+using harness::CampaignConfig;
 
-double final_coverage(const ExperimentConfig& config, std::uint64_t runs) {
+double final_coverage(const CampaignConfig& config, std::uint64_t runs) {
   const auto curve = harness::measure_coverage_multi(
       config, std::max<std::uint64_t>(1, config.max_tests / 4), runs);
   return curve.final_covered;
@@ -34,10 +33,10 @@ int main(int argc, char** argv) {
   const std::uint64_t runs = args.get_uint("runs", 2);
   const std::uint64_t seed = args.get_uint("seed", 1);
 
-  ExperimentConfig base;
+  CampaignConfig base;
   base.core = soc::CoreKind::kCva6;
   base.bugs = soc::BugSet::none();
-  base.fuzzer = FuzzerKind::kMabUcb;
+  base.fuzzer = "ucb";
   base.max_tests = max_tests;
   base.rng_seed = seed;
 
@@ -47,8 +46,8 @@ int main(int argc, char** argv) {
   {
     common::Table t({"alpha", "final covered points"});
     for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-      ExperimentConfig config = base;
-      config.mab.alpha = alpha;
+      CampaignConfig config = base;
+      config.policy.alpha = alpha;
       t.add_row({common::format_double(alpha, 2),
                  common::format_double(final_coverage(config, runs), 1)});
     }
@@ -60,8 +59,8 @@ int main(int argc, char** argv) {
   {
     common::Table t({"gamma", "final covered points", "note"});
     for (const std::size_t gamma : {0UL, 1UL, 3UL, 5UL, 10UL}) {
-      ExperimentConfig config = base;
-      config.mab.gamma = gamma;
+      CampaignConfig config = base;
+      config.policy.gamma = gamma;
       t.add_row({std::to_string(gamma),
                  common::format_double(final_coverage(config, runs), 1),
                  gamma == 0 ? "no resets (preliminary formulation)" : ""});
@@ -74,8 +73,8 @@ int main(int argc, char** argv) {
   {
     common::Table t({"arms", "final covered points"});
     for (const std::size_t arms : {4UL, 10UL, 20UL}) {
-      ExperimentConfig config = base;
-      config.mab.num_arms = arms;
+      CampaignConfig config = base;
+      config.policy.bandit.num_arms = arms;
       t.add_row({std::to_string(arms),
                  common::format_double(final_coverage(config, runs), 1)});
     }
@@ -87,9 +86,9 @@ int main(int argc, char** argv) {
   {
     common::Table t({"eta", "final covered points"});
     for (const double eta : {0.01, 0.1, 0.5}) {
-      ExperimentConfig config = base;
-      config.fuzzer = FuzzerKind::kMabExp3;
-      config.eta = eta;
+      CampaignConfig config = base;
+      config.fuzzer = "exp3";
+      config.policy.bandit.eta = eta;
       t.add_row({common::format_double(eta, 2),
                  common::format_double(final_coverage(config, runs), 1)});
     }

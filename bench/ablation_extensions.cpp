@@ -2,7 +2,8 @@
 // evaluation: MAB-driven mutation-operator selection, MAB-driven seed
 // length selection, and the Thompson-sampling bandit. Baseline is
 // MABFuzz:UCB with the paper's static operator distribution and fixed
-// 20-instruction seeds, on CVA6 (the hard core).
+// 20-instruction seeds, on CVA6 (the hard core). All variants are plain
+// CampaignConfigs — the extensions are config flags, not bespoke wiring.
 //
 // Usage:
 //   ablation_extensions [--tests N] [--runs R] [--seed S]
@@ -12,10 +13,7 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/adaptive.hpp"
-#include "core/scheduler.hpp"
-#include "fuzz/backend.hpp"
-#include "harness/experiment.hpp"
+#include "harness/campaign.hpp"
 
 namespace {
 
@@ -25,46 +23,24 @@ struct Variant {
   std::string name;
   bool adaptive_ops = false;
   bool adaptive_length = false;
-  mab::Algorithm scheduler_algorithm = mab::Algorithm::kUcb;
+  std::string scheduler_policy = "ucb";
 };
 
 double run_variant(const Variant& variant, std::uint64_t tests,
                    std::uint64_t seed, std::uint64_t run) {
-  fuzz::BackendConfig backend_config;
-  backend_config.core = soc::CoreKind::kCva6;
-  backend_config.bugs = soc::BugSet::none();
-  backend_config.rng_seed = seed;
-  backend_config.rng_run = run;
+  harness::CampaignConfig config;
+  config.core = soc::CoreKind::kCva6;
+  config.bugs = soc::BugSet::none();
+  config.fuzzer = variant.scheduler_policy;
+  config.max_tests = tests;
+  config.rng_seed = seed;
+  config.run_index = run;
+  config.policy.adaptive_operators = variant.adaptive_ops;
+  config.policy.adaptive_length = variant.adaptive_length;
 
-  core::MabFuzzConfig config;
-  if (variant.adaptive_ops) {
-    mab::BanditConfig op_bandit;
-    op_bandit.num_arms = mutation::kNumOps;
-    op_bandit.epsilon = 0.15;
-    op_bandit.rng_seed = common::derive_seed(seed, run, "op-bandit");
-    backend_config.operator_policy = std::make_shared<core::MabOperatorPolicy>(
-        mab::make_bandit(mab::Algorithm::kEpsilonGreedy, op_bandit));
-  }
-  if (variant.adaptive_length) {
-    mab::BanditConfig len_bandit;
-    len_bandit.num_arms = 4;
-    len_bandit.rng_seed = common::derive_seed(seed, run, "len-bandit");
-    config.length_policy = std::make_shared<core::SeedLengthPolicy>(
-        std::vector<unsigned>{12, 20, 28, 40},
-        mab::make_bandit(mab::Algorithm::kUcb, len_bandit));
-  }
-
-  fuzz::Backend backend(backend_config);
-  mab::BanditConfig bandit_config;
-  bandit_config.num_arms = config.num_arms;
-  bandit_config.rng_seed = common::derive_seed(seed, run, "bandit");
-  core::MabScheduler scheduler(
-      backend, mab::make_bandit(variant.scheduler_algorithm, bandit_config),
-      config);
-  for (std::uint64_t t = 0; t < tests; ++t) {
-    scheduler.step();
-  }
-  return static_cast<double>(scheduler.accumulated().covered());
+  harness::Campaign campaign(config);
+  campaign.run();
+  return static_cast<double>(campaign.covered());
 }
 
 }  // namespace
@@ -76,11 +52,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 1);
 
   const std::vector<Variant> variants = {
-      {"MABFuzz:UCB (paper formulation)", false, false, mab::Algorithm::kUcb},
-      {"+ MAB operator selection", true, false, mab::Algorithm::kUcb},
-      {"+ MAB seed-length selection", false, true, mab::Algorithm::kUcb},
-      {"+ both extensions", true, true, mab::Algorithm::kUcb},
-      {"Thompson-sampling scheduler", false, false, mab::Algorithm::kThompson},
+      {"MABFuzz:UCB (paper formulation)", false, false, "ucb"},
+      {"+ MAB operator selection", true, false, "ucb"},
+      {"+ MAB seed-length selection", false, true, "ucb"},
+      {"+ both extensions", true, true, "ucb"},
+      {"Thompson-sampling scheduler", false, false, "thompson"},
   };
 
   std::cout << "=== Sec. V extensions ablation (CVA6, " << tests << " tests, "

@@ -1,13 +1,14 @@
 // Reproduces paper Fig. 3: branch coverage vs number of tests for
-// TheHuzz and the three MABFuzz variants on CVA6, Rocket Core and BOOM
-// (run-averaged curves, printed as a series table plus an ASCII plot per
-// core, the same panels as the figure).
+// TheHuzz and the MABFuzz variants (plus the Thompson extension) on CVA6,
+// Rocket Core and BOOM (run-averaged curves, printed as a series table
+// plus an ASCII plot per core, the same panels as the figure).
 //
 // Usage:
 //   fig3_coverage_curves [--tests N] [--runs R] [--samples K] [--seed S]
 //                        [--core cva6|rocket|boom] [--csv]
 // Paper scale: --tests 50000 --runs 3.
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -18,9 +19,8 @@
 namespace {
 
 using namespace mabfuzz;
+using harness::CampaignConfig;
 using harness::CoverageCurve;
-using harness::ExperimentConfig;
-using harness::FuzzerKind;
 
 }  // namespace
 
@@ -45,20 +45,20 @@ int main(int argc, char** argv) {
     if (!only_core.empty() && only_core != soc::core_name(core)) {
       continue;
     }
-    std::map<FuzzerKind, CoverageCurve> curves;
-    for (const FuzzerKind kind : harness::kAllFuzzers) {
-      ExperimentConfig config;
+    std::map<std::string, CoverageCurve> curves;
+    for (const std::string_view policy : harness::kAllPolicies) {
+      CampaignConfig config;
       config.core = core;
       config.bugs = soc::BugSet::none();  // coverage experiments: clean cores
-      config.fuzzer = kind;
+      config.fuzzer = std::string(policy);
       config.max_tests = max_tests;
       config.rng_seed = seed;
-      curves[kind] = harness::measure_coverage_multi(config, sample_every, runs);
-      for (std::size_t i = 0; i < curves[kind].grid.size(); ++i) {
-        csv_table.add_row({std::string(soc::core_name(core)),
-                           std::string(harness::fuzzer_name(kind)),
-                           std::to_string(curves[kind].grid[i]),
-                           common::format_double(curves[kind].covered[i], 1)});
+      CoverageCurve& curve = curves[std::string(policy)];
+      curve = harness::measure_coverage_multi(config, sample_every, runs);
+      for (std::size_t i = 0; i < curve.grid.size(); ++i) {
+        csv_table.add_row({std::string(soc::core_name(core)), std::string(policy),
+                           std::to_string(curve.grid[i]),
+                           common::format_double(curve.covered[i], 1)});
       }
     }
     harness::render_fig3(std::cout, soc::core_display_name(core), curves);

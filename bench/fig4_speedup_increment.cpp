@@ -1,5 +1,6 @@
 // Reproduces paper Fig. 4: coverage speedup (x) and coverage increment (%)
-// of each MABFuzz variant over TheHuzz on the three cores.
+// of each MABFuzz variant (plus the Thompson extension) over TheHuzz on
+// the three cores.
 //
 //   speedup   = tests(TheHuzz -> its final coverage)
 //             / tests(MABFuzz -> the same coverage)
@@ -9,6 +10,7 @@
 //   fig4_speedup_increment [--tests N] [--runs R] [--samples K] [--seed S]
 // Paper scale: --tests 50000 --runs 3.
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -19,9 +21,8 @@
 namespace {
 
 using namespace mabfuzz;
+using harness::CampaignConfig;
 using harness::CoverageCurve;
-using harness::ExperimentConfig;
-using harness::FuzzerKind;
 
 }  // namespace
 
@@ -42,28 +43,28 @@ int main(int argc, char** argv) {
   double exp3_increment_sum = 0;
 
   for (const soc::CoreKind core : soc::kAllCores) {
-    ExperimentConfig config;
+    CampaignConfig config;
     config.core = core;
     config.bugs = soc::BugSet::none();
     config.max_tests = max_tests;
     config.rng_seed = seed;
 
-    config.fuzzer = FuzzerKind::kTheHuzz;
+    config.fuzzer = "thehuzz";
     const CoverageCurve base =
         harness::measure_coverage_multi(config, sample_every, runs);
 
     harness::Fig4Row row;
     row.core = std::string(soc::core_display_name(core));
-    for (const FuzzerKind kind : harness::kMabFuzzers) {
-      config.fuzzer = kind;
+    for (const std::string_view policy : harness::kMabPolicies) {
+      config.fuzzer = std::string(policy);
       const CoverageCurve curve =
           harness::measure_coverage_multi(config, sample_every, runs);
-      row.speedup[kind] = harness::coverage_speedup(base, curve);
-      row.increment_percent[kind] =
+      row.speedup[std::string(policy)] = harness::coverage_speedup(base, curve);
+      row.increment_percent[std::string(policy)] =
           harness::coverage_increment_percent(base, curve);
-      if (kind == FuzzerKind::kMabExp3) {
-        exp3_speedup_sum += row.speedup[kind] / 3.0;
-        exp3_increment_sum += row.increment_percent[kind] / 3.0;
+      if (policy == "exp3") {
+        exp3_speedup_sum += row.speedup[std::string(policy)] / 3.0;
+        exp3_increment_sum += row.increment_percent[std::string(policy)] / 3.0;
       }
     }
     rows.push_back(row);

@@ -10,7 +10,7 @@
 #include "fuzz/backend.hpp"
 #include "fuzz/seedgen.hpp"
 #include "golden/iss.hpp"
-#include "mab/bandit.hpp"
+#include "mab/registry.hpp"
 #include "mutation/engine.hpp"
 #include "soc/cores.hpp"
 
@@ -89,10 +89,12 @@ void BM_CoverageMerge(benchmark::State& state) {
 BENCHMARK(BM_CoverageMerge)->Arg(8192)->Arg(24576);
 
 void BM_BanditSelectUpdate(benchmark::State& state) {
+  static constexpr std::string_view kBanditNames[] = {"epsilon-greedy", "ucb",
+                                                      "exp3", "thompson"};
   mab::BanditConfig config;
   config.num_arms = 10;
   auto bandit = mab::make_bandit(
-      static_cast<mab::Algorithm>(state.range(0)), config);
+      kBanditNames[static_cast<std::size_t>(state.range(0))], config);
   common::Xoshiro256StarStar rng(5);
   for (auto _ : state) {
     const std::size_t arm = bandit->select();
@@ -100,7 +102,7 @@ void BM_BanditSelectUpdate(benchmark::State& state) {
   }
   state.SetLabel(std::string(bandit->name()));
 }
-BENCHMARK(BM_BanditSelectUpdate)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_BanditSelectUpdate)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_MabSchedulerStep(benchmark::State& state) {
   fuzz::BackendConfig backend_config;
@@ -110,7 +112,7 @@ void BM_MabSchedulerStep(benchmark::State& state) {
   mab::BanditConfig bandit_config;
   bandit_config.num_arms = config.num_arms;
   core::MabScheduler scheduler(
-      backend, mab::make_bandit(mab::Algorithm::kUcb, bandit_config), config);
+      backend, mab::make_bandit("ucb", bandit_config), config);
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheduler.step());
   }

@@ -1,6 +1,6 @@
 // Reproduces paper Table I: vulnerability detection speedup of
-// MABFuzz:{eps-greedy, UCB, EXP3} over TheHuzz for the seven injected
-// vulnerabilities (V1-V6 on CVA6, V7 on Rocket Core).
+// MABFuzz:{eps-greedy, UCB, EXP3, Thompson} over TheHuzz for the seven
+// injected vulnerabilities (V1-V6 on CVA6, V7 on Rocket Core).
 //
 // Method: one bug enabled at a time (unambiguous attribution); every
 // fuzzer runs until the bug's first differential-testing detection or the
@@ -21,9 +21,8 @@
 namespace {
 
 using namespace mabfuzz;
+using harness::CampaignConfig;
 using harness::DetectionSummary;
-using harness::ExperimentConfig;
-using harness::FuzzerKind;
 
 soc::CoreKind core_of(soc::BugId bug) {
   return soc::bug_info(bug).core == "rocket" ? soc::CoreKind::kRocket
@@ -48,7 +47,7 @@ int main(int argc, char** argv) {
                            "runs", "speedup"});
 
   for (const soc::BugInfo& info : soc::all_bugs()) {
-    ExperimentConfig config;
+    CampaignConfig config;
     config.core = core_of(info.id);
     config.bugs = soc::BugSet::single(info.id);
     config.max_tests = max_tests;
@@ -57,25 +56,24 @@ int main(int argc, char** argv) {
     harness::Table1Row row;
     row.bug = info.id;
 
-    config.fuzzer = FuzzerKind::kTheHuzz;
+    config.fuzzer = "thehuzz";
     const DetectionSummary base =
         harness::measure_detection_multi(config, info.id, runs);
     row.thehuzz_tests = base.mean_tests;
-    csv_table.add_row({std::string(info.name), "TheHuzz",
+    csv_table.add_row({std::string(info.name), "thehuzz",
                        common::format_double(base.mean_tests, 1),
                        std::to_string(base.detected_runs), std::to_string(runs),
                        "1"});
 
-    for (const FuzzerKind kind : harness::kMabFuzzers) {
-      config.fuzzer = kind;
+    for (const std::string_view policy : harness::kMabPolicies) {
+      config.fuzzer = std::string(policy);
       const DetectionSummary mab =
           harness::measure_detection_multi(config, info.id, runs);
       const double speedup =
           mab.mean_tests > 0 ? base.mean_tests / mab.mean_tests : 0.0;
-      row.speedup[kind] = speedup;
-      row.detected[kind] = mab.detected_runs == runs;
-      csv_table.add_row({std::string(info.name),
-                         std::string(harness::fuzzer_name(kind)),
+      row.speedup[std::string(policy)] = speedup;
+      row.detected[std::string(policy)] = mab.detected_runs == runs;
+      csv_table.add_row({std::string(info.name), std::string(policy),
                          common::format_double(mab.mean_tests, 1),
                          std::to_string(mab.detected_runs), std::to_string(runs),
                          common::format_double(speedup, 2)});
@@ -85,12 +83,13 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\n";
-  harness::render_table1(std::cout, rows);
+  harness::render_table1(std::cout, rows,
+                         {harness::kMabPolicies.begin(), harness::kMabPolicies.end()});
 
   // Aggregate comparison quoted in Sec. IV-C (EXP3 means across bugs).
   std::vector<double> exp3_speedups;
   for (const auto& row : rows) {
-    const auto it = row.speedup.find(FuzzerKind::kMabExp3);
+    const auto it = row.speedup.find("exp3");
     if (it != row.speedup.end()) {
       exp3_speedups.push_back(it->second);
     }

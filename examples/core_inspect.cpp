@@ -10,30 +10,22 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "coverage/summary.hpp"
-#include "harness/experiment.hpp"
+#include "harness/campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace mabfuzz;
   const common::CliArgs args(argc, argv);
-  const std::string core_name_arg = args.get_string("core", "cva6");
-  const std::uint64_t max_tests = args.get_uint("tests", 1000);
 
-  soc::CoreKind core = soc::CoreKind::kCva6;
-  for (const soc::CoreKind kind : soc::kAllCores) {
-    if (core_name_arg == soc::core_name(kind)) {
-      core = kind;
-    }
-  }
-
-  harness::ExperimentConfig config;
-  config.core = core;
+  harness::CampaignConfig defaults;
+  defaults.core = soc::CoreKind::kCva6;
+  defaults.fuzzer = "ucb";
+  defaults.max_tests = 1000;
+  harness::CampaignConfig config = harness::CampaignConfig::from_args(args, defaults);
   config.bugs = soc::BugSet::none();
-  config.fuzzer = harness::FuzzerKind::kMabUcb;
-  config.max_tests = max_tests;
-  harness::Session session(config);
-  const auto& registry = session.backend().dut().registry();
+  harness::Campaign campaign(config);
+  const auto& registry = campaign.backend().dut().registry();
 
-  std::cout << soc::core_display_name(core) << ": "
+  std::cout << soc::core_display_name(config.core) << ": "
             << registry.size() << " instrumented branch points\n\n";
 
   // Composition before fuzzing (unit totals).
@@ -52,14 +44,11 @@ int main(int argc, char** argv) {
   }
 
   // Fuzz, then rank.
-  for (std::uint64_t t = 0; t < max_tests; ++t) {
-    session.fuzzer().step();
-  }
-  const coverage::Map& covered = session.fuzzer().accumulated().global();
+  campaign.run();
+  const coverage::Map& covered = campaign.fuzzer().accumulated().global();
 
-  std::cout << "\nAfter " << max_tests << " tests with "
-            << session.fuzzer().name() << ": "
-            << session.fuzzer().accumulated().covered() << " / "
+  std::cout << "\nAfter " << campaign.tests_executed() << " tests with "
+            << campaign.fuzzer().name() << ": " << campaign.covered() << " / "
             << registry.size() << " points\n\n";
 
   common::Table table({"group", "covered", "total", "%"});

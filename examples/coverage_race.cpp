@@ -1,49 +1,44 @@
-// Coverage race: all four fuzzers side by side on one core, live progress
-// every few hundred tests, final standings with the paper's Fig. 3/4
-// metrics — the fastest way to *see* the exploration/exploitation story.
+// Coverage race: every registered paper policy side by side on one core,
+// live progress every few hundred tests, final standings with the paper's
+// Fig. 3/4 metrics — the fastest way to *see* the exploration/exploitation
+// story.
 //
 //   $ ./coverage_race [--core cva6|rocket|boom] [--tests N] [--seed S]
 
+#include <algorithm>
 #include <iomanip>
 #include <iostream>
 #include <memory>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace mabfuzz;
   const common::CliArgs args(argc, argv);
-  const std::string core_name_arg = args.get_string("core", "cva6");
   const std::uint64_t max_tests = args.get_uint("tests", 2000);
-  const std::uint64_t seed = args.get_uint("seed", 1);
 
-  soc::CoreKind core = soc::CoreKind::kCva6;
-  for (const soc::CoreKind kind : soc::kAllCores) {
-    if (core_name_arg == soc::core_name(kind)) {
-      core = kind;
-    }
+  harness::CampaignConfig defaults;
+  defaults.core = soc::CoreKind::kCva6;
+  harness::CampaignConfig base = harness::CampaignConfig::from_args(args, defaults);
+  base.bugs = soc::BugSet::none();  // clean cores: the race isolates scheduling
+  base.max_tests = max_tests;
+
+  // One independent campaign per policy, all on identical clean cores.
+  std::vector<std::unique_ptr<harness::Campaign>> campaigns;
+  for (const std::string_view policy : harness::kAllPolicies) {
+    harness::CampaignConfig config = base;
+    config.fuzzer = std::string(policy);
+    campaigns.push_back(std::make_unique<harness::Campaign>(config));
   }
 
-  // One independent session per fuzzer, all on identical clean cores.
-  std::vector<std::unique_ptr<harness::Session>> sessions;
-  for (const harness::FuzzerKind kind : harness::kAllFuzzers) {
-    harness::ExperimentConfig config;
-    config.core = core;
-    config.bugs = soc::BugSet::none();
-    config.fuzzer = kind;
-    config.max_tests = max_tests;
-    config.rng_seed = seed;
-    sessions.push_back(std::make_unique<harness::Session>(config));
-  }
-
-  std::cout << "Coverage race on " << soc::core_display_name(core) << " ("
-            << sessions.front()->backend().coverage_universe()
+  std::cout << "Coverage race on " << soc::core_display_name(base.core) << " ("
+            << campaigns.front()->coverage_universe()
             << " instrumented branch points)\n\n";
   std::cout << std::left << std::setw(10) << "tests";
-  for (const auto& session : sessions) {
-    std::cout << std::setw(22) << session->fuzzer().name();
+  for (const auto& campaign : campaigns) {
+    std::cout << std::setw(22) << campaign->fuzzer().name();
   }
   std::cout << "\n";
 
@@ -51,36 +46,31 @@ int main(int argc, char** argv) {
   const std::uint64_t stride = std::max<std::uint64_t>(1, max_tests / checkpoints);
   for (std::uint64_t done = 0; done < max_tests;) {
     const std::uint64_t target = std::min(done + stride, max_tests);
-    for (auto& session : sessions) {
-      for (std::uint64_t t = done; t < target; ++t) {
-        session->fuzzer().step();
-      }
+    std::cout << std::left << std::setw(10) << target;
+    for (auto& campaign : campaigns) {
+      // run_until on a shared test target interleaves the racers batchwise.
+      campaign->run_until(harness::StopCondition::max_tests(target));
+      std::cout << std::setw(22) << campaign->covered();
     }
     done = target;
-    std::cout << std::left << std::setw(10) << done;
-    for (const auto& session : sessions) {
-      std::cout << std::setw(22) << session->fuzzer().accumulated().covered();
-    }
     std::cout << "\n";
   }
 
   // Final standings.
   std::cout << "\n";
   common::Table table({"fuzzer", "covered", "% of universe"});
-  const double base_final =
-      static_cast<double>(sessions.front()->fuzzer().accumulated().covered());
-  for (const auto& session : sessions) {
-    const auto& acc = session->fuzzer().accumulated();
-    table.add_row({std::string(session->fuzzer().name()),
+  const double base_final = static_cast<double>(campaigns.front()->covered());
+  for (const auto& campaign : campaigns) {
+    const auto& acc = campaign->fuzzer().accumulated();
+    table.add_row({std::string(campaign->fuzzer().name()),
                    std::to_string(acc.covered()),
                    common::format_double(acc.fraction() * 100.0, 2) + "%"});
   }
   table.render(std::cout);
   std::cout << "\nincrement vs TheHuzz:";
-  for (std::size_t i = 1; i < sessions.size(); ++i) {
-    const double final_cov =
-        static_cast<double>(sessions[i]->fuzzer().accumulated().covered());
-    std::cout << "  " << sessions[i]->fuzzer().name() << " "
+  for (std::size_t i = 1; i < campaigns.size(); ++i) {
+    const double final_cov = static_cast<double>(campaigns[i]->covered());
+    std::cout << "  " << campaigns[i]->fuzzer().name() << " "
               << common::format_double((final_cov - base_final) / base_final * 100,
                                        2)
               << "%";

@@ -1,78 +1,68 @@
-// The release-style command-line driver: one binary that runs any fuzzer
-// on any core with any bug set, streams progress, and ends with a coverage
-// ranking and detection report. Everything the library can do, from flags.
+// The release-style command-line driver: one binary that runs any
+// registered scheduling policy on any core with any bug set, streams
+// progress through the campaign observer, and ends with a coverage ranking
+// and detection report. Everything the library can do, from flags.
 //
-//   $ ./mabfuzz_cli --core cva6 --fuzzer mab --algorithm ucb
-//                   --bugs V1,V5 --tests 5000 --progress 1000 --csv
+//   $ ./mabfuzz_cli --core cva6 --fuzzer ucb --bugs V1,V5 --tests 5000
+//                   --progress 1000 --csv
 //
-// Flags:
+// Flags (campaign keys are accepted directly as --key value / --key=value):
+//   --fuzzer NAME        scheduling policy (--list-fuzzers shows them;
+//                        includes thehuzz, random, epsilon-greedy, ucb,
+//                        exp3, thompson and any registered extension)
 //   --core cva6|rocket|boom        (default cva6)
-//   --fuzzer mab|thehuzz|random    (default mab)
-//   --algorithm eps|ucb|exp3|thompson   (MABFuzz only; default ucb)
-//   --bugs V1,..,V7|default|none   (default: the core's paper bug set)
+//   --bugs V1,..,V7|default|all|none   (default: the core's paper bug set)
 //   --tests N  --seed S  --run R
 //   --arms N --alpha A --gamma G --epsilon E --eta H
 //   --adaptive-ops --adaptive-length     (Sec. V extensions)
-//   --progress N   (print a status line every N tests; 0 = quiet)
-//   --csv          (emit a per-sample coverage CSV at the end)
+//   --progress N   (status line every N tests; 0 = quiet)
+//   --csv          (emit the per-sample coverage CSV at the end)
 //   --ranking N    (show top-N uncovered groups; default 10)
+//   --list-fuzzers (print registered policies and exit)
+//   --help         (print every campaign key and exit)
 
+#include <algorithm>
 #include <iostream>
-#include <sstream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "core/adaptive.hpp"
-#include "core/scheduler.hpp"
+#include "core/register.hpp"
 #include "coverage/summary.hpp"
-#include "fuzz/random_fuzzer.hpp"
-#include "fuzz/thehuzz.hpp"
-#include "mab/bandit.hpp"
-#include "soc/cores.hpp"
+#include "fuzz/registry.hpp"
+#include "harness/report.hpp"
+#include "mab/registry.hpp"
 
 namespace {
 
 using namespace mabfuzz;
 
-soc::BugSet parse_bugs(const std::string& text, soc::CoreKind core) {
-  if (text == "default") {
-    return soc::default_bugs(core);
+int list_fuzzers() {
+  core::ensure_builtin_policies_registered();
+  std::cout << "registered fuzzer policies:\n";
+  for (const std::string& name : fuzz::FuzzerRegistry::instance().names()) {
+    std::cout << "  " << name << "\n";
   }
-  if (text == "none") {
-    return soc::BugSet::none();
+  std::cout << "registered bandit policies (core::register_mab_policy turns "
+               "any of them into a fuzzer):\n";
+  for (const std::string& name : mab::BanditRegistry::instance().names()) {
+    std::cout << "  " << name << "\n";
   }
-  soc::BugSet bugs;
-  std::stringstream ss(text);
-  std::string token;
-  while (std::getline(ss, token, ',')) {
-    bool known = false;
-    for (const soc::BugInfo& info : soc::all_bugs()) {
-      if (info.name == token) {
-        bugs.enable(info.id);
-        known = true;
-      }
-    }
-    if (!known) {
-      throw std::invalid_argument("unknown bug '" + token + "' (V1..V7)");
-    }
-  }
-  return bugs;
+  return 0;
 }
 
-mab::Algorithm parse_algorithm(const std::string& text) {
-  if (text == "eps" || text == "epsilon-greedy") {
-    return mab::Algorithm::kEpsilonGreedy;
+int print_help(const std::string& program) {
+  std::cout << "usage: " << program << " [--key value | --key=value]...\n\n"
+            << "campaign keys:\n";
+  for (const auto& [key, description] : harness::CampaignConfig::known_keys()) {
+    std::cout << "  --" << key;
+    for (std::size_t pad = key.size(); pad < 20; ++pad) {
+      std::cout << ' ';
+    }
+    std::cout << description << "\n";
   }
-  if (text == "ucb") {
-    return mab::Algorithm::kUcb;
-  }
-  if (text == "exp3") {
-    return mab::Algorithm::kExp3;
-  }
-  if (text == "thompson") {
-    return mab::Algorithm::kThompson;
-  }
-  throw std::invalid_argument("unknown algorithm '" + text + "'");
+  std::cout << "\ndriver flags: --progress N, --csv, --ranking N, "
+               "--list-fuzzers, --help\n";
+  return 0;
 }
 
 }  // namespace
@@ -80,107 +70,68 @@ mab::Algorithm parse_algorithm(const std::string& text) {
 int main(int argc, char** argv) {
   try {
     const common::CliArgs args(argc, argv);
-    soc::CoreKind core = soc::CoreKind::kCva6;
-    for (const soc::CoreKind kind : soc::kAllCores) {
-      if (args.get_string("core", "cva6") == soc::core_name(kind)) {
-        core = kind;
-      }
+    if (args.has("list-fuzzers")) {
+      return list_fuzzers();
     }
-    const std::string fuzzer_kind = args.get_string("fuzzer", "mab");
-    const std::uint64_t max_tests = args.get_uint("tests", 3000);
+    if (args.has("help")) {
+      return print_help(args.program());
+    }
+
+    // This binary's defaults go in as the parse base, so core-relative
+    // values ("--bugs default" without "--core") resolve against them.
+    harness::CampaignConfig defaults;
+    defaults.fuzzer = "ucb";
+    defaults.core = soc::CoreKind::kCva6;
+    defaults.max_tests = 3000;
+    harness::CampaignConfig config =
+        harness::CampaignConfig::from_args(args, defaults);
+    if (!args.has("bugs")) {
+      config.bugs = soc::default_bugs(config.core);
+    }
     const std::uint64_t progress = args.get_uint("progress", 1000);
     const std::uint64_t ranking = args.get_uint("ranking", 10);
-
-    fuzz::BackendConfig backend_config;
-    backend_config.core = core;
-    backend_config.bugs =
-        parse_bugs(args.get_string("bugs", "default"), core);
-    backend_config.rng_seed = args.get_uint("seed", 1);
-    backend_config.rng_run = args.get_uint("run", 0);
-
-    core::MabFuzzConfig mab_config;
-    mab_config.num_arms = args.get_uint("arms", 10);
-    mab_config.alpha = args.get_double("alpha", 0.25);
-    mab_config.gamma = args.get_uint("gamma", 3);
-
-    if (args.get_bool("adaptive-ops", false)) {
-      mab::BanditConfig op_bandit;
-      op_bandit.num_arms = mutation::kNumOps;
-      op_bandit.rng_seed =
-          common::derive_seed(backend_config.rng_seed, backend_config.rng_run,
-                              "op-bandit");
-      backend_config.operator_policy = std::make_shared<core::MabOperatorPolicy>(
-          mab::make_bandit(mab::Algorithm::kEpsilonGreedy, op_bandit));
-    }
-    if (args.get_bool("adaptive-length", false)) {
-      mab::BanditConfig len_bandit;
-      len_bandit.num_arms = 4;
-      len_bandit.rng_seed =
-          common::derive_seed(backend_config.rng_seed, backend_config.rng_run,
-                              "len-bandit");
-      mab_config.length_policy = std::make_shared<core::SeedLengthPolicy>(
-          std::vector<unsigned>{12, 20, 28, 40},
-          mab::make_bandit(mab::Algorithm::kUcb, len_bandit));
+    // --progress drives the snapshot cadence unless the user pinned it.
+    if (!args.has("snapshot-every")) {
+      config.snapshot_every = progress != 0 ? progress : config.max_tests;
     }
 
-    fuzz::Backend backend(backend_config);
-    std::unique_ptr<fuzz::Fuzzer> fuzzer;
-    if (fuzzer_kind == "thehuzz") {
-      fuzzer = std::make_unique<fuzz::TheHuzz>(backend, fuzz::TheHuzzConfig{});
-    } else if (fuzzer_kind == "random") {
-      fuzzer = std::make_unique<fuzz::RandomFuzzer>(backend);
-    } else if (fuzzer_kind == "mab") {
-      mab::BanditConfig bandit_config;
-      bandit_config.num_arms = mab_config.num_arms;
-      bandit_config.epsilon = args.get_double("epsilon", 0.1);
-      bandit_config.eta = args.get_double("eta", 0.1);
-      bandit_config.rng_seed = common::derive_seed(
-          backend_config.rng_seed, backend_config.rng_run, "bandit");
-      fuzzer = std::make_unique<core::MabScheduler>(
-          backend,
-          mab::make_bandit(parse_algorithm(args.get_string("algorithm", "ucb")),
-                           bandit_config),
-          mab_config);
-    } else {
-      throw std::invalid_argument("unknown fuzzer '" + fuzzer_kind + "'");
+    harness::Campaign campaign(config);
+    harness::ProgressObserver reporter(std::cout);
+    if (progress != 0) {
+      campaign.add_observer(reporter);
     }
 
-    std::cout << "fuzzing " << soc::core_display_name(core) << " with "
-              << fuzzer->name() << " for " << max_tests << " tests...\n";
-
-    std::vector<std::pair<std::uint64_t, std::size_t>> samples;
-    std::uint64_t detections = 0;
-    std::uint64_t first_detection = 0;
-    for (std::uint64_t t = 1; t <= max_tests; ++t) {
-      const fuzz::StepResult r = fuzzer->step();
-      if (r.mismatch && ++detections == 1) {
-        first_detection = t;
-        std::cout << "  first golden-model divergence at test #" << t << "\n";
-      }
-      if (progress != 0 && (t % progress == 0 || t == max_tests)) {
-        samples.emplace_back(t, fuzzer->accumulated().covered());
-        std::cout << "  [" << t << "] covered "
-                  << fuzzer->accumulated().covered() << " / "
-                  << fuzzer->accumulated().universe() << ", mismatches "
-                  << detections << "\n";
-      }
-    }
+    std::cout << "fuzzing " << soc::core_display_name(config.core) << " with "
+              << campaign.fuzzer().name() << " for " << config.max_tests
+              << " tests...\n";
+    campaign.run();
 
     std::cout << "\n=== summary ===\n"
-              << "covered           : " << fuzzer->accumulated().covered()
-              << " / " << fuzzer->accumulated().universe() << " ("
-              << common::format_double(fuzzer->accumulated().fraction() * 100, 2)
+              << "covered           : " << campaign.covered() << " / "
+              << campaign.coverage_universe() << " ("
+              << common::format_double(
+                     campaign.fuzzer().accumulated().fraction() * 100, 2)
               << "%)\n"
-              << "mismatching tests : " << detections;
+              << "mismatching tests : " << campaign.mismatches();
+    std::uint64_t first_detection = 0;
+    for (const soc::BugInfo& info : soc::all_bugs()) {
+      const std::uint64_t at = campaign.first_detection_test(info.id);
+      if (at != 0 && (first_detection == 0 || at < first_detection)) {
+        first_detection = at;
+      }
+    }
     if (first_detection != 0) {
       std::cout << " (first at #" << first_detection << ")";
     }
-    std::cout << "\n\n";
+    std::cout << "\ndetected bugs     : " << campaign.detected_bug_count()
+              << " / " << campaign.enabled_bug_count() << " enabled\n\n";
 
     const auto groups = coverage::summarize_groups(
-        backend.dut().registry(), fuzzer->accumulated().global());
+        campaign.backend().dut().registry(),
+        campaign.fuzzer().accumulated().global());
     common::Table table({"uncovered frontier", "covered", "total", "%"});
-    for (std::size_t i = 0; i < std::min<std::size_t>(ranking, groups.size()); ++i) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(ranking, groups.size());
+         ++i) {
       table.add_row({groups[i].group, std::to_string(groups[i].covered),
                      std::to_string(groups[i].total),
                      common::format_double(groups[i].fraction() * 100, 1) + "%"});
@@ -189,8 +140,8 @@ int main(int argc, char** argv) {
 
     if (args.get_bool("csv", false)) {
       std::cout << "\ntests,covered\n";
-      for (const auto& [t, covered] : samples) {
-        std::cout << t << "," << covered << "\n";
+      for (const harness::BatchSnapshot& snapshot : campaign.snapshots()) {
+        std::cout << snapshot.tests_executed << "," << snapshot.covered << "\n";
       }
     }
     return 0;

@@ -1,58 +1,48 @@
 // Quickstart: fuzz the Rocket-like core with MABFuzz:UCB for a few hundred
-// tests and print what happened — the 20-line tour of the public API.
+// tests and print what happened — the 20-line tour of the Campaign API.
 //
-//   $ ./quickstart [--tests N]
+//   $ ./quickstart [--tests N] [--fuzzer ucb|epsilon-greedy|exp3|thompson|thehuzz]
 
 #include <iostream>
 
 #include "common/cli.hpp"
-#include "core/scheduler.hpp"
-#include "fuzz/backend.hpp"
-#include "mab/bandit.hpp"
+#include "harness/campaign.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace mabfuzz;
   const common::CliArgs args(argc, argv);
-  const std::uint64_t max_tests = args.get_uint("tests", 500);
 
-  // 1. A fuzzing backend: the DUT (Rocket-like core with its injected V7
-  //    bug), the golden ISS, a seed generator and the mutation engine.
-  fuzz::BackendConfig backend_config;
-  backend_config.core = soc::CoreKind::kRocket;
-  backend_config.bugs = soc::default_bugs(soc::CoreKind::kRocket);
-  fuzz::Backend backend(backend_config);
+  // 1. One declarative config: policy by name, core, bugs, budget. Every
+  //    knob (arms, alpha, gamma, epsilon, ...) is a key=value away.
+  harness::CampaignConfig config;
+  config.fuzzer = args.get_string("fuzzer", "ucb");
+  config.core = soc::CoreKind::kRocket;
+  config.bugs = soc::default_bugs(soc::CoreKind::kRocket);
+  config.max_tests = args.get_uint("tests", 500);
 
-  // 2. A MAB agent (UCB, 10 arms) and the MABFuzz scheduler on top.
-  core::MabFuzzConfig mab_config;  // alpha=0.25, gamma=3, 10 arms
-  mab::BanditConfig bandit_config;
-  bandit_config.num_arms = mab_config.num_arms;
-  core::MabScheduler fuzzer(
-      backend, mab::make_bandit(mab::Algorithm::kUcb, bandit_config), mab_config);
+  // 2. Construct (policy resolved through the registry) and run to the
+  //    test budget. The campaign tracks coverage, mismatches and
+  //    per-bug detections as it goes.
+  harness::Campaign campaign(config);
+  campaign.run();
 
-  // 3. Fuzz.
-  std::uint64_t mismatches = 0;
-  std::uint64_t first_detection = 0;
-  for (std::uint64_t t = 0; t < max_tests; ++t) {
-    const fuzz::StepResult result = fuzzer.step();
-    if (result.mismatch && ++mismatches == 1) {
-      first_detection = result.test_index;
-    }
-  }
-
-  // 4. Report.
-  const auto& coverage = fuzzer.accumulated();
-  std::cout << "fuzzer            : " << fuzzer.name() << "\n"
-            << "tests executed    : " << max_tests << "\n"
-            << "branch points hit : " << coverage.covered() << " / "
-            << coverage.universe() << " ("
-            << static_cast<int>(coverage.fraction() * 100) << "%)\n"
-            << "arm resets        : " << fuzzer.total_resets() << "\n"
-            << "mismatching tests : " << mismatches << "\n";
-  if (first_detection != 0) {
-    std::cout << "first golden-model divergence at test #" << first_detection
+  // 3. Report.
+  std::cout << "fuzzer            : " << campaign.fuzzer().name() << "\n"
+            << "tests executed    : " << campaign.tests_executed() << "\n"
+            << "branch points hit : " << campaign.covered() << " / "
+            << campaign.coverage_universe() << " ("
+            << static_cast<int>(campaign.fuzzer().accumulated().fraction() * 100)
+            << "%)\n"
+            << "mismatching tests : " << campaign.mismatches() << "\n";
+  if (campaign.bug_detected(soc::BugId::kV7EbreakInstret)) {
+    std::cout << "first golden-model divergence at test #"
+              << campaign.first_detection_test(soc::BugId::kV7EbreakInstret)
               << " (Rocket's V7: EBREAK does not increment minstret)\n";
   } else {
     std::cout << "no divergence found yet - try more --tests\n";
   }
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,7 +1,7 @@
 // Vulnerability hunt: enable one of the seven injected CVA6/Rocket bugs,
-// race all four fuzzers to the first differential-testing detection, and
-// dump the offending test with the mismatch description — the workflow a
-// verification engineer runs when triaging a new RTL drop.
+// race every registered policy to the first differential-testing
+// detection, and dump the offending test with the mismatch description —
+// the workflow a verification engineer runs when triaging a new RTL drop.
 //
 //   $ ./vuln_hunt [--bug V1..V7] [--tests N] [--seed S]
 
@@ -11,7 +11,7 @@
 #include "common/table.hpp"
 #include "fuzz/repro.hpp"
 #include "fuzz/test_case.hpp"
-#include "harness/experiment.hpp"
+#include "harness/campaign.hpp"
 
 namespace {
 
@@ -48,33 +48,22 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   common::Table table({"fuzzer", "tests to detection", "mismatch"});
-  for (const harness::FuzzerKind kind : harness::kAllFuzzers) {
-    harness::ExperimentConfig config;
+  for (const std::string_view policy : harness::kAllPolicies) {
+    harness::CampaignConfig config;
     config.core = core;
     config.bugs = soc::BugSet::single(*bug);
-    config.fuzzer = kind;
+    config.fuzzer = std::string(policy);
     config.max_tests = max_tests;
     config.rng_seed = seed;
 
-    harness::Session session(config);
-    std::string verdict = "not found within cap";
-    std::string found_at = "> " + std::to_string(max_tests);
-    for (std::uint64_t t = 0; t < max_tests; ++t) {
-      const fuzz::StepResult r = session.fuzzer().step();
-      if (!r.mismatch) {
-        continue;
-      }
-      bool fired = false;
-      for (const soc::BugFiring& f : r.firings) {
-        fired |= f.id == *bug;
-      }
-      if (fired) {
-        found_at = std::to_string(r.test_index);
-        verdict = "golden-model divergence";
-        break;
-      }
-    }
-    table.add_row({std::string(harness::fuzzer_name(kind)), found_at, verdict});
+    harness::Campaign campaign(config);
+    campaign.run_until(harness::StopCondition::bug_detected(*bug) ||
+                       harness::StopCondition::max_tests(max_tests));
+    const bool found = campaign.bug_detected(*bug);
+    table.add_row({std::string(campaign.fuzzer().name()),
+                   found ? std::to_string(campaign.first_detection_test(*bug))
+                         : "> " + std::to_string(max_tests),
+                   found ? "golden-model divergence" : "not found within cap"});
   }
   table.render(std::cout);
 

@@ -1,0 +1,23 @@
+#pragma once
+// Registration of the bandit-backed MABFuzz schedulers into the
+// fuzz::FuzzerRegistry. The four built-in bandit policies (epsilon-greedy,
+// ucb, exp3, thompson) self-register at static-initialisation time; a
+// custom bandit added to mab::BanditRegistry becomes a selectable fuzzer
+// with one extra call to register_mab_policy(name).
+
+#include <string>
+
+namespace mabfuzz::core {
+
+/// Registers fuzzer `name` as "MabScheduler driving the bandit policy
+/// `name`": the factory resolves the bandit through mab::BanditRegistry at
+/// construction time, so the bandit may be registered before or after this
+/// call. Throws std::invalid_argument if the fuzzer name is already taken.
+void register_mab_policy(const std::string& name);
+
+/// Linker anchor: forces this translation unit (and with it the built-in
+/// MABFuzz policy registrations) into any binary that constructs policies
+/// through the harness. Idempotent and cheap.
+void ensure_builtin_policies_registered();
+
+}  // namespace mabfuzz::core

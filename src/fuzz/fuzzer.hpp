@@ -5,6 +5,7 @@
 // harness can drive either interchangeably.
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "coverage/map.hpp"
@@ -18,7 +19,13 @@ struct StepResult {
   std::size_t new_global_points = 0;  // globally new coverage this test
   bool mismatch = false;
   soc::FiringLog firings;
-  std::size_t arm = 0;  // MABFuzz: selected arm; TheHuzz: always 0
+  /// The bandit arm that scheduled this test. Engaged only for policies
+  /// that select arms (MABFuzz schedulers); policies without arms
+  /// (TheHuzz, random regression) leave it empty — arm 0 is a real arm,
+  /// not a sentinel.
+  std::optional<std::size_t> arm;
+
+  [[nodiscard]] bool has_arm() const noexcept { return arm.has_value(); }
 };
 
 class Fuzzer {

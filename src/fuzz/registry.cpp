@@ -1,0 +1,38 @@
+#include "fuzz/registry.hpp"
+
+#include "fuzz/random_fuzzer.hpp"
+
+namespace mabfuzz::fuzz {
+
+FuzzerRegistry& FuzzerRegistry::instance() {
+  static FuzzerRegistry registry;
+  return registry;
+}
+
+// --- built-in self-registration -------------------------------------------------
+//
+// The fuzz-layer policies register here, in the registry's own TU, so they
+// are always linked. The bandit-backed MABFuzz schedulers live one layer up
+// and register from core/register.cpp.
+
+namespace {
+
+const FuzzerRegistration kTheHuzzRegistration{
+    "thehuzz",
+    [](Backend& backend, const PolicyConfig& config) -> std::unique_ptr<Fuzzer> {
+      // The mutant burst is shared across all policies (experimental
+      // control): the unified knob overrides the baseline-local one.
+      TheHuzzConfig thehuzz = config.thehuzz;
+      thehuzz.mutants_per_interesting = config.mutants_per_interesting;
+      return std::make_unique<TheHuzz>(backend, thehuzz);
+    }};
+
+const FuzzerRegistration kRandomRegistration{
+    "random",
+    [](Backend& backend, const PolicyConfig&) -> std::unique_ptr<Fuzzer> {
+      return std::make_unique<RandomFuzzer>(backend);
+    }};
+
+}  // namespace
+
+}  // namespace mabfuzz::fuzz

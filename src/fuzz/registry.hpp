@@ -1,0 +1,108 @@
+#pragma once
+// String-keyed fuzzer (scheduling-policy) registry and the unified policy
+// configuration every factory consumes. A "fuzzer" here is a complete
+// scheduling policy over a shared Backend: the TheHuzz FIFO baseline, the
+// random-regression control, and one entry per built-in bandit policy
+// (wired up by core/register.cpp, which couples a mab::Bandit to the
+// MabScheduler).
+//
+// The registry is the experiment-construction seam the paper's methodology
+// needs: the policy is the *only* variable, selected by name, with every
+// other knob living in one PolicyConfig. Unknown names throw
+// std::invalid_argument listing the registered names.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/registry.hpp"
+#include "fuzz/backend.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/thehuzz.hpp"
+#include "mab/bandit.hpp"
+
+namespace mabfuzz::core {
+class SeedLengthPolicy;  // core/adaptive.hpp; carried opaquely here
+}  // namespace mabfuzz::core
+
+namespace mabfuzz::fuzz {
+
+/// The unified scheduling-policy configuration (paper Sec. III / IV-A
+/// defaults). Each registered factory reads the fields relevant to it:
+/// bandit-backed schedulers consume `bandit` plus the MABFuzz shaping
+/// knobs; TheHuzz consumes `thehuzz` (with the shared mutant burst applied
+/// as the experimental control); the extensions block enables the Sec. V
+/// adaptive policies.
+struct PolicyConfig {
+  /// Bandit parameters — the single home of num_arms / epsilon / eta.
+  mab::BanditConfig bandit{};
+
+  /// MABFuzz scheduler shaping (paper Sec. IV-A).
+  double alpha = 0.25;                   // reward mix R = α|covL| + (1-α)|covG|
+  std::size_t gamma = 3;                 // reset threshold; 0 disables resets
+  unsigned mutants_per_interesting = 5;  // burst shared with the baseline
+  std::size_t arm_pool_cap = 1024;
+  bool feed_operator_rewards = true;
+
+  /// Baseline parameters (mutants_per_interesting above wins, keeping the
+  /// mutant burst identical across policies — the paper's control).
+  TheHuzzConfig thehuzz{};
+
+  /// Sec. V extensions. The declarative flags are materialised by
+  /// harness::Campaign (which owns the RNG stream derivation); a directly
+  /// provided length_policy takes precedence over adaptive_length.
+  bool adaptive_operators = false;       // MAB mutation-operator selection
+  double adaptive_op_epsilon = 0.15;
+  bool adaptive_length = false;          // MAB seed-length selection
+  std::vector<unsigned> length_choices{12, 20, 28, 40};
+  std::shared_ptr<core::SeedLengthPolicy> length_policy;
+};
+
+class FuzzerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Fuzzer>(Backend&, const PolicyConfig&)>;
+
+  [[nodiscard]] static FuzzerRegistry& instance();
+
+  /// Registers `factory` under `name`; throws std::invalid_argument on a
+  /// duplicate.
+  void add(std::string name, Factory factory) {
+    registry_.add(std::move(name), std::move(factory));
+  }
+
+  /// Builds the policy registered under `name` on top of `backend`.
+  /// Throws std::invalid_argument listing all known names on a miss.
+  [[nodiscard]] std::unique_ptr<Fuzzer> create(std::string_view name,
+                                               Backend& backend,
+                                               const PolicyConfig& config) const {
+    return registry_.lookup(name)(backend, config);
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return registry_.contains(name);
+  }
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const {
+    return registry_.names();
+  }
+
+  /// Removes a registration (test hygiene). Returns false if absent.
+  bool remove(std::string_view name) { return registry_.remove(name); }
+
+ private:
+  FuzzerRegistry() : registry_("fuzzer policy", "fuzzer policies") {}
+
+  common::NamedRegistry<Factory> registry_;
+};
+
+/// File-scope self-registration helper, mirroring mab::BanditRegistration.
+struct FuzzerRegistration {
+  FuzzerRegistration(std::string name, FuzzerRegistry::Factory factory) {
+    FuzzerRegistry::instance().add(std::move(name), std::move(factory));
+  }
+};
+
+}  // namespace mabfuzz::fuzz

@@ -1,0 +1,583 @@
+#include "harness/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "core/adaptive.hpp"
+#include "core/register.hpp"
+#include "mab/registry.hpp"
+#include "mutation/operators.hpp"
+
+namespace mabfuzz::harness {
+
+// --- CampaignConfig: key=value parsing ------------------------------------------
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw std::invalid_argument("campaign key '" + std::string(key) +
+                                "': cannot parse '" + std::string(value) +
+                                "' as an integer");
+  }
+  return out;
+}
+
+double parse_f64(std::string_view key, std::string_view value) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(std::string(value), &pos);
+    if (pos != value.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("campaign key '" + std::string(key) +
+                                "': cannot parse '" + std::string(value) +
+                                "' as a number");
+  }
+}
+
+bool parse_flag(std::string_view key, std::string_view value) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  throw std::invalid_argument("campaign key '" + std::string(key) +
+                              "': expected a boolean, got '" + std::string(value) +
+                              "'");
+}
+
+soc::CoreKind parse_core(std::string_view value) {
+  for (const soc::CoreKind kind : soc::kAllCores) {
+    if (value == soc::core_name(kind)) {
+      return kind;
+    }
+  }
+  std::string message = "unknown core '";
+  message.append(value);
+  message += "'; known cores:";
+  for (const soc::CoreKind kind : soc::kAllCores) {
+    message += ' ';
+    message.append(soc::core_name(kind));
+  }
+  throw std::invalid_argument(message);
+}
+
+soc::BugSet parse_bug_set(std::string_view value, soc::CoreKind core) {
+  if (value == "default") {
+    return soc::default_bugs(core);
+  }
+  if (value == "none") {
+    return soc::BugSet::none();
+  }
+  if (value == "all") {
+    return soc::BugSet::all();
+  }
+  soc::BugSet bugs;
+  std::stringstream ss{std::string(value)};
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    bool known = false;
+    for (const soc::BugInfo& info : soc::all_bugs()) {
+      if (info.name == token) {
+        bugs.enable(info.id);
+        known = true;
+      }
+    }
+    if (!known) {
+      throw std::invalid_argument("unknown bug '" + token +
+                                  "' (expected V1..V7, 'default', 'all' or 'none')");
+    }
+  }
+  return bugs;
+}
+
+std::vector<unsigned> parse_lengths(std::string_view key, std::string_view value) {
+  std::vector<unsigned> out;
+  std::stringstream ss{std::string(value)};
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    out.push_back(static_cast<unsigned>(parse_u64(key, token)));
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("campaign key '" + std::string(key) +
+                                "': expected a comma-separated length list");
+  }
+  return out;
+}
+
+struct ConfigKey {
+  std::string_view key;
+  std::string_view description;
+  void (*apply)(CampaignConfig&, std::string_view);
+};
+
+// Declaration order is application order for from_args(): `core` precedes
+// `bugs` so "bugs=default" resolves against the requested core.
+constexpr ConfigKey kConfigKeys[] = {
+    {"fuzzer", "scheduling policy name (see FuzzerRegistry / --list-fuzzers)",
+     [](CampaignConfig& c, std::string_view v) { c.fuzzer = std::string(v); }},
+    {"core", "DUT core: cva6 | rocket | boom",
+     [](CampaignConfig& c, std::string_view v) { c.core = parse_core(v); }},
+    {"bugs", "injected bug set: default | none | all | V1,..,V7",
+     [](CampaignConfig& c, std::string_view v) {
+       c.bugs = parse_bug_set(v, c.core);
+     }},
+    {"tests", "test budget for run()",
+     [](CampaignConfig& c, std::string_view v) {
+       c.max_tests = parse_u64("tests", v);
+     }},
+    {"seed", "root RNG seed",
+     [](CampaignConfig& c, std::string_view v) {
+       c.rng_seed = parse_u64("seed", v);
+     }},
+    {"run", "repetition index (decorrelates repetitions)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.run_index = parse_u64("run", v);
+     }},
+    {"snapshot-every", "coverage snapshot cadence; 0 = auto (tests/100)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.snapshot_every = parse_u64("snapshot-every", v);
+     }},
+    {"arms", "number of bandit arms (paper: 10)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.bandit.num_arms = parse_u64("arms", v);
+     }},
+    {"epsilon", "epsilon-greedy exploration rate (paper: 0.1)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.bandit.epsilon = parse_f64("epsilon", v);
+     }},
+    {"eta", "EXP3 learning rate (paper: 0.1)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.bandit.eta = parse_f64("eta", v);
+     }},
+    {"alpha", "reward mix R = a|covL| + (1-a)|covG| (paper: 0.25)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.alpha = parse_f64("alpha", v);
+     }},
+    {"gamma", "depletion reset threshold; 0 disables (paper: 3)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.gamma = parse_u64("gamma", v);
+     }},
+    {"mutants", "mutant burst per interesting test (paper: 5)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.mutants_per_interesting =
+           static_cast<unsigned>(parse_u64("mutants", v));
+     }},
+    {"pool-cap", "per-arm test pool capacity",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.arm_pool_cap = parse_u64("pool-cap", v);
+     }},
+    {"initial-seeds", "TheHuzz initial seed count",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.thehuzz.initial_seeds =
+           static_cast<unsigned>(parse_u64("initial-seeds", v));
+     }},
+    {"feed-op-rewards", "feed operator-level rewards to the mutation policy",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.feed_operator_rewards = parse_flag("feed-op-rewards", v);
+     }},
+    {"adaptive-ops", "Sec. V: MAB mutation-operator selection",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.adaptive_operators = parse_flag("adaptive-ops", v);
+     }},
+    {"adaptive-op-epsilon", "exploration rate of the operator bandit",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.adaptive_op_epsilon = parse_f64("adaptive-op-epsilon", v);
+     }},
+    {"adaptive-length", "Sec. V: MAB seed-length selection",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.adaptive_length = parse_flag("adaptive-length", v);
+     }},
+    {"length-choices", "candidate seed lengths for adaptive-length",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.length_choices = parse_lengths("length-choices", v);
+     }},
+};
+
+}  // namespace
+
+void CampaignConfig::set(std::string_view key, std::string_view value) {
+  for (const ConfigKey& entry : kConfigKeys) {
+    if (entry.key == key) {
+      entry.apply(*this, value);
+      return;
+    }
+  }
+  std::string message = "unknown campaign key '";
+  message.append(key);
+  message += "'; known keys:";
+  for (const ConfigKey& entry : kConfigKeys) {
+    message += ' ';
+    message.append(entry.key);
+  }
+  throw std::invalid_argument(message);
+}
+
+CampaignConfig CampaignConfig::from_pairs(std::span<const std::string> pairs,
+                                          const CampaignConfig& base) {
+  CampaignConfig config = base;
+  // Two passes: `bugs` last, so its core-relative "default" spec sees the
+  // core requested anywhere in the same pair list.
+  for (const bool bugs_pass : {false, true}) {
+    for (const std::string& pair : pairs) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("expected key=value, got '" + pair + "'");
+      }
+      const auto key = std::string_view(pair).substr(0, eq);
+      if ((key == "bugs") == bugs_pass) {
+        config.set(key, std::string_view(pair).substr(eq + 1));
+      }
+    }
+  }
+  return config;
+}
+
+CampaignConfig CampaignConfig::from_pairs(std::span<const std::string> pairs) {
+  return from_pairs(pairs, CampaignConfig{});
+}
+
+CampaignConfig CampaignConfig::from_args(const common::CliArgs& args,
+                                         const CampaignConfig& base) {
+  CampaignConfig config = base;
+  for (const ConfigKey& entry : kConfigKeys) {
+    if (const auto value = args.get(entry.key)) {
+      config.set(entry.key, *value);
+    }
+  }
+  return config;
+}
+
+CampaignConfig CampaignConfig::from_args(const common::CliArgs& args) {
+  return from_args(args, CampaignConfig{});
+}
+
+std::vector<std::pair<std::string, std::string>> CampaignConfig::known_keys() {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const ConfigKey& entry : kConfigKeys) {
+    out.emplace_back(std::string(entry.key), std::string(entry.description));
+  }
+  return out;
+}
+
+// --- StopCondition --------------------------------------------------------------
+
+std::string_view stop_reason_name(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kMaxTests: return "max-tests";
+    case StopReason::kWallClock: return "wall-clock";
+    case StopReason::kBugDetected: return "bug-detected";
+    case StopReason::kAllBugsDetected: return "all-bugs-detected";
+    case StopReason::kCoverageTarget: return "coverage-target";
+    case StopReason::kCustom: return "custom";
+  }
+  return "?";
+}
+
+StopCondition::StopCondition(StopReason reason, std::string label,
+                             Predicate satisfied) {
+  clauses_.push_back({reason, std::move(label), std::move(satisfied)});
+}
+
+StopCondition StopCondition::max_tests(std::uint64_t n) {
+  return {StopReason::kMaxTests, "max_tests(" + std::to_string(n) + ")",
+          [n](const Campaign& c) { return c.tests_executed() >= n; }};
+}
+
+StopCondition StopCondition::wall_clock(std::chrono::steady_clock::duration budget) {
+  const double seconds = std::chrono::duration<double>(budget).count();
+  return {StopReason::kWallClock,
+          "wall_clock(" + std::to_string(seconds) + "s)",
+          [seconds](const Campaign& c) { return c.elapsed_seconds() >= seconds; }};
+}
+
+StopCondition StopCondition::bug_detected(soc::BugId bug) {
+  return {StopReason::kBugDetected,
+          "bug_detected(" + std::string(soc::bug_info(bug).name) + ")",
+          [bug](const Campaign& c) { return c.bug_detected(bug); }};
+}
+
+StopCondition StopCondition::all_bugs_detected() {
+  return {StopReason::kAllBugsDetected, "all_bugs_detected",
+          [](const Campaign& c) { return c.all_enabled_bugs_detected(); }};
+}
+
+StopCondition StopCondition::coverage_at_least(std::size_t points) {
+  return {StopReason::kCoverageTarget,
+          "coverage_at_least(" + std::to_string(points) + ")",
+          [points](const Campaign& c) { return c.covered() >= points; }};
+}
+
+StopCondition StopCondition::custom(std::string label, Predicate fn) {
+  return {StopReason::kCustom, std::move(label), std::move(fn)};
+}
+
+StopCondition StopCondition::operator||(StopCondition other) const {
+  StopCondition combined = *this;
+  for (Clause& clause : other.clauses_) {
+    combined.clauses_.push_back(std::move(clause));
+  }
+  return combined;
+}
+
+std::optional<StopReason> StopCondition::evaluate(const Campaign& campaign) const {
+  for (const Clause& clause : clauses_) {
+    if (clause.satisfied(campaign)) {
+      return clause.reason;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string StopCondition::describe() const {
+  std::string out;
+  for (const Clause& clause : clauses_) {
+    if (!out.empty()) {
+      out += " || ";
+    }
+    out += clause.label;
+  }
+  return out;
+}
+
+// --- Campaign -------------------------------------------------------------------
+
+Campaign::Campaign(const CampaignConfig& config) : config_(config) {
+  core::ensure_builtin_policies_registered();
+  MABFUZZ_DEBUG() << "campaign: " << config_.fuzzer << " on "
+                  << soc::core_name(config_.core) << ", run " << config_.run_index
+                  << ", " << config_.max_tests << " tests";
+
+  fuzz::BackendConfig backend_config;
+  backend_config.core = config_.core;
+  backend_config.bugs = config_.bugs;
+  backend_config.rng_seed = config_.rng_seed;
+  backend_config.rng_run = config_.run_index;
+  if (config_.policy.adaptive_operators) {
+    mab::BanditConfig op_bandit;
+    op_bandit.num_arms = mutation::kNumOps;
+    op_bandit.epsilon = config_.policy.adaptive_op_epsilon;
+    op_bandit.rng_seed =
+        common::derive_seed(config_.rng_seed, config_.run_index, "op-bandit");
+    backend_config.operator_policy = std::make_shared<core::MabOperatorPolicy>(
+        mab::make_bandit("epsilon-greedy", op_bandit));
+  }
+  backend_ = std::make_unique<fuzz::Backend>(backend_config);
+
+  // Every stochastic component derives its stream from (seed, run, tag):
+  // the campaign owns the derivation so equal configs replay bit-identically
+  // regardless of who authored the PolicyConfig.
+  config_.policy.bandit.rng_seed =
+      common::derive_seed(config_.rng_seed, config_.run_index, "bandit");
+  if (!config_.policy.length_policy && config_.policy.adaptive_length) {
+    mab::BanditConfig len_bandit;
+    len_bandit.num_arms = config_.policy.length_choices.size();
+    len_bandit.rng_seed =
+        common::derive_seed(config_.rng_seed, config_.run_index, "len-bandit");
+    config_.policy.length_policy = std::make_shared<core::SeedLengthPolicy>(
+        config_.policy.length_choices, mab::make_bandit("ucb", len_bandit));
+  }
+
+  fuzzer_ = fuzz::FuzzerRegistry::instance().create(config_.fuzzer, *backend_,
+                                                    config_.policy);
+}
+
+double Campaign::elapsed_seconds() const noexcept {
+  if (!timing_started_) {
+    return 0.0;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)
+      .count();
+}
+
+bool Campaign::bug_detected(soc::BugId bug) const noexcept {
+  return first_detection_test(bug) != 0;
+}
+
+std::uint64_t Campaign::first_detection_test(soc::BugId bug) const noexcept {
+  return first_detection_[static_cast<std::size_t>(bug)];
+}
+
+std::size_t Campaign::enabled_bug_count() const noexcept {
+  std::size_t count = 0;
+  for (const soc::BugInfo& info : soc::all_bugs()) {
+    count += config_.bugs.enabled(info.id) ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t Campaign::detected_bug_count() const noexcept {
+  std::size_t count = 0;
+  for (const soc::BugInfo& info : soc::all_bugs()) {
+    count += bug_detected(info.id) ? 1 : 0;
+  }
+  return count;
+}
+
+bool Campaign::all_enabled_bugs_detected() const noexcept {
+  std::size_t enabled = 0;
+  for (const soc::BugInfo& info : soc::all_bugs()) {
+    if (!config_.bugs.enabled(info.id)) {
+      continue;
+    }
+    ++enabled;
+    if (!bug_detected(info.id)) {
+      return false;
+    }
+  }
+  return enabled > 0;
+}
+
+void Campaign::add_observer(CampaignObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+fuzz::StepResult Campaign::step() {
+  if (!timing_started_) {
+    timing_started_ = true;
+    started_ = std::chrono::steady_clock::now();
+  }
+  const fuzz::StepResult result = fuzzer_->step();
+  ++steps_;
+  if (result.mismatch) {
+    ++mismatches_;
+    for (const soc::BugFiring& firing : result.firings) {
+      std::uint64_t& first = first_detection_[static_cast<std::size_t>(firing.id)];
+      if (first == 0) {
+        first = result.test_index;
+      }
+    }
+  }
+
+  // Documented callback order: arm, new coverage, mismatch, then the
+  // unconditional step notification.
+  if (result.arm) {
+    for (CampaignObserver* observer : observers_) {
+      observer->on_arm_selected(*this, *result.arm);
+    }
+  }
+  if (result.new_global_points > 0) {
+    for (CampaignObserver* observer : observers_) {
+      observer->on_new_coverage(*this, result);
+    }
+  }
+  if (result.mismatch) {
+    for (CampaignObserver* observer : observers_) {
+      observer->on_mismatch(*this, result);
+    }
+  }
+  for (CampaignObserver* observer : observers_) {
+    observer->on_step(*this, result);
+  }
+  return result;
+}
+
+void Campaign::take_snapshot() {
+  const BatchSnapshot snapshot{steps_, covered(), coverage_universe()};
+  snapshots_.push_back(snapshot);
+  for (CampaignObserver* observer : observers_) {
+    observer->on_batch(*this, snapshot);
+  }
+}
+
+RunResult Campaign::run_until(const StopCondition& stop) {
+  const std::uint64_t batch = config_.effective_snapshot_every();
+  std::uint64_t in_batch = 0;
+  const StopCondition::Clause* fired = nullptr;
+  auto first_satisfied = [&]() -> const StopCondition::Clause* {
+    for (const StopCondition::Clause& clause : stop.clauses_) {
+      if (clause.satisfied(*this)) {
+        return &clause;
+      }
+    }
+    return nullptr;
+  };
+  // Evaluated between steps (including before the first), so an already
+  // satisfied condition executes zero tests.
+  while ((fired = first_satisfied()) == nullptr) {
+    step();
+    if (++in_batch == batch) {
+      take_snapshot();
+      in_batch = 0;
+    }
+  }
+  if (steps_ > 0 &&
+      (snapshots_.empty() || snapshots_.back().tests_executed != steps_)) {
+    take_snapshot();
+  }
+
+  RunResult result;
+  result.reason = fired->reason;
+  result.trigger = fired->label;
+  result.tests_executed = steps_;
+  result.covered = covered();
+  result.elapsed_seconds = elapsed_seconds();
+  for (CampaignObserver* observer : observers_) {
+    observer->on_stop(*this, result);
+  }
+  return result;
+}
+
+RunResult Campaign::run() {
+  return run_until(StopCondition::max_tests(config_.max_tests));
+}
+
+// --- parallel run driver --------------------------------------------------------
+
+void parallel_runs(std::uint64_t runs, const std::function<void(std::uint64_t)>& fn) {
+  const unsigned workers =
+      std::max(1u, std::min<unsigned>(std::thread::hardware_concurrency(),
+                                      static_cast<unsigned>(runs)));
+  if (workers <= 1) {
+    for (std::uint64_t r = 0; r < runs; ++r) {
+      fn(r);
+    }
+    return;
+  }
+  std::atomic<std::uint64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::uint64_t r = next.fetch_add(1);
+        if (r >= runs) {
+          return;
+        }
+        try {
+          fn(r);
+          MABFUZZ_DEBUG() << "run " << r << " finished";
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace mabfuzz::harness

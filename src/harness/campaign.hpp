@@ -1,0 +1,263 @@
+#pragma once
+// The campaign API: the one construction-and-run path every bench, example
+// and test drives experiments through.
+//
+//  - CampaignConfig: one declarative description of an experiment — which
+//    policy (by registry name), which core, which bugs, how many tests —
+//    with every policy knob in the nested fuzz::PolicyConfig. Parseable
+//    from "key=value" pairs (and from common::CliArgs), so every binary
+//    shares one flag vocabulary.
+//  - Campaign: the run driver. Batched stepping via run_until() with
+//    composable StopConditions (max tests, wall-clock budget, bug
+//    detection, all-injected-bugs-detected), per-batch coverage snapshots
+//    feeding harness/curves, and an observer interface replacing the
+//    hand-rolled step loops that used to poke fuzzer internals.
+//
+// Observer callback order within one step is part of the contract:
+//   on_arm_selected  (iff the policy selected an arm)
+//   on_new_coverage  (iff the test covered globally-new points)
+//   on_mismatch      (iff differential testing diverged)
+//   on_step          (always, last)
+// and on_batch fires after every snapshot_every steps plus once at stop.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "fuzz/backend.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/registry.hpp"
+#include "soc/bugs.hpp"
+#include "soc/cores.hpp"
+
+namespace mabfuzz::harness {
+
+/// Policy names for the standard sweeps. kAllPolicies mirrors the paper's
+/// Fig. 3 panel set plus the Thompson extension; kMabPolicies is the
+/// MABFuzz-variant subset compared against the TheHuzz baseline.
+inline constexpr std::array<std::string_view, 5> kAllPolicies = {
+    "thehuzz", "epsilon-greedy", "ucb", "exp3", "thompson"};
+inline constexpr std::array<std::string_view, 4> kMabPolicies = {
+    "epsilon-greedy", "ucb", "exp3", "thompson"};
+
+struct CampaignConfig {
+  std::string fuzzer = "thehuzz";  // fuzz::FuzzerRegistry key
+  soc::CoreKind core = soc::CoreKind::kRocket;
+  soc::BugSet bugs;  // default: none (coverage experiments)
+  std::uint64_t max_tests = 10'000;
+  std::uint64_t rng_seed = 1;
+  std::uint64_t run_index = 0;
+  /// Coverage-snapshot cadence for run_until(); 0 = auto (max_tests / 100,
+  /// at least 1).
+  std::uint64_t snapshot_every = 0;
+  /// Everything the selected policy consumes (bandit parameters included —
+  /// the single home of num_arms / epsilon / eta).
+  fuzz::PolicyConfig policy;
+
+  /// Applies one "key=value" setting ("fuzzer=ucb", "epsilon=0.2",
+  /// "bugs=V1,V5"). Throws std::invalid_argument on an unknown key
+  /// (listing the known ones) or an unparsable value. The core-relative
+  /// "bugs=default" spec resolves against the *current* `core`; the batch
+  /// parsers below order the keys so that is always the requested one.
+  void set(std::string_view key, std::string_view value);
+
+  /// Applies "key=value" pairs onto `base` (or a default-constructed
+  /// config). Keys apply in the given order except `bugs`, which applies
+  /// last so "bugs=default" resolves against the requested core wherever
+  /// it appears in the list.
+  static CampaignConfig from_pairs(std::span<const std::string> pairs,
+                                   const CampaignConfig& base);
+  static CampaignConfig from_pairs(std::span<const std::string> pairs);
+
+  /// Reads every known key present in `args` (--key value / --key=value)
+  /// onto `base` — pass the binary's defaults (e.g. its default core) so
+  /// core-relative values resolve against them.
+  static CampaignConfig from_args(const common::CliArgs& args,
+                                  const CampaignConfig& base);
+  static CampaignConfig from_args(const common::CliArgs& args);
+
+  /// The known `set()` keys with one-line descriptions, for --help output.
+  [[nodiscard]] static std::vector<std::pair<std::string, std::string>>
+  known_keys();
+
+  [[nodiscard]] std::uint64_t effective_snapshot_every() const noexcept {
+    if (snapshot_every != 0) {
+      return snapshot_every;
+    }
+    return max_tests / 100 == 0 ? 1 : max_tests / 100;
+  }
+};
+
+class Campaign;
+
+/// Why a run_until() returned.
+enum class StopReason : std::uint8_t {
+  kMaxTests,
+  kWallClock,
+  kBugDetected,
+  kAllBugsDetected,
+  kCoverageTarget,
+  kCustom,
+};
+
+[[nodiscard]] std::string_view stop_reason_name(StopReason reason) noexcept;
+
+/// A composable stop condition: an ordered list of clauses, evaluated
+/// between steps; the first satisfied clause ends the run and names the
+/// StopReason. Order is precedence — in
+///   StopCondition::bug_detected(bug) || StopCondition::max_tests(n)
+/// a detection on the very last allowed test still reports kBugDetected.
+class StopCondition {
+ public:
+  using Predicate = std::function<bool(const Campaign&)>;
+
+  /// Stop after `n` total tests have been executed.
+  [[nodiscard]] static StopCondition max_tests(std::uint64_t n);
+  /// Stop once the campaign's running wall-clock exceeds `budget`.
+  [[nodiscard]] static StopCondition wall_clock(
+      std::chrono::steady_clock::duration budget);
+  /// Stop once `bug` has been detected (mismatch + firing in one test).
+  [[nodiscard]] static StopCondition bug_detected(soc::BugId bug);
+  /// Stop once every bug enabled in the campaign's BugSet is detected.
+  /// Never satisfied when no bugs are enabled (compose with max_tests).
+  [[nodiscard]] static StopCondition all_bugs_detected();
+  /// Stop once accumulated coverage reaches `points`.
+  [[nodiscard]] static StopCondition coverage_at_least(std::size_t points);
+  /// Escape hatch for experiment-specific conditions.
+  [[nodiscard]] static StopCondition custom(std::string label, Predicate fn);
+
+  /// Ordered composition: this condition's clauses first, then `other`'s.
+  [[nodiscard]] StopCondition operator||(StopCondition other) const;
+
+  /// The reason of the first satisfied clause, if any.
+  [[nodiscard]] std::optional<StopReason> evaluate(const Campaign& campaign) const;
+
+  /// Human-readable description ("bug_detected(V5) || max_tests(5000)").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct Clause {
+    StopReason reason;
+    std::string label;
+    Predicate satisfied;
+  };
+
+  StopCondition(StopReason reason, std::string label, Predicate satisfied);
+
+  std::vector<Clause> clauses_;
+
+  friend class Campaign;
+};
+
+/// One per-batch coverage sample (the raw material of harness/curves).
+struct BatchSnapshot {
+  std::uint64_t tests_executed = 0;
+  std::size_t covered = 0;
+  std::size_t universe = 0;
+};
+
+/// What a run_until() call did.
+struct RunResult {
+  StopReason reason = StopReason::kMaxTests;
+  std::string trigger;                // label of the clause that fired
+  std::uint64_t tests_executed = 0;   // campaign total at stop
+  std::size_t covered = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Subscribe to campaign events instead of poking fuzzer internals.
+/// Callbacks run synchronously on the stepping thread, in subscription
+/// order; the campaign outlives no observer (caller owns lifetimes).
+class CampaignObserver {
+ public:
+  virtual ~CampaignObserver() = default;
+
+  virtual void on_arm_selected(const Campaign&, std::size_t /*arm*/) {}
+  virtual void on_new_coverage(const Campaign&, const fuzz::StepResult&) {}
+  virtual void on_mismatch(const Campaign&, const fuzz::StepResult&) {}
+  virtual void on_step(const Campaign&, const fuzz::StepResult&) {}
+  virtual void on_batch(const Campaign&, const BatchSnapshot&) {}
+  virtual void on_stop(const Campaign&, const RunResult&) {}
+};
+
+/// One constructed, observable fuzzing campaign. Construction resolves the
+/// policy through fuzz::FuzzerRegistry (throwing with the list of known
+/// names on a miss) and derives every RNG stream from
+/// (rng_seed, run_index), so equal configs replay bit-identically.
+class Campaign {
+ public:
+  explicit Campaign(const CampaignConfig& config);
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  /// Executes exactly one test and fires the per-step observer callbacks.
+  fuzz::StepResult step();
+
+  /// Batched stepping until `stop` is satisfied, snapshotting coverage
+  /// every config().effective_snapshot_every() tests (plus once at stop).
+  /// Callable repeatedly; totals accumulate across calls.
+  RunResult run_until(const StopCondition& stop);
+
+  /// run_until(StopCondition::max_tests(config().max_tests)).
+  RunResult run();
+
+  void add_observer(CampaignObserver& observer);
+
+  [[nodiscard]] fuzz::Fuzzer& fuzzer() noexcept { return *fuzzer_; }
+  [[nodiscard]] const fuzz::Fuzzer& fuzzer() const noexcept { return *fuzzer_; }
+  [[nodiscard]] fuzz::Backend& backend() noexcept { return *backend_; }
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::uint64_t tests_executed() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t covered() const noexcept {
+    return fuzzer_->accumulated().covered();
+  }
+  [[nodiscard]] std::size_t coverage_universe() const noexcept {
+    return fuzzer_->accumulated().universe();
+  }
+  /// Wall-clock seconds since the first step (0 before it).
+  [[nodiscard]] double elapsed_seconds() const noexcept;
+
+  /// Per-batch coverage samples collected by run_until().
+  [[nodiscard]] const std::vector<BatchSnapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+
+  // --- detection bookkeeping (mismatch + same-test firing, per bug) ---
+  [[nodiscard]] std::uint64_t mismatches() const noexcept { return mismatches_; }
+  [[nodiscard]] bool bug_detected(soc::BugId bug) const noexcept;
+  /// 1-based test index of the first detection; 0 when undetected.
+  [[nodiscard]] std::uint64_t first_detection_test(soc::BugId bug) const noexcept;
+  [[nodiscard]] std::size_t enabled_bug_count() const noexcept;
+  [[nodiscard]] std::size_t detected_bug_count() const noexcept;
+  [[nodiscard]] bool all_enabled_bugs_detected() const noexcept;
+
+ private:
+  void take_snapshot();
+
+  CampaignConfig config_;
+  std::unique_ptr<fuzz::Backend> backend_;
+  std::unique_ptr<fuzz::Fuzzer> fuzzer_;
+  std::vector<CampaignObserver*> observers_;
+  std::vector<BatchSnapshot> snapshots_;
+  std::array<std::uint64_t, soc::kNumBugs> first_detection_{};  // 0 = never
+  std::uint64_t steps_ = 0;
+  std::uint64_t mismatches_ = 0;
+  std::chrono::steady_clock::time_point started_{};
+  bool timing_started_ = false;
+};
+
+/// Runs `fn(run_index)` for run_index in [0, runs), using up to
+/// `hardware_concurrency` worker threads. Exceptions propagate.
+void parallel_runs(std::uint64_t runs, const std::function<void(std::uint64_t)>& fn);
+
+}  // namespace mabfuzz::harness

@@ -4,34 +4,38 @@
 
 namespace mabfuzz::harness {
 
-CoverageCurve measure_coverage(const ExperimentConfig& config,
-                               std::uint64_t sample_every) {
-  Session session(config);
+CoverageCurve curve_from_snapshots(const std::vector<BatchSnapshot>& snapshots) {
   CoverageCurve curve;
-  curve.universe = session.backend().coverage_universe();
-  if (sample_every == 0) {
-    sample_every = 1;
-  }
-  for (std::uint64_t t = 1; t <= config.max_tests; ++t) {
-    session.fuzzer().step();
-    if (t % sample_every == 0 || t == config.max_tests) {
-      curve.grid.push_back(t);
-      curve.covered.push_back(
-          static_cast<double>(session.fuzzer().accumulated().covered()));
-    }
+  curve.grid.reserve(snapshots.size());
+  curve.covered.reserve(snapshots.size());
+  for (const BatchSnapshot& snapshot : snapshots) {
+    curve.grid.push_back(snapshot.tests_executed);
+    curve.covered.push_back(static_cast<double>(snapshot.covered));
+    curve.universe = snapshot.universe;
   }
   curve.final_covered = curve.covered.empty() ? 0.0 : curve.covered.back();
   return curve;
 }
 
-CoverageCurve measure_coverage_multi(ExperimentConfig config,
+CoverageCurve measure_coverage(const CampaignConfig& config,
+                               std::uint64_t sample_every) {
+  CampaignConfig run_config = config;
+  run_config.snapshot_every = sample_every == 0 ? 1 : sample_every;
+  Campaign campaign(run_config);
+  campaign.run();
+  CoverageCurve curve = curve_from_snapshots(campaign.snapshots());
+  curve.universe = campaign.coverage_universe();
+  return curve;
+}
+
+CoverageCurve measure_coverage_multi(CampaignConfig config,
                                      std::uint64_t sample_every,
                                      std::uint64_t runs) {
   CoverageCurve average;
   std::mutex mutex;
 
   parallel_runs(runs, [&](std::uint64_t r) {
-    ExperimentConfig run_config = config;
+    CampaignConfig run_config = config;
     run_config.run_index = r;
     const CoverageCurve curve = measure_coverage(run_config, sample_every);
     const std::scoped_lock lock(mutex);

@@ -6,11 +6,13 @@
 //    coverage C_base after N_base tests and the candidate first reaches
 //    C_base after M tests (∞-safe: reported as N_base when never reached).
 //  - coverage increment = (C_cand − C_base) / C_base × 100 %.
+//
+// Curves are built from the Campaign's per-batch snapshots.
 
 #include <cstdint>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/campaign.hpp"
 
 namespace mabfuzz::harness {
 
@@ -21,13 +23,17 @@ struct CoverageCurve {
   double final_covered = 0.0;
 };
 
-/// Runs one session for config.max_tests, sampling accumulated coverage
+/// Converts a campaign's batch snapshots into a curve.
+[[nodiscard]] CoverageCurve curve_from_snapshots(
+    const std::vector<BatchSnapshot>& snapshots);
+
+/// Runs one campaign for config.max_tests, sampling accumulated coverage
 /// every `sample_every` tests (plus the final point).
-[[nodiscard]] CoverageCurve measure_coverage(const ExperimentConfig& config,
+[[nodiscard]] CoverageCurve measure_coverage(const CampaignConfig& config,
                                              std::uint64_t sample_every);
 
 /// Averages per-run curves over `runs` repetitions (same grid).
-[[nodiscard]] CoverageCurve measure_coverage_multi(ExperimentConfig config,
+[[nodiscard]] CoverageCurve measure_coverage_multi(CampaignConfig config,
                                                    std::uint64_t sample_every,
                                                    std::uint64_t runs);
 

@@ -1,6 +1,5 @@
 #include "harness/detection.hpp"
 
-#include <algorithm>
 #include <mutex>
 
 #include "common/log.hpp"
@@ -8,31 +7,24 @@
 
 namespace mabfuzz::harness {
 
-DetectionResult measure_detection(const ExperimentConfig& config, soc::BugId bug) {
-  Session session(config);
+DetectionResult measure_detection(const CampaignConfig& config, soc::BugId bug) {
+  Campaign campaign(config);
+  campaign.run_until(StopCondition::bug_detected(bug) ||
+                     StopCondition::max_tests(config.max_tests));
   DetectionResult result;
-  for (std::uint64_t t = 0; t < config.max_tests; ++t) {
-    const fuzz::StepResult step = session.fuzzer().step();
-    if (!step.mismatch) {
-      continue;
-    }
-    const bool fired = std::any_of(
-        step.firings.begin(), step.firings.end(),
-        [bug](const soc::BugFiring& f) { return f.id == bug; });
-    if (fired) {
-      result.detected = true;
-      result.tests_to_detection = step.test_index;
-      MABFUZZ_INFO() << soc::bug_info(bug).name << " detected by "
-                     << session.fuzzer().name() << " at test "
-                     << step.test_index;
-      return result;
-    }
+  result.detected = campaign.bug_detected(bug);
+  if (result.detected) {
+    result.tests_to_detection = campaign.first_detection_test(bug);
+    MABFUZZ_INFO() << soc::bug_info(bug).name << " detected by "
+                   << campaign.fuzzer().name() << " at test "
+                   << result.tests_to_detection;
+  } else {
+    result.tests_to_detection = config.max_tests;
   }
-  result.tests_to_detection = config.max_tests;
   return result;
 }
 
-DetectionSummary measure_detection_multi(ExperimentConfig config, soc::BugId bug,
+DetectionSummary measure_detection_multi(CampaignConfig config, soc::BugId bug,
                                          std::uint64_t runs) {
   DetectionSummary summary;
   summary.runs = runs;
@@ -41,7 +33,7 @@ DetectionSummary measure_detection_multi(ExperimentConfig config, soc::BugId bug
   std::uint64_t detected = 0;
 
   parallel_runs(runs, [&](std::uint64_t r) {
-    ExperimentConfig run_config = config;
+    CampaignConfig run_config = config;
     run_config.run_index = r;
     const DetectionResult result = measure_detection(run_config, bug);
     const std::scoped_lock lock(mutex);

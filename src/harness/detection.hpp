@@ -3,12 +3,13 @@
 // *detected* at the first test whose differential comparison mismatches
 // while the bug's gated path fired in the DUT — the same accounting the
 // paper applies per vulnerability. Table I experiments enable one bug at a
-// time so attribution is unambiguous.
+// time so attribution is unambiguous. Implemented as a Campaign run under
+// bug_detected(bug) || max_tests(cap).
 
 #include <cstdint>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/campaign.hpp"
 #include "soc/bugs.hpp"
 
 namespace mabfuzz::harness {
@@ -18,8 +19,8 @@ struct DetectionResult {
   std::uint64_t tests_to_detection = 0;  // valid when detected
 };
 
-/// Runs one fuzzing session until `bug` is detected or max_tests expire.
-[[nodiscard]] DetectionResult measure_detection(const ExperimentConfig& config,
+/// Runs one fuzzing campaign until `bug` is detected or max_tests expire.
+[[nodiscard]] DetectionResult measure_detection(const CampaignConfig& config,
                                                 soc::BugId bug);
 
 struct DetectionSummary {
@@ -33,7 +34,7 @@ struct DetectionSummary {
 };
 
 /// Repeats measure_detection over `runs` repetitions (parallelised).
-[[nodiscard]] DetectionSummary measure_detection_multi(ExperimentConfig config,
+[[nodiscard]] DetectionSummary measure_detection_multi(CampaignConfig config,
                                                        soc::BugId bug,
                                                        std::uint64_t runs);
 

@@ -1,13 +1,5 @@
 #include "harness/experiment.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-#include "common/log.hpp"
-
 namespace mabfuzz::harness {
 
 std::string_view fuzzer_name(FuzzerKind kind) noexcept {
@@ -20,87 +12,37 @@ std::string_view fuzzer_name(FuzzerKind kind) noexcept {
   return "?";
 }
 
-namespace {
-
-mab::Algorithm algorithm_of(FuzzerKind kind) {
+std::string_view policy_key(FuzzerKind kind) noexcept {
   switch (kind) {
-    case FuzzerKind::kMabEpsilonGreedy: return mab::Algorithm::kEpsilonGreedy;
-    case FuzzerKind::kMabUcb: return mab::Algorithm::kUcb;
-    default: return mab::Algorithm::kExp3;
+    case FuzzerKind::kTheHuzz: return "thehuzz";
+    case FuzzerKind::kMabEpsilonGreedy: return "epsilon-greedy";
+    case FuzzerKind::kMabUcb: return "ucb";
+    case FuzzerKind::kMabExp3: return "exp3";
   }
+  return "?";
 }
 
-}  // namespace
-
-Session::Session(const ExperimentConfig& config) : config_(config) {
-  MABFUZZ_DEBUG() << "session: " << fuzzer_name(config.fuzzer) << " on "
-                  << soc::core_name(config.core) << ", run " << config.run_index
-                  << ", " << config.max_tests << " tests";
-  fuzz::BackendConfig backend_config;
-  backend_config.core = config.core;
-  backend_config.bugs = config.bugs;
-  backend_config.rng_seed = config.rng_seed;
-  backend_config.rng_run = config.run_index;
-  backend_ = std::make_unique<fuzz::Backend>(backend_config);
-
-  if (config.fuzzer == FuzzerKind::kTheHuzz) {
-    fuzz::TheHuzzConfig thehuzz = config.thehuzz;
-    thehuzz.mutants_per_interesting = config.mab.mutants_per_interesting;
-    fuzzer_ = std::make_unique<fuzz::TheHuzz>(*backend_, thehuzz);
-    return;
-  }
-
-  mab::BanditConfig bandit_config;
-  bandit_config.num_arms = config.mab.num_arms;
-  bandit_config.epsilon = config.epsilon;
-  bandit_config.eta = config.eta;
-  bandit_config.rng_seed =
-      common::derive_seed(config.rng_seed, config.run_index, "bandit");
-  auto bandit = mab::make_bandit(algorithm_of(config.fuzzer), bandit_config);
-  fuzzer_ = std::make_unique<core::MabScheduler>(*backend_, std::move(bandit),
-                                                 config.mab);
+CampaignConfig ExperimentConfig::to_campaign() const {
+  CampaignConfig campaign;
+  campaign.fuzzer = std::string(policy_key(fuzzer));
+  campaign.core = core;
+  campaign.bugs = bugs;
+  campaign.max_tests = max_tests;
+  campaign.rng_seed = rng_seed;
+  campaign.run_index = run_index;
+  campaign.policy.bandit = bandit;
+  campaign.policy.bandit.num_arms = mab.num_arms;
+  campaign.policy.alpha = mab.alpha;
+  campaign.policy.gamma = mab.gamma;
+  campaign.policy.mutants_per_interesting = mab.mutants_per_interesting;
+  campaign.policy.arm_pool_cap = mab.arm_pool_cap;
+  campaign.policy.feed_operator_rewards = mab.feed_operator_rewards;
+  campaign.policy.length_policy = mab.length_policy;
+  campaign.policy.thehuzz = thehuzz;
+  return campaign;
 }
 
-void parallel_runs(std::uint64_t runs, const std::function<void(std::uint64_t)>& fn) {
-  const unsigned workers =
-      std::max(1u, std::min<unsigned>(std::thread::hardware_concurrency(),
-                                      static_cast<unsigned>(runs)));
-  if (workers <= 1) {
-    for (std::uint64_t r = 0; r < runs; ++r) {
-      fn(r);
-    }
-    return;
-  }
-  std::atomic<std::uint64_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      for (;;) {
-        const std::uint64_t r = next.fetch_add(1);
-        if (r >= runs) {
-          return;
-        }
-        try {
-          fn(r);
-          MABFUZZ_DEBUG() << "run " << r << " finished";
-        } catch (...) {
-          const std::scoped_lock lock(error_mutex);
-          if (!first_error) {
-            first_error = std::current_exception();
-          }
-        }
-      }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
-}
+Session::Session(const ExperimentConfig& config)
+    : config_(config), campaign_(config.to_campaign()) {}
 
 }  // namespace mabfuzz::harness

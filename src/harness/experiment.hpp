@@ -1,20 +1,22 @@
 #pragma once
-// Experiment plumbing shared by every bench target: fuzzer construction
-// from a declarative config, and a small multi-run parallel driver
-// (repetitions decorrelate through the run index in every RNG stream).
+// DEPRECATED compatibility shim — kept for exactly one PR.
+//
+// The enum-keyed construction API (FuzzerKind / ExperimentConfig / Session)
+// is superseded by the string-keyed registry + harness::Campaign in
+// harness/campaign.hpp. This header maps the old vocabulary onto the new
+// one so stragglers keep compiling; new code must construct a Campaign.
 
 #include <array>
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <string_view>
 
 #include "core/scheduler.hpp"
-#include "fuzz/backend.hpp"
-#include "fuzz/fuzzer.hpp"
-#include "fuzz/thehuzz.hpp"
+#include "harness/campaign.hpp"
 
 namespace mabfuzz::harness {
 
+/// DEPRECATED: name policies by registry string instead ("thehuzz",
+/// "epsilon-greedy", "ucb", "exp3", "thompson").
 enum class FuzzerKind : std::uint8_t {
   kTheHuzz,
   kMabEpsilonGreedy,
@@ -29,8 +31,14 @@ inline constexpr std::array<FuzzerKind, 4> kAllFuzzers = {
 inline constexpr std::array<FuzzerKind, 3> kMabFuzzers = {
     FuzzerKind::kMabEpsilonGreedy, FuzzerKind::kMabUcb, FuzzerKind::kMabExp3};
 
+/// Display name ("MABFuzz:UCB").
 [[nodiscard]] std::string_view fuzzer_name(FuzzerKind kind) noexcept;
 
+/// The fuzz::FuzzerRegistry key the kind maps onto ("ucb").
+[[nodiscard]] std::string_view policy_key(FuzzerKind kind) noexcept;
+
+/// DEPRECATED in favour of harness::CampaignConfig. The loose epsilon/eta
+/// members are gone; bandit parameters live in the nested BanditConfig.
 struct ExperimentConfig {
   soc::CoreKind core = soc::CoreKind::kRocket;
   soc::BugSet bugs;  // default: none (coverage experiments)
@@ -39,32 +47,32 @@ struct ExperimentConfig {
   std::uint64_t rng_seed = 1;
   std::uint64_t run_index = 0;
 
-  // MABFuzz parameters (paper Sec. IV-A defaults).
+  // MABFuzz parameters (paper Sec. IV-A defaults). mab.num_arms is
+  // authoritative for the arm count, as it was pre-registry.
   core::MabFuzzConfig mab{};
-  double epsilon = 0.1;
-  double eta = 0.1;
+  mab::BanditConfig bandit{};
 
   // Baseline parameters.
   fuzz::TheHuzzConfig thehuzz{};
+
+  /// The equivalent new-API description.
+  [[nodiscard]] CampaignConfig to_campaign() const;
 };
 
-/// One constructed fuzzing session (backend + policy), ready to step.
+/// DEPRECATED: one constructed fuzzing session (backend + policy), ready to
+/// step. Now a thin wrapper over Campaign construction; stepping through
+/// fuzzer().step() bypasses the campaign's observers and bookkeeping.
 class Session {
  public:
   explicit Session(const ExperimentConfig& config);
 
-  [[nodiscard]] fuzz::Fuzzer& fuzzer() noexcept { return *fuzzer_; }
-  [[nodiscard]] fuzz::Backend& backend() noexcept { return *backend_; }
+  [[nodiscard]] fuzz::Fuzzer& fuzzer() noexcept { return campaign_.fuzzer(); }
+  [[nodiscard]] fuzz::Backend& backend() noexcept { return campaign_.backend(); }
   [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
 
  private:
   ExperimentConfig config_;
-  std::unique_ptr<fuzz::Backend> backend_;
-  std::unique_ptr<fuzz::Fuzzer> fuzzer_;
+  Campaign campaign_;
 };
-
-/// Runs `fn(run_index)` for run_index in [0, runs), using up to
-/// `hardware_concurrency` worker threads. Exceptions propagate.
-void parallel_runs(std::uint64_t runs, const std::function<void(std::uint64_t)>& fn);
 
 }  // namespace mabfuzz::harness

@@ -9,25 +9,36 @@ namespace mabfuzz::harness {
 
 using common::Table;
 
-void render_table1(std::ostream& os, const std::vector<Table1Row>& rows) {
-  Table table({"Vulnerability", "CWE", "TheHuzz #Tests", "eps-greedy Speedup",
-               "UCB Speedup", "EXP3 Speedup"});
+void render_table1(std::ostream& os, const std::vector<Table1Row>& rows,
+                   std::vector<std::string> columns) {
+  if (columns.empty() && !rows.empty()) {
+    for (const auto& [policy, speedup] : rows.front().speedup) {
+      columns.push_back(policy);
+    }
+  }
+  std::vector<std::string> header{"Vulnerability", "CWE", "TheHuzz #Tests"};
+  for (const std::string& policy : columns) {
+    header.push_back(policy + " Speedup");
+  }
+  Table table(header);
   for (const Table1Row& row : rows) {
     const soc::BugInfo& info = soc::bug_info(row.bug);
-    auto cell = [&](FuzzerKind kind) -> std::string {
-      const auto it = row.speedup.find(kind);
+    auto cell = [&](const std::string& policy) -> std::string {
+      const auto it = row.speedup.find(policy);
       if (it == row.speedup.end()) {
         return "-";
       }
-      const auto detected_it = row.detected.find(kind);
+      const auto detected_it = row.detected.find(policy);
       const bool detected = detected_it == row.detected.end() || detected_it->second;
       return common::format_speedup(it->second) + (detected ? "" : " (>)");
     };
-    table.add_row({std::string(info.name) + ": " + std::string(info.description),
-                   std::string(info.cwe),
-                   common::format_scientific(row.thehuzz_tests),
-                   cell(FuzzerKind::kMabEpsilonGreedy),
-                   cell(FuzzerKind::kMabUcb), cell(FuzzerKind::kMabExp3)});
+    std::vector<std::string> cells{
+        std::string(info.name) + ": " + std::string(info.description),
+        std::string(info.cwe), common::format_scientific(row.thehuzz_tests)};
+    for (const std::string& policy : columns) {
+      cells.push_back(cell(policy));
+    }
+    table.add_row(std::move(cells));
   }
   table.render(os);
 }
@@ -81,13 +92,16 @@ void ascii_plot(std::ostream& os,
 }
 
 void render_fig3(std::ostream& os, std::string_view core_display,
-                 const std::map<FuzzerKind, CoverageCurve>& curves) {
+                 const std::map<std::string, CoverageCurve>& curves) {
   os << "Branch coverage vs #tests on " << core_display << "\n";
+  if (curves.empty()) {
+    return;
+  }
 
   Table table([&] {
     std::vector<std::string> header{"#tests"};
-    for (const auto& [kind, curve] : curves) {
-      header.emplace_back(fuzzer_name(kind));
+    for (const auto& [policy, curve] : curves) {
+      header.push_back(policy);
     }
     return header;
   }());
@@ -95,7 +109,7 @@ void render_fig3(std::ostream& os, std::string_view core_display,
   const CoverageCurve& first = curves.begin()->second;
   for (std::size_t i = 0; i < first.grid.size(); ++i) {
     std::vector<std::string> row{std::to_string(first.grid[i])};
-    for (const auto& [kind, curve] : curves) {
+    for (const auto& [policy, curve] : curves) {
       row.push_back(i < curve.covered.size()
                         ? common::format_double(curve.covered[i], 1)
                         : "-");
@@ -105,8 +119,8 @@ void render_fig3(std::ostream& os, std::string_view core_display,
   table.render(os);
 
   std::vector<std::pair<std::string, const CoverageCurve*>> series;
-  for (const auto& [kind, curve] : curves) {
-    series.emplace_back(std::string(fuzzer_name(kind)), &curve);
+  for (const auto& [policy, curve] : curves) {
+    series.emplace_back(policy, &curve);
   }
   ascii_plot(os, series);
   os << "(universe: " << first.universe << " instrumented branch points)\n";
@@ -116,14 +130,10 @@ void render_fig4(std::ostream& os, const std::vector<Fig4Row>& rows) {
   Table table({"Core", "Fuzzer", "Coverage Speedup", "Coverage Increment (%)"});
   for (const Fig4Row& row : rows) {
     bool first = true;
-    for (const FuzzerKind kind : kMabFuzzers) {
-      const auto speed_it = row.speedup.find(kind);
-      const auto inc_it = row.increment_percent.find(kind);
-      table.add_row({first ? row.core : "",
-                     std::string(fuzzer_name(kind)),
-                     speed_it != row.speedup.end()
-                         ? common::format_speedup(speed_it->second)
-                         : "-",
+    for (const auto& [policy, speedup] : row.speedup) {
+      const auto inc_it = row.increment_percent.find(policy);
+      table.add_row({first ? row.core : "", policy,
+                     common::format_speedup(speedup),
                      inc_it != row.increment_percent.end()
                          ? common::format_double(inc_it->second, 2) + "%"
                          : "-"});
@@ -132,6 +142,23 @@ void render_fig4(std::ostream& os, const std::vector<Fig4Row>& rows) {
     table.add_rule();
   }
   table.render(os);
+}
+
+void ProgressObserver::on_mismatch(const Campaign& campaign,
+                                   const fuzz::StepResult& step) {
+  if (divergence_announced_) {
+    return;
+  }
+  divergence_announced_ = true;
+  (void)campaign;
+  os_ << "  first golden-model divergence at test #" << step.test_index << "\n";
+}
+
+void ProgressObserver::on_batch(const Campaign& campaign,
+                                const BatchSnapshot& snapshot) {
+  os_ << "  [" << snapshot.tests_executed << "] covered " << snapshot.covered
+      << " / " << snapshot.universe << ", mismatches " << campaign.mismatches()
+      << "\n";
 }
 
 }  // namespace mabfuzz::harness

@@ -2,42 +2,12 @@
 
 #include <cstdlib>
 
-#include "mab/epsilon_greedy.hpp"
-#include "mab/exp3.hpp"
-#include "mab/thompson.hpp"
-#include "mab/ucb.hpp"
-
 namespace mabfuzz::mab {
 
 Bandit::Bandit(std::size_t num_arms) : num_arms_(num_arms) {
   if (num_arms_ == 0) {
     std::abort();  // a bandit needs at least one arm
   }
-}
-
-std::string_view algorithm_name(Algorithm algorithm) noexcept {
-  switch (algorithm) {
-    case Algorithm::kEpsilonGreedy: return "epsilon-greedy";
-    case Algorithm::kUcb: return "ucb";
-    case Algorithm::kExp3: return "exp3";
-    case Algorithm::kThompson: return "thompson";
-  }
-  return "?";
-}
-
-std::unique_ptr<Bandit> make_bandit(Algorithm algorithm, const BanditConfig& config) {
-  auto rng = common::make_stream(config.rng_seed, 0, algorithm_name(algorithm));
-  switch (algorithm) {
-    case Algorithm::kEpsilonGreedy:
-      return std::make_unique<EpsilonGreedy>(config.num_arms, config.epsilon, rng);
-    case Algorithm::kUcb:
-      return std::make_unique<Ucb>(config.num_arms, rng);
-    case Algorithm::kExp3:
-      return std::make_unique<Exp3>(config.num_arms, config.eta, rng);
-    case Algorithm::kThompson:
-      return std::make_unique<Thompson>(config.num_arms, rng);
-  }
-  return nullptr;
 }
 
 }  // namespace mabfuzz::mab

@@ -12,8 +12,7 @@
 //    coverage reward by |C| (Algorithm 2, line 6).
 
 #include <cstddef>
-#include <memory>
-#include <string>
+#include <cstdint>
 #include <string_view>
 
 #include "common/rng.hpp"
@@ -66,21 +65,16 @@ class Bandit {
   std::size_t num_arms_;
 };
 
-/// Which algorithm a factory call should build. kThompson is this
-/// library's extension beyond the paper's three (Sec. V future work).
-enum class Algorithm : std::uint8_t { kEpsilonGreedy, kUcb, kExp3, kThompson };
-
-[[nodiscard]] std::string_view algorithm_name(Algorithm algorithm) noexcept;
-
+/// Unified bandit construction parameters. Every registered policy reads
+/// the fields it cares about and ignores the rest; defaults are the paper's
+/// Sec. IV-A values. Construction goes through mab/registry.hpp
+/// (make_bandit(name, config) / BanditRegistry), keyed by policy name:
+/// "epsilon-greedy" (alias "eps"), "ucb", "exp3", "thompson".
 struct BanditConfig {
   std::size_t num_arms = 10;
   double epsilon = 0.1;       // ε-greedy exploration rate
   double eta = 0.1;           // EXP3 learning rate (paper Sec. IV-A)
   std::uint64_t rng_seed = 1; // derived stream seed
 };
-
-/// Factory covering the three paper algorithms.
-[[nodiscard]] std::unique_ptr<Bandit> make_bandit(Algorithm algorithm,
-                                                  const BanditConfig& config);
 
 }  // namespace mabfuzz::mab

@@ -123,7 +123,8 @@ TEST(Scheduler, StepsExecuteAndCoverageGrows) {
   for (int i = 0; i < 100; ++i) {
     const fuzz::StepResult r = scheduler.step();
     EXPECT_EQ(r.test_index, static_cast<std::uint64_t>(i + 1));
-    EXPECT_LT(r.arm, config.num_arms);
+    ASSERT_TRUE(r.arm.has_value());
+    EXPECT_LT(*r.arm, config.num_arms);
   }
   EXPECT_GT(scheduler.accumulated().covered(), 0u);
 }

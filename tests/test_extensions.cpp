@@ -7,6 +7,7 @@
 #include "core/adaptive.hpp"
 #include "core/scheduler.hpp"
 #include "fuzz/backend.hpp"
+#include "mab/registry.hpp"
 #include "mab/thompson.hpp"
 
 namespace mabfuzz::core {
@@ -16,7 +17,7 @@ std::unique_ptr<mab::Bandit> op_bandit(double epsilon = 0.1) {
   mab::BanditConfig config;
   config.num_arms = mutation::kNumOps;
   config.epsilon = epsilon;
-  return mab::make_bandit(mab::Algorithm::kEpsilonGreedy, config);
+  return mab::make_bandit("epsilon-greedy", config);
 }
 
 // --- MabOperatorPolicy ----------------------------------------------------------
@@ -39,7 +40,7 @@ TEST(MabOperatorPolicy, LearnsRiggedOperatorRewards) {
 TEST(MabOperatorPolicy, WrongArmCountAborts) {
   mab::BanditConfig config;
   config.num_arms = 3;
-  EXPECT_DEATH(MabOperatorPolicy(mab::make_bandit(mab::Algorithm::kUcb, config)),
+  EXPECT_DEATH(MabOperatorPolicy(mab::make_bandit("ucb", config)),
                "");
 }
 
@@ -72,7 +73,7 @@ std::unique_ptr<mab::Bandit> len_bandit(std::size_t arms) {
   mab::BanditConfig config;
   config.num_arms = arms;
   config.epsilon = 0.05;
-  return mab::make_bandit(mab::Algorithm::kEpsilonGreedy, config);
+  return mab::make_bandit("epsilon-greedy", config);
 }
 
 TEST(SeedLengthPolicy, ChoosesFromConfiguredLengths) {
@@ -119,7 +120,7 @@ TEST(AdaptiveScheduler, RunsWithOperatorPolicy) {
   mab::BanditConfig bandit_config;
   bandit_config.num_arms = config.num_arms;
   MabScheduler scheduler(backend,
-                         mab::make_bandit(mab::Algorithm::kUcb, bandit_config),
+                         mab::make_bandit("ucb", bandit_config),
                          config);
   for (int i = 0; i < 300; ++i) {
     scheduler.step();
@@ -140,7 +141,7 @@ TEST(AdaptiveScheduler, RunsWithLengthPolicy) {
   mab::BanditConfig bandit_config;
   bandit_config.num_arms = config.num_arms;
   MabScheduler scheduler(backend,
-                         mab::make_bandit(mab::Algorithm::kUcb, bandit_config),
+                         mab::make_bandit("ucb", bandit_config),
                          config);
   for (int i = 0; i < 400; ++i) {
     scheduler.step();
@@ -160,7 +161,7 @@ TEST(AdaptiveScheduler, SeedLengthsVaryAcrossArms) {
   mab::BanditConfig bandit_config;
   bandit_config.num_arms = config.num_arms;
   MabScheduler scheduler(backend,
-                         mab::make_bandit(mab::Algorithm::kUcb, bandit_config),
+                         mab::make_bandit("ucb", bandit_config),
                          config);
   std::set<std::size_t> seed_sizes;
   for (std::size_t a = 0; a < scheduler.num_arms(); ++a) {
@@ -208,7 +209,7 @@ TEST(ThompsonTest, ResetRestoresPrior) {
 TEST(ThompsonTest, FactoryBuildsIt) {
   mab::BanditConfig config;
   config.num_arms = 5;
-  const auto bandit = mab::make_bandit(mab::Algorithm::kThompson, config);
+  const auto bandit = mab::make_bandit("thompson", config);
   EXPECT_EQ(bandit->name(), "thompson");
   EXPECT_EQ(bandit->num_arms(), 5u);
   EXPECT_FALSE(bandit->requires_normalized_reward());

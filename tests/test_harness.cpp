@@ -1,63 +1,71 @@
-// Harness tests: session construction for every fuzzer kind, detection
-// measurement, coverage curves, the Fig. 4 speedup/increment math, the
-// parallel run driver and the report renderers.
+// Harness tests: campaign construction for every registered policy,
+// detection measurement, coverage curves, the Fig. 4 speedup/increment
+// math, the parallel run driver and the report renderers.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <sstream>
 
+#include "harness/campaign.hpp"
 #include "harness/curves.hpp"
 #include "harness/detection.hpp"
-#include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
 namespace mabfuzz::harness {
 namespace {
 
-ExperimentConfig small_config(FuzzerKind kind) {
-  ExperimentConfig config;
+CampaignConfig small_config(std::string_view policy) {
+  CampaignConfig config;
   config.core = soc::CoreKind::kCva6;
-  config.fuzzer = kind;
+  config.fuzzer = std::string(policy);
   config.max_tests = 150;
   return config;
 }
 
-// --- session ------------------------------------------------------------------
-
-class SessionBuild : public ::testing::TestWithParam<FuzzerKind> {};
-
-TEST_P(SessionBuild, ConstructsAndSteps) {
-  Session session(small_config(GetParam()));
-  EXPECT_FALSE(std::string(session.fuzzer().name()).empty());
-  for (int i = 0; i < 20; ++i) {
-    session.fuzzer().step();
+std::string sanitized(std::string_view name) {
+  std::string out;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += c;
+    }
   }
-  EXPECT_GT(session.fuzzer().accumulated().covered(), 0u);
+  return out;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllFuzzers, SessionBuild, ::testing::ValuesIn(kAllFuzzers),
-                         [](const ::testing::TestParamInfo<FuzzerKind>& info) {
-                           std::string name(fuzzer_name(info.param));
-                           std::string out;
-                           for (const char c : name) {
-                             if (std::isalnum(static_cast<unsigned char>(c))) {
-                               out += c;
-                             }
-                           }
-                           return out;
+// --- campaign construction per policy ----------------------------------------
+
+class CampaignBuild : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(CampaignBuild, ConstructsAndSteps) {
+  Campaign campaign(small_config(GetParam()));
+  EXPECT_FALSE(std::string(campaign.fuzzer().name()).empty());
+  for (int i = 0; i < 20; ++i) {
+    campaign.step();
+  }
+  EXPECT_EQ(campaign.tests_executed(), 20u);
+  EXPECT_GT(campaign.covered(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CampaignBuild,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const ::testing::TestParamInfo<std::string_view>& info) {
+                           return sanitized(info.param);
                          });
 
-TEST(FuzzerNames, AreDistinct) {
-  EXPECT_NE(fuzzer_name(FuzzerKind::kTheHuzz), fuzzer_name(FuzzerKind::kMabUcb));
-  EXPECT_EQ(kAllFuzzers.size(), 4u);
-  EXPECT_EQ(kMabFuzzers.size(), 3u);
+TEST(PolicyLists, CoverThePaperSweeps) {
+  EXPECT_EQ(kAllPolicies.size(), 5u);  // baseline + 4 MAB variants
+  EXPECT_EQ(kMabPolicies.size(), 4u);  // thompson rides in the sweep now
+  EXPECT_NE(std::find(kMabPolicies.begin(), kMabPolicies.end(), "thompson"),
+            kMabPolicies.end());
 }
 
 // --- detection -------------------------------------------------------------------
 
 TEST(Detection, FindsEasyBug) {
-  ExperimentConfig config = small_config(FuzzerKind::kTheHuzz);
+  CampaignConfig config = small_config("thehuzz");
   config.bugs = soc::BugSet::single(soc::BugId::kV5SilentLoadFault);
   config.max_tests = 500;
   const DetectionResult r =
@@ -68,7 +76,7 @@ TEST(Detection, FindsEasyBug) {
 }
 
 TEST(Detection, UndetectedIsCensored) {
-  ExperimentConfig config = small_config(FuzzerKind::kTheHuzz);
+  CampaignConfig config = small_config("thehuzz");
   config.bugs = soc::BugSet::none();  // nothing can ever mismatch
   config.max_tests = 50;
   const DetectionResult r =
@@ -78,7 +86,7 @@ TEST(Detection, UndetectedIsCensored) {
 }
 
 TEST(Detection, MultiRunAggregates) {
-  ExperimentConfig config = small_config(FuzzerKind::kMabUcb);
+  CampaignConfig config = small_config("ucb");
   config.bugs = soc::BugSet::single(soc::BugId::kV5SilentLoadFault);
   config.max_tests = 500;
   const DetectionSummary s =
@@ -92,7 +100,7 @@ TEST(Detection, MultiRunAggregates) {
 // --- curves -----------------------------------------------------------------------
 
 TEST(Curves, MonotoneNonDecreasing) {
-  ExperimentConfig config = small_config(FuzzerKind::kTheHuzz);
+  CampaignConfig config = small_config("thehuzz");
   config.max_tests = 120;
   const CoverageCurve curve = measure_coverage(config, 10);
   ASSERT_FALSE(curve.grid.empty());
@@ -104,7 +112,7 @@ TEST(Curves, MonotoneNonDecreasing) {
 }
 
 TEST(Curves, MultiRunAveragesOnSameGrid) {
-  ExperimentConfig config = small_config(FuzzerKind::kTheHuzz);
+  CampaignConfig config = small_config("thehuzz");
   config.max_tests = 60;
   const CoverageCurve curve = measure_coverage_multi(config, 20, 2);
   EXPECT_EQ(curve.grid.size(), 3u);  // 20, 40, 60
@@ -149,6 +157,15 @@ TEST(Curves, IncrementPercent) {
   EXPECT_NEAR(coverage_increment_percent(cand, base), -0.4975, 1e-3);
 }
 
+TEST(Curves, BuiltFromCampaignSnapshots) {
+  std::vector<BatchSnapshot> snapshots = {{25, 10, 100}, {50, 30, 100}};
+  const CoverageCurve curve = curve_from_snapshots(snapshots);
+  EXPECT_EQ(curve.grid, (std::vector<std::uint64_t>{25, 50}));
+  EXPECT_EQ(curve.covered, (std::vector<double>{10.0, 30.0}));
+  EXPECT_EQ(curve.universe, 100u);
+  EXPECT_DOUBLE_EQ(curve.final_covered, 30.0);
+}
+
 // --- parallel runs ------------------------------------------------------------------
 
 TEST(ParallelRuns, ExecutesAllIndicesExactlyOnce) {
@@ -180,9 +197,9 @@ TEST(Report, Table1Renders) {
   Table1Row row;
   row.bug = soc::BugId::kV7EbreakInstret;
   row.thehuzz_tests = 927;
-  row.speedup[FuzzerKind::kMabEpsilonGreedy] = 308.89;
-  row.speedup[FuzzerKind::kMabUcb] = 185.34;
-  row.speedup[FuzzerKind::kMabExp3] = 73.16;
+  row.speedup["epsilon-greedy"] = 308.89;
+  row.speedup["ucb"] = 185.34;
+  row.speedup["exp3"] = 73.16;
   std::ostringstream os;
   render_table1(os, {row});
   const std::string out = os.str();
@@ -191,15 +208,27 @@ TEST(Report, Table1Renders) {
   EXPECT_NE(out.find("CWE-1201"), std::string::npos);
 }
 
+TEST(Report, Table1HonorsColumnOrder) {
+  Table1Row row;
+  row.bug = soc::BugId::kV1FenceIDecode;
+  row.thehuzz_tests = 10;
+  row.speedup["ucb"] = 2.0;
+  row.speedup["exp3"] = 3.0;
+  std::ostringstream os;
+  render_table1(os, {row}, {"ucb", "exp3"});
+  const std::string out = os.str();
+  EXPECT_LT(out.find("ucb Speedup"), out.find("exp3 Speedup"));
+}
+
 TEST(Report, Fig3Renders) {
   CoverageCurve curve;
   curve.grid = {10, 20};
   curve.covered = {100, 200};
   curve.universe = 1000;
   curve.final_covered = 200;
-  std::map<FuzzerKind, CoverageCurve> curves;
-  curves[FuzzerKind::kTheHuzz] = curve;
-  curves[FuzzerKind::kMabUcb] = curve;
+  std::map<std::string, CoverageCurve> curves;
+  curves["thehuzz"] = curve;
+  curves["ucb"] = curve;
   std::ostringstream os;
   render_fig3(os, "CVA6", curves);
   const std::string out = os.str();
@@ -210,8 +239,8 @@ TEST(Report, Fig3Renders) {
 TEST(Report, Fig4Renders) {
   Fig4Row row;
   row.core = "Rocket Core";
-  row.speedup[FuzzerKind::kMabExp3] = 3.05;
-  row.increment_percent[FuzzerKind::kMabExp3] = 0.68;
+  row.speedup["exp3"] = 3.05;
+  row.increment_percent["exp3"] = 0.68;
   std::ostringstream os;
   render_fig4(os, {row});
   const std::string out = os.str();
@@ -226,6 +255,20 @@ TEST(Report, AsciiPlotHandlesFlatSeries) {
   std::ostringstream os;
   ascii_plot(os, {{"flat", &curve}});
   EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Report, ProgressObserverStreamsBatches) {
+  CampaignConfig config = small_config("ucb");
+  config.max_tests = 40;
+  config.snapshot_every = 20;
+  Campaign campaign(config);
+  std::ostringstream os;
+  ProgressObserver progress(os);
+  campaign.add_observer(progress);
+  campaign.run();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[20] covered"), std::string::npos);
+  EXPECT_NE(out.find("[40] covered"), std::string::npos);
 }
 
 }  // namespace

@@ -1,26 +1,30 @@
 // End-to-end integration tests: full fuzzing campaigns on every core with
-// every scheduler, determinism of whole campaigns, and the qualitative
-// paper properties at small scale (MABFuzz explores at least as well as
-// the static baseline; resets concentrate on depleted arms).
+// every registered scheduling policy, determinism of whole campaigns, and
+// the qualitative paper properties at small scale (MABFuzz explores at
+// least as well as the static baseline; resets concentrate on depleted
+// arms).
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+
+#include "harness/campaign.hpp"
 #include "harness/curves.hpp"
 #include "harness/detection.hpp"
-#include "harness/experiment.hpp"
 
 namespace mabfuzz::harness {
 namespace {
 
 struct CampaignCase {
   soc::CoreKind core;
-  FuzzerKind fuzzer;
+  std::string_view policy;
 };
 
 std::string campaign_name(const ::testing::TestParamInfo<CampaignCase>& info) {
   std::string out(soc::core_name(info.param.core));
   out += "_";
-  for (const char c : std::string(fuzzer_name(info.param.fuzzer))) {
+  for (const char c : info.param.policy) {
     if (std::isalnum(static_cast<unsigned char>(c))) {
       out += c;
     }
@@ -28,20 +32,21 @@ std::string campaign_name(const ::testing::TestParamInfo<CampaignCase>& info) {
   return out;
 }
 
-class Campaign : public ::testing::TestWithParam<CampaignCase> {};
+class FullCampaign : public ::testing::TestWithParam<CampaignCase> {};
 
-TEST_P(Campaign, RunsCleanlyAndCoversDesign) {
-  ExperimentConfig config;
+TEST_P(FullCampaign, RunsCleanlyAndCoversDesign) {
+  CampaignConfig config;
   config.core = GetParam().core;
-  config.fuzzer = GetParam().fuzzer;
+  config.fuzzer = std::string(GetParam().policy);
   config.bugs = soc::BugSet::none();
   config.max_tests = 200;
-  Session session(config);
-  for (std::uint64_t t = 0; t < config.max_tests; ++t) {
-    const fuzz::StepResult r = session.fuzzer().step();
-    ASSERT_FALSE(r.mismatch) << "clean core mismatched at test " << r.test_index;
-  }
-  const auto& acc = session.fuzzer().accumulated();
+  Campaign campaign(config);
+  const RunResult result = campaign.run();
+  EXPECT_EQ(result.reason, StopReason::kMaxTests);
+  EXPECT_EQ(result.tests_executed, 200u);
+  EXPECT_EQ(campaign.mismatches(), 0u)
+      << "clean core mismatched under " << GetParam().policy;
+  const auto& acc = campaign.fuzzer().accumulated();
   EXPECT_GT(acc.fraction(), 0.05);  // a couple hundred tests cover real ground
   EXPECT_LT(acc.fraction(), 1.00);
 }
@@ -49,33 +54,33 @@ TEST_P(Campaign, RunsCleanlyAndCoversDesign) {
 std::vector<CampaignCase> all_campaigns() {
   std::vector<CampaignCase> v;
   for (const soc::CoreKind core : soc::kAllCores) {
-    for (const FuzzerKind fuzzer : kAllFuzzers) {
-      v.push_back({core, fuzzer});
+    for (const std::string_view policy : kAllPolicies) {
+      v.push_back({core, policy});
     }
   }
   return v;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllPairs, Campaign, ::testing::ValuesIn(all_campaigns()),
-                         campaign_name);
+INSTANTIATE_TEST_SUITE_P(AllPairs, FullCampaign,
+                         ::testing::ValuesIn(all_campaigns()), campaign_name);
 
 // --- determinism ------------------------------------------------------------------
 
-class CampaignDeterminism : public ::testing::TestWithParam<FuzzerKind> {};
+class CampaignDeterminism : public ::testing::TestWithParam<std::string_view> {};
 
 TEST_P(CampaignDeterminism, IdenticalConfigIdenticalTrajectory) {
   auto trajectory = [&] {
-    ExperimentConfig config;
+    CampaignConfig config;
     config.core = soc::CoreKind::kCva6;
-    config.fuzzer = GetParam();
+    config.fuzzer = std::string(GetParam());
     config.max_tests = 120;
     config.rng_seed = 42;
-    Session session(config);
+    Campaign campaign(config);
     std::vector<std::size_t> new_points;
     for (std::uint64_t t = 0; t < config.max_tests; ++t) {
-      new_points.push_back(session.fuzzer().step().new_global_points);
+      new_points.push_back(campaign.step().new_global_points);
     }
-    new_points.push_back(session.fuzzer().accumulated().covered());
+    new_points.push_back(campaign.covered());
     return new_points;
   };
   EXPECT_EQ(trajectory(), trajectory());
@@ -83,27 +88,24 @@ TEST_P(CampaignDeterminism, IdenticalConfigIdenticalTrajectory) {
 
 TEST_P(CampaignDeterminism, DifferentRunsDiffer) {
   auto covered_for_run = [&](std::uint64_t run) {
-    ExperimentConfig config;
+    CampaignConfig config;
     config.core = soc::CoreKind::kCva6;
-    config.fuzzer = GetParam();
+    config.fuzzer = std::string(GetParam());
     config.max_tests = 80;
     config.run_index = run;
-    Session session(config);
-    for (std::uint64_t t = 0; t < config.max_tests; ++t) {
-      session.fuzzer().step();
-    }
-    return session.fuzzer().accumulated().covered();
+    Campaign campaign(config);
+    campaign.run();
+    return campaign.covered();
   };
   // Distinct repetition indices must yield distinct (decorrelated) runs.
   EXPECT_NE(covered_for_run(0), covered_for_run(1));
 }
 
-INSTANTIATE_TEST_SUITE_P(AllFuzzers, CampaignDeterminism,
-                         ::testing::ValuesIn(kAllFuzzers),
-                         [](const ::testing::TestParamInfo<FuzzerKind>& info) {
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CampaignDeterminism,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const ::testing::TestParamInfo<std::string_view>& info) {
                            std::string out;
-                           for (const char c :
-                                std::string(fuzzer_name(info.param))) {
+                           for (const char c : info.param) {
                              if (std::isalnum(static_cast<unsigned char>(c))) {
                                out += c;
                              }
@@ -116,55 +118,54 @@ INSTANTIATE_TEST_SUITE_P(AllFuzzers, CampaignDeterminism,
 TEST(PaperProperties, MabCoverageIsCompetitiveWithBaseline) {
   // At small scale MABFuzz must at least keep pace with TheHuzz on the
   // hard core (the paper's CVA6 gap grows with scale).
-  ExperimentConfig base;
+  CampaignConfig base;
   base.core = soc::CoreKind::kCva6;
   base.max_tests = 600;
-  base.fuzzer = FuzzerKind::kTheHuzz;
+  base.fuzzer = "thehuzz";
   const CoverageCurve huzz = measure_coverage_multi(base, 100, 2);
 
-  base.fuzzer = FuzzerKind::kMabUcb;
+  base.fuzzer = "ucb";
   const CoverageCurve ucb = measure_coverage_multi(base, 100, 2);
 
   EXPECT_GT(ucb.final_covered, 0.95 * huzz.final_covered);
 }
 
 TEST(PaperProperties, EasyBugFoundQuicklyByEveryFuzzer) {
-  for (const FuzzerKind kind : kAllFuzzers) {
-    ExperimentConfig config;
+  for (const std::string_view policy : kAllPolicies) {
+    CampaignConfig config;
     config.core = soc::CoreKind::kCva6;
     config.bugs = soc::BugSet::single(soc::BugId::kV5SilentLoadFault);
-    config.fuzzer = kind;
+    config.fuzzer = std::string(policy);
     config.max_tests = 400;
     const DetectionResult r =
         measure_detection(config, soc::BugId::kV5SilentLoadFault);
-    EXPECT_TRUE(r.detected) << fuzzer_name(kind);
-    EXPECT_LT(r.tests_to_detection, 200u) << fuzzer_name(kind);
+    EXPECT_TRUE(r.detected) << policy;
+    EXPECT_LT(r.tests_to_detection, 200u) << policy;
   }
 }
 
 TEST(PaperProperties, CleanBoomNeverMismatches) {
   // BOOM carries no injected bugs (Table I): an entire campaign with the
   // default bug set must stay mismatch-free.
-  ExperimentConfig config;
+  CampaignConfig config;
   config.core = soc::CoreKind::kBoom;
   config.bugs = soc::default_bugs(soc::CoreKind::kBoom);
-  config.fuzzer = FuzzerKind::kMabExp3;
+  config.fuzzer = "exp3";
   config.max_tests = 150;
-  Session session(config);
-  for (std::uint64_t t = 0; t < config.max_tests; ++t) {
-    ASSERT_FALSE(session.fuzzer().step().mismatch);
-  }
+  Campaign campaign(config);
+  campaign.run();
+  EXPECT_EQ(campaign.mismatches(), 0u);
 }
 
 TEST(PaperProperties, FiringsReportedOnlyWhenBugEnabled) {
-  ExperimentConfig config;
+  CampaignConfig config;
   config.core = soc::CoreKind::kCva6;
   config.bugs = soc::BugSet::none();
-  config.fuzzer = FuzzerKind::kTheHuzz;
+  config.fuzzer = "thehuzz";
   config.max_tests = 100;
-  Session session(config);
+  Campaign campaign(config);
   for (std::uint64_t t = 0; t < config.max_tests; ++t) {
-    EXPECT_TRUE(session.fuzzer().step().firings.empty());
+    EXPECT_TRUE(campaign.step().firings.empty());
   }
 }
 

@@ -1,6 +1,6 @@
 // MAB algorithm tests: convergence on synthetic stationary bandits,
 // exploration guarantees, the reset-arm modifications of Algorithms 1 & 2,
-// and the factory.
+// and the string-keyed registry factory.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +10,7 @@
 #include "mab/bandit.hpp"
 #include "mab/epsilon_greedy.hpp"
 #include "mab/exp3.hpp"
+#include "mab/registry.hpp"
 #include "mab/ucb.hpp"
 
 namespace mabfuzz::mab {
@@ -56,7 +57,7 @@ double late_best_arm_fraction(Bandit& bandit, SyntheticBandit& env, int rounds,
 
 // --- convergence (parameterised over algorithms) ---------------------------------
 
-class Convergence : public ::testing::TestWithParam<Algorithm> {};
+class Convergence : public ::testing::TestWithParam<std::string_view> {};
 
 TEST_P(Convergence, FindsBestArmOnStationaryBandit) {
   BanditConfig config;
@@ -66,7 +67,7 @@ TEST_P(Convergence, FindsBestArmOnStationaryBandit) {
   SyntheticBandit env({0.1, 0.2, 0.8, 0.3, 0.1}, 1234);
   const double frac = late_best_arm_fraction(
       *bandit, env, 4000, bandit->requires_normalized_reward());
-  EXPECT_GT(frac, 0.5) << algorithm_name(GetParam());
+  EXPECT_GT(frac, 0.5) << GetParam();
 }
 
 TEST_P(Convergence, AllArmsExplored) {
@@ -81,16 +82,15 @@ TEST_P(Convergence, AllArmsExplored) {
     bandit->update(arm, 0.1);
   }
   for (std::size_t a = 0; a < 8; ++a) {
-    EXPECT_GT(pulls[a], 0) << algorithm_name(GetParam()) << " arm " << a;
+    EXPECT_GT(pulls[a], 0) << GetParam() << " arm " << a;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Algorithms, Convergence,
-    ::testing::Values(Algorithm::kEpsilonGreedy, Algorithm::kUcb,
-                      Algorithm::kExp3, Algorithm::kThompson),
-    [](const ::testing::TestParamInfo<Algorithm>& info) {
-      std::string name(algorithm_name(info.param));
+    ::testing::Values("epsilon-greedy", "ucb", "exp3", "thompson"),
+    [](const ::testing::TestParamInfo<std::string_view>& info) {
+      std::string name(info.param);
       for (char& c : name) {
         if (c == '-') {
           c = '_';
@@ -363,19 +363,26 @@ TEST(ResetArmEdgeCases, OutOfRangeArmIsIgnoredByAllAlgorithms) {
 
 // --- factory -------------------------------------------------------------------------------------
 
-TEST(Factory, BuildsAllAlgorithms) {
+TEST(Factory, BuildsAllAlgorithmsByName) {
   BanditConfig config;
   config.num_arms = 10;
-  EXPECT_EQ(make_bandit(Algorithm::kEpsilonGreedy, config)->name(), "epsilon-greedy");
-  EXPECT_EQ(make_bandit(Algorithm::kUcb, config)->name(), "ucb");
-  EXPECT_EQ(make_bandit(Algorithm::kExp3, config)->name(), "exp3");
-  EXPECT_EQ(make_bandit(Algorithm::kUcb, config)->num_arms(), 10u);
+  EXPECT_EQ(make_bandit("epsilon-greedy", config)->name(), "epsilon-greedy");
+  EXPECT_EQ(make_bandit("ucb", config)->name(), "ucb");
+  EXPECT_EQ(make_bandit("exp3", config)->name(), "exp3");
+  EXPECT_EQ(make_bandit("thompson", config)->name(), "thompson");
+  EXPECT_EQ(make_bandit("ucb", config)->num_arms(), 10u);
+}
+
+TEST(Factory, AliasResolvesToCanonicalPolicy) {
+  BanditConfig config;
+  EXPECT_EQ(make_bandit("eps", config)->name(), "epsilon-greedy");
+  EXPECT_EQ(BanditRegistry::instance().canonical_name("eps"), "epsilon-greedy");
 }
 
 TEST(Factory, ZeroArmsAborts) {
   BanditConfig config;
   config.num_arms = 0;
-  EXPECT_DEATH((void)make_bandit(Algorithm::kUcb, config), "");
+  EXPECT_DEATH((void)make_bandit("ucb", config), "");
 }
 
 }  // namespace
