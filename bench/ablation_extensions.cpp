@@ -2,79 +2,68 @@
 // evaluation: MAB-driven mutation-operator selection, MAB-driven seed
 // length selection, and the Thompson-sampling bandit. Baseline is
 // MABFuzz:UCB with the paper's static operator distribution and fixed
-// 20-instruction seeds, on CVA6 (the hard core). All variants are plain
-// CampaignConfigs — the extensions are config flags, not bespoke wiring.
+// 20-instruction seeds, on CVA6 (the hard core). The whole ablation is one
+// declarative trial matrix — each variant is a set of config overrides on
+// the shared base — run by the experiment engine.
 //
 // Usage:
-//   ablation_extensions [--tests N] [--runs R] [--seed S]
+//   ablation_extensions [--tests N] [--runs R] [--seed S] [--workers W]
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/cli.hpp"
-#include "common/stats.hpp"
 #include "common/table.hpp"
-#include "harness/campaign.hpp"
+#include "harness/experiment.hpp"
 
 namespace {
 
 using namespace mabfuzz;
-
-struct Variant {
-  std::string name;
-  bool adaptive_ops = false;
-  bool adaptive_length = false;
-  std::string scheduler_policy = "ucb";
-};
-
-double run_variant(const Variant& variant, std::uint64_t tests,
-                   std::uint64_t seed, std::uint64_t run) {
-  harness::CampaignConfig config;
-  config.core = soc::CoreKind::kCva6;
-  config.bugs = soc::BugSet::none();
-  config.fuzzer = variant.scheduler_policy;
-  config.max_tests = tests;
-  config.rng_seed = seed;
-  config.run_index = run;
-  config.policy.adaptive_operators = variant.adaptive_ops;
-  config.policy.adaptive_length = variant.adaptive_length;
-
-  harness::Campaign campaign(config);
-  campaign.run();
-  return static_cast<double>(campaign.covered());
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const std::uint64_t tests = args.get_uint("tests", 2000);
-  const std::uint64_t runs = args.get_uint("runs", 2);
+  const std::uint64_t runs = std::max<std::uint64_t>(1, args.get_uint("runs", 2));
   const std::uint64_t seed = args.get_uint("seed", 1);
+  const auto workers = static_cast<unsigned>(args.get_uint("workers", 0));
 
-  const std::vector<Variant> variants = {
-      {"MABFuzz:UCB (paper formulation)", false, false, "ucb"},
-      {"+ MAB operator selection", true, false, "ucb"},
-      {"+ MAB seed-length selection", false, true, "ucb"},
-      {"+ both extensions", true, true, "ucb"},
-      {"Thompson-sampling scheduler", false, false, "thompson"},
+  harness::TrialMatrix matrix;
+  matrix.base.core = soc::CoreKind::kCva6;
+  matrix.base.bugs = soc::BugSet::none();
+  matrix.base.fuzzer = "ucb";
+  matrix.base.max_tests = tests;
+  matrix.base.rng_seed = seed;
+  matrix.trials = runs;
+  matrix.variants = {
+      {"MABFuzz:UCB (paper formulation)", {}},
+      {"+ MAB operator selection", {"adaptive-ops=true"}},
+      {"+ MAB seed-length selection", {"adaptive-length=true"}},
+      {"+ both extensions", {"adaptive-ops=true", "adaptive-length=true"}},
+      {"Thompson-sampling scheduler", {"fuzzer=thompson"}},
   };
 
   std::cout << "=== Sec. V extensions ablation (CVA6, " << tests << " tests, "
             << runs << " runs) ===\n\n";
 
+  harness::ExperimentOptions options;
+  options.workers = workers;
+  const harness::ExperimentResult result =
+      harness::Experiment(matrix, options).run();
+  if (harness::report_failures(std::cerr, result) != 0) {
+    return 1;  // never print ablation rows computed from partial data
+  }
+
   common::Table table({"variant", "mean covered points", "vs baseline"});
   double baseline = 0.0;
-  for (const Variant& variant : variants) {
-    std::vector<double> covered(runs, 0.0);
-    harness::parallel_runs(runs, [&](std::uint64_t r) {
-      covered[r] = run_variant(variant, tests, seed, r);
-    });
-    const common::Summary s = common::summarize(covered);
+  for (const harness::CellStats& cell : result.cells) {
     if (baseline == 0.0) {
-      baseline = s.mean;
+      baseline = cell.covered.mean;
     }
-    table.add_row({variant.name, common::format_double(s.mean, 1),
-                   common::format_double((s.mean / baseline - 1.0) * 100, 2) +
+    table.add_row({cell.variant, common::format_double(cell.covered.mean, 1),
+                   common::format_double((cell.covered.mean / baseline - 1.0) * 100,
+                                         2) +
                        "%"});
   }
   table.render(std::cout);

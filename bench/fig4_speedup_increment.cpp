@@ -6,8 +6,13 @@
 //             / tests(MABFuzz -> the same coverage)
 //   increment = (final(MABFuzz) - final(TheHuzz)) / final(TheHuzz) * 100
 //
+// One trial matrix per core — (TheHuzz + every MABFuzz variant) × runs —
+// run by the experiment engine; both Fig. 4 metrics come straight from the
+// engine's pairwise report over the run-averaged curves.
+//
 // Usage:
 //   fig4_speedup_increment [--tests N] [--runs R] [--samples K] [--seed S]
+//                          [--workers W]
 // Paper scale: --tests 50000 --runs 3.
 
 #include <algorithm>
@@ -15,23 +20,22 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "harness/curves.hpp"
+#include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
 namespace {
 
 using namespace mabfuzz;
-using harness::CampaignConfig;
-using harness::CoverageCurve;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const std::uint64_t max_tests = args.get_uint("tests", 4000);
-  const std::uint64_t runs = args.get_uint("runs", 2);
+  const std::uint64_t runs = std::max<std::uint64_t>(1, args.get_uint("runs", 2));
   const std::uint64_t samples = args.get_uint("samples", 50);
   const std::uint64_t seed = args.get_uint("seed", 1);
+  const auto workers = static_cast<unsigned>(args.get_uint("workers", 0));
 
   const std::uint64_t sample_every = std::max<std::uint64_t>(1, max_tests / samples);
 
@@ -43,35 +47,42 @@ int main(int argc, char** argv) {
   double exp3_increment_sum = 0;
 
   for (const soc::CoreKind core : soc::kAllCores) {
-    CampaignConfig config;
-    config.core = core;
-    config.bugs = soc::BugSet::none();
-    config.max_tests = max_tests;
-    config.rng_seed = seed;
+    harness::TrialMatrix matrix;
+    matrix.base.core = core;
+    matrix.base.bugs = soc::BugSet::none();
+    matrix.base.max_tests = max_tests;
+    matrix.base.rng_seed = seed;
+    matrix.base.snapshot_every = sample_every;
+    matrix.fuzzers.assign(harness::kAllPolicies.begin(),
+                          harness::kAllPolicies.end());
+    matrix.trials = runs;
 
-    config.fuzzer = "thehuzz";
-    const CoverageCurve base =
-        harness::measure_coverage_multi(config, sample_every, runs);
+    harness::ExperimentOptions options;
+    options.workers = workers;
+    const harness::ExperimentResult result =
+        harness::Experiment(matrix, options).run();
+    if (harness::report_failures(std::cerr, result) != 0) {
+      return 1;  // never print figure numbers computed from partial data
+    }
+    const harness::SpeedupReport report =
+        harness::speedup_report(result, "thehuzz");
 
     harness::Fig4Row row;
     row.core = std::string(soc::core_display_name(core));
-    for (const std::string_view policy : harness::kMabPolicies) {
-      config.fuzzer = std::string(policy);
-      const CoverageCurve curve =
-          harness::measure_coverage_multi(config, sample_every, runs);
-      row.speedup[std::string(policy)] = harness::coverage_speedup(base, curve);
-      row.increment_percent[std::string(policy)] =
-          harness::coverage_increment_percent(base, curve);
-      if (policy == "exp3") {
-        exp3_speedup_sum += row.speedup[std::string(policy)] / 3.0;
-        exp3_increment_sum += row.increment_percent[std::string(policy)] / 3.0;
+    for (const harness::SpeedupReport::Row& speedup : report.rows) {
+      row.speedup[speedup.fuzzer] = speedup.coverage_speedup;
+      row.increment_percent[speedup.fuzzer] = speedup.increment_percent;
+      if (speedup.fuzzer == "exp3") {
+        exp3_speedup_sum += speedup.coverage_speedup / 3.0;
+        exp3_increment_sum += speedup.increment_percent / 3.0;
       }
     }
     rows.push_back(row);
+    const harness::CellStats& base = *result.find_cell("thehuzz");
     std::cout << "  [" << soc::core_display_name(core)
               << "] TheHuzz final coverage: "
-              << common::format_double(base.final_covered, 1) << " / "
-              << base.universe << " points\n";
+              << common::format_double(base.mean_curve.final_covered, 1) << " / "
+              << base.mean_curve.universe << " points\n";
   }
 
   std::cout << "\n";

@@ -6,10 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/stats.hpp"
 #include "core/scheduler.hpp"
 #include "fuzz/backend.hpp"
 #include "fuzz/seedgen.hpp"
 #include "golden/iss.hpp"
+#include "harness/experiment.hpp"
 #include "mab/registry.hpp"
 #include "mutation/engine.hpp"
 #include "soc/cores.hpp"
@@ -103,6 +105,36 @@ void BM_BanditSelectUpdate(benchmark::State& state) {
   state.SetLabel(std::string(bandit->name()));
 }
 BENCHMARK(BM_BanditSelectUpdate)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_TrialMatrixExpand(benchmark::State& state) {
+  harness::TrialMatrix matrix;
+  matrix.fuzzers = {"thehuzz", "epsilon-greedy", "ucb", "exp3", "thompson"};
+  for (const double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    matrix.variants.push_back(
+        {"alpha=" + std::to_string(alpha),
+         {"alpha=" + std::to_string(alpha)}});
+  }
+  matrix.trials = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matrix.expand());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * matrix.fuzzers.size() * matrix.variants.size() *
+      matrix.trials));
+}
+BENCHMARK(BM_TrialMatrixExpand)->Arg(10)->Arg(100);
+
+void BM_StatsSummarize(benchmark::State& state) {
+  common::Xoshiro256StarStar rng(6);
+  std::vector<double> samples(static_cast<std::size_t>(state.range(0)));
+  for (double& x : samples) {
+    x = rng.next_double() * 50'000.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::summarize(samples));
+  }
+}
+BENCHMARK(BM_StatsSummarize)->Arg(32)->Arg(1024);
 
 void BM_MabSchedulerStep(benchmark::State& state) {
   fuzz::BackendConfig backend_config;

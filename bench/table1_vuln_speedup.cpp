@@ -2,27 +2,31 @@
 // MABFuzz:{eps-greedy, UCB, EXP3, Thompson} over TheHuzz for the seven
 // injected vulnerabilities (V1-V6 on CVA6, V7 on Rocket Core).
 //
-// Method: one bug enabled at a time (unambiguous attribution); every
-// fuzzer runs until the bug's first differential-testing detection or the
-// test cap; repetitions are averaged. Speedup = mean tests(TheHuzz) /
-// mean tests(MABFuzz variant).
+// Method: one bug enabled at a time (unambiguous attribution). Each bug is
+// one declarative trial matrix — (baseline + every MABFuzz variant) × runs
+// — executed by the experiment engine under its Table I protocol (stop at
+// first detection or the test cap); speedups come straight from the
+// engine's pairwise report (mean tests(TheHuzz) / mean tests(variant)).
 //
 // Usage:
-//   table1_vuln_speedup [--tests N] [--runs R] [--seed S] [--csv]
+//   table1_vuln_speedup [--tests N] [--runs R] [--seed S] [--workers W]
+//                       [--csv] [--json PATH]
+// --json writes one artifact per bug as PATH.<bug>.json (e.g. PATH.V1.json).
 // Paper scale: --tests 50000 --runs 3. Defaults are container-sized.
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "harness/detection.hpp"
+#include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
 namespace {
 
 using namespace mabfuzz;
 using harness::CampaignConfig;
-using harness::DetectionSummary;
 
 soc::CoreKind core_of(soc::BugId bug) {
   return soc::bug_info(bug).core == "rocket" ? soc::CoreKind::kRocket
@@ -34,9 +38,11 @@ soc::CoreKind core_of(soc::BugId bug) {
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const std::uint64_t max_tests = args.get_uint("tests", 6000);
-  const std::uint64_t runs = args.get_uint("runs", 3);
+  const std::uint64_t runs = std::max<std::uint64_t>(1, args.get_uint("runs", 3));
   const std::uint64_t seed = args.get_uint("seed", 1);
+  const auto workers = static_cast<unsigned>(args.get_uint("workers", 0));
   const bool csv = args.get_bool("csv", false);
+  const std::string json_path = args.get_string("json", "");
 
   std::cout << "=== Table I: vulnerability detection speedup vs TheHuzz ===\n"
             << "(one bug enabled at a time; " << runs << " runs; cap "
@@ -47,39 +53,58 @@ int main(int argc, char** argv) {
                            "runs", "speedup"});
 
   for (const soc::BugInfo& info : soc::all_bugs()) {
-    CampaignConfig config;
-    config.core = core_of(info.id);
-    config.bugs = soc::BugSet::single(info.id);
-    config.max_tests = max_tests;
-    config.rng_seed = seed;
+    harness::TrialMatrix matrix;
+    matrix.base.core = core_of(info.id);
+    matrix.base.bugs = soc::BugSet::single(info.id);
+    matrix.base.max_tests = max_tests;
+    matrix.base.rng_seed = seed;
+    matrix.fuzzers = {"thehuzz"};
+    matrix.fuzzers.insert(matrix.fuzzers.end(), harness::kMabPolicies.begin(),
+                          harness::kMabPolicies.end());
+    matrix.trials = runs;
+
+    harness::ExperimentOptions options;
+    options.workers = workers;
+    options.target_bug = info.id;
+    const harness::ExperimentResult result =
+        harness::Experiment(matrix, options).run();
+    if (harness::report_failures(std::cerr, result) != 0) {
+      return 1;  // never print Table I rows computed from partial data
+    }
+    const harness::SpeedupReport report =
+        harness::speedup_report(result, "thehuzz");
 
     harness::Table1Row row;
     row.bug = info.id;
-
-    config.fuzzer = "thehuzz";
-    const DetectionSummary base =
-        harness::measure_detection_multi(config, info.id, runs);
-    row.thehuzz_tests = base.mean_tests;
+    const harness::CellStats& base = *result.find_cell("thehuzz");
+    row.thehuzz_tests = base.detection.mean;
     csv_table.add_row({std::string(info.name), "thehuzz",
-                       common::format_double(base.mean_tests, 1),
-                       std::to_string(base.detected_runs), std::to_string(runs),
-                       "1"});
-
-    for (const std::string_view policy : harness::kMabPolicies) {
-      config.fuzzer = std::string(policy);
-      const DetectionSummary mab =
-          harness::measure_detection_multi(config, info.id, runs);
-      const double speedup =
-          mab.mean_tests > 0 ? base.mean_tests / mab.mean_tests : 0.0;
-      row.speedup[std::string(policy)] = speedup;
-      row.detected[std::string(policy)] = mab.detected_runs == runs;
-      csv_table.add_row({std::string(info.name), std::string(policy),
-                         common::format_double(mab.mean_tests, 1),
-                         std::to_string(mab.detected_runs), std::to_string(runs),
-                         common::format_double(speedup, 2)});
+                       common::format_double(base.detection.mean, 1),
+                       std::to_string(base.detected_trials),
+                       std::to_string(runs), "1"});
+    for (const harness::SpeedupReport::Row& speedup : report.rows) {
+      const harness::CellStats& cell = *result.find_cell(speedup.fuzzer);
+      row.speedup[speedup.fuzzer] = speedup.mean_speedup;
+      row.detected[speedup.fuzzer] = cell.detected_trials == runs;
+      csv_table.add_row({std::string(info.name), speedup.fuzzer,
+                         common::format_double(cell.detection.mean, 1),
+                         std::to_string(cell.detected_trials),
+                         std::to_string(runs),
+                         common::format_double(speedup.mean_speedup, 2)});
     }
     rows.push_back(row);
     std::cout << "  [" << info.name << "] " << info.description << " ... done\n";
+
+    if (!json_path.empty()) {
+      const std::string path = json_path + "." + std::string(info.name) + ".json";
+      std::ofstream out(path);
+      harness::write_experiment_json(out, result);
+      out.flush();
+      if (!out) {
+        std::cerr << "error: failed writing '" << path << "'\n";
+        return 1;
+      }
+    }
   }
 
   std::cout << "\n";
@@ -94,12 +119,9 @@ int main(int argc, char** argv) {
       exp3_speedups.push_back(it->second);
     }
   }
-  double mean = 0;
-  for (const double s : exp3_speedups) {
-    mean += s / static_cast<double>(exp3_speedups.size());
-  }
+  const common::Summary exp3 = common::summarize(exp3_speedups);
   std::cout << "\nMABFuzz:EXP3 mean vulnerability-detection speedup across "
-            << exp3_speedups.size() << " bugs: " << common::format_speedup(mean)
+            << exp3_speedups.size() << " bugs: " << common::format_speedup(exp3.mean)
             << " (paper reports 14.59x at 50K-test scale)\n";
 
   if (csv) {

@@ -1,10 +1,15 @@
 // The release-style command-line driver: one binary that runs any
 // registered scheduling policy on any core with any bug set, streams
 // progress through the campaign observer, and ends with a coverage ranking
-// and detection report. Everything the library can do, from flags.
+// and detection report — or, in trial-matrix mode, runs a whole
+// (fuzzer × seed) experiment on the worker pool and emits aggregate
+// statistics plus machine-readable artifacts. Everything the library can
+// do, from flags.
 //
 //   $ ./mabfuzz_cli --core cva6 --fuzzer ucb --bugs V1,V5 --tests 5000
 //                   --progress 1000 --csv
+//   $ ./mabfuzz_cli --matrix thehuzz,ucb,exp3 --trials 5 --tests 2000
+//                   --bugs none --json results.json
 //
 // Flags (campaign keys are accepted directly as --key value / --key=value):
 //   --fuzzer NAME        scheduling policy (--list-fuzzers shows them;
@@ -16,12 +21,21 @@
 //   --arms N --alpha A --gamma G --epsilon E --eta H
 //   --adaptive-ops --adaptive-length     (Sec. V extensions)
 //   --progress N   (status line every N tests; 0 = quiet)
-//   --csv          (emit the per-sample coverage CSV at the end)
+//   --csv          (emit the per-sample coverage CSV at the end;
+//                   in matrix mode: the per-trial CSV)
 //   --ranking N    (show top-N uncovered groups; default 10)
 //   --list-fuzzers (print registered policies and exit)
 //   --help         (print every campaign key and exit)
+//
+// Trial-matrix mode (entered by any of the flags below):
+//   --trials N     repetitions per fuzzer (seed range run 0..N-1)
+//   --matrix A,B   comma-separated fuzzer axis (default: --fuzzer)
+//   --workers W    worker threads (0 = hardware concurrency)
+//   --target-bug V stop each trial at V's detection (Table I protocol)
+//   --json PATH    write the mabfuzz-experiment-v1 artifact ("-" = stdout)
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -29,6 +43,7 @@
 #include "core/register.hpp"
 #include "coverage/summary.hpp"
 #include "fuzz/registry.hpp"
+#include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "mab/registry.hpp"
 
@@ -61,8 +76,97 @@ int print_help(const std::string& program) {
     std::cout << description << "\n";
   }
   std::cout << "\ndriver flags: --progress N, --csv, --ranking N, "
-               "--list-fuzzers, --help\n";
+               "--list-fuzzers, --help\n"
+               "matrix flags: --trials N, --matrix A,B,.., --workers W, "
+               "--target-bug Vn, --json PATH\n";
   return 0;
+}
+
+int run_matrix(const common::CliArgs& args, harness::CampaignConfig config) {
+  harness::TrialMatrix matrix;
+  matrix.base = std::move(config);
+  matrix.trials = std::max<std::uint64_t>(1, args.get_uint("trials", 1));
+  matrix.fuzzers = common::split(args.get_string("matrix", ""), ',');
+  std::erase(matrix.fuzzers, "");  // tolerate "a,,b" / trailing commas
+
+  harness::ExperimentOptions options;
+  options.workers = static_cast<unsigned>(args.get_uint("workers", 0));
+  const std::string target_bug = args.get_string("target-bug", "");
+  if (!target_bug.empty()) {
+    for (const soc::BugInfo& info : soc::all_bugs()) {
+      if (info.name == target_bug) {
+        options.target_bug = info.id;
+      }
+    }
+    if (!options.target_bug) {
+      std::cerr << "error: unknown --target-bug '" << target_bug
+                << "' (expected V1..V7)\n";
+      return 1;
+    }
+  }
+
+  const harness::Experiment experiment(matrix, options);
+  std::cout << "running " << experiment.specs().size() << " trials ("
+            << (matrix.fuzzers.empty() ? 1 : matrix.fuzzers.size())
+            << " fuzzers x " << matrix.trials << " runs, "
+            << matrix.base.max_tests << " tests each)...\n";
+  const harness::ExperimentResult result = experiment.run();
+
+  std::cout << "\n=== aggregate (per cell, " << matrix.trials
+            << " trials) ===\n";
+  common::Table table({"fuzzer", "trials", "failed", "mean tests",
+                       "median tests", "mean covered", "detections"});
+  for (const harness::CellStats& cell : result.cells) {
+    table.add_row({cell.fuzzer, std::to_string(cell.trials),
+                   std::to_string(cell.failed_trials),
+                   common::format_double(cell.tests.mean, 1),
+                   common::format_double(cell.tests.median, 1),
+                   common::format_double(cell.covered.mean, 1),
+                   std::to_string(cell.detected_trials)});
+  }
+  table.render(std::cout);
+
+  // A baseline in the axis => Table I-style pairwise medians for free.
+  if (result.find_cell("thehuzz") != nullptr && result.cells.size() > 1) {
+    const harness::SpeedupReport report =
+        harness::speedup_report(result, "thehuzz");
+    std::cout << "\nspeedup vs thehuzz (median / mean tests-to-stop):\n";
+    for (const harness::SpeedupReport::Row& row : report.rows) {
+      std::cout << "  " << row.fuzzer << ": "
+                << common::format_speedup(row.median_speedup) << " / "
+                << common::format_speedup(row.mean_speedup) << "\n";
+    }
+  }
+  if (result.failed_trials != 0) {
+    std::cout << "\nWARNING: " << result.failed_trials
+              << " trials failed; see the artifact's error fields\n";
+    harness::report_failures(std::cout, result);
+  }
+
+  if (args.get_bool("csv", false)) {
+    std::cout << "\n--- per-trial CSV ---\n";
+    harness::write_trials_csv(std::cout, result);
+  }
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      harness::write_experiment_json(std::cout, result);
+    } else {
+      std::ofstream out(json_path);
+      if (out) {
+        harness::write_experiment_json(out, result);
+        out.flush();
+      }
+      if (!out) {  // open or mid-write failure: the artifact is unusable
+        std::cerr << "error: failed writing '" << json_path << "'\n";
+        return 1;
+      }
+      std::cout << "\nwrote " << json_path << "\n";
+    }
+  }
+  // Any lost trial degrades the statistics — scripted consumers must see
+  // a non-zero exit, not just the WARNING above.
+  return result.failed_trials != 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -93,6 +197,13 @@ int main(int argc, char** argv) {
     // --progress drives the snapshot cadence unless the user pinned it.
     if (!args.has("snapshot-every")) {
       config.snapshot_every = progress != 0 ? progress : config.max_tests;
+    }
+
+    // Any matrix-only flag routes to the engine (an explicit --trials 1 or
+    // a lone --target-bug runs a 1-trial experiment, not a silent fallthrough).
+    if (args.has("trials") || args.has("matrix") || args.has("json") ||
+        args.has("target-bug") || args.has("workers")) {
+      return run_matrix(args, std::move(config));
     }
 
     harness::Campaign campaign(config);

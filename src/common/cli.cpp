@@ -5,6 +5,19 @@
 
 namespace mabfuzz::common {
 
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  while (!text.empty()) {
+    const auto pos = text.find(delim);
+    out.emplace_back(text.substr(0, pos));
+    if (pos == std::string_view::npos) {
+      break;
+    }
+    text.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
 CliArgs::CliArgs(int argc, const char* const* argv) {
   if (argc > 0) {
     program_ = argv[0];

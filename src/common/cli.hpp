@@ -11,6 +11,13 @@
 
 namespace mabfuzz::common {
 
+/// Splits on `delim` with std::getline semantics: interior empty tokens
+/// are preserved ("a,,b" -> {"a","","b"}), a trailing delimiter adds
+/// nothing, and empty input yields an empty list. The one tokenizer
+/// behind every comma-separated flag value (bug lists, length lists,
+/// fuzzer axes).
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
 class CliArgs {
  public:
   /// Parses argv; unknown arguments are retained and can be inspected.

@@ -1,0 +1,166 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace mabfuzz::common {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    os_ << "  ";
+  }
+}
+
+void JsonWriter::prepare_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    return;
+  }
+  Level& level = stack_.back();
+  if (!level.is_array) {
+    throw std::logic_error("JsonWriter: value inside an object requires key()");
+  }
+  if (level.has_items) {
+    os_ << ',';
+  }
+  if (pretty_) {
+    indent();
+  }
+  level.has_items = true;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back().is_array || key_pending_) {
+    throw std::logic_error("JsonWriter: key() only valid inside an object");
+  }
+  Level& level = stack_.back();
+  if (level.has_items) {
+    os_ << ',';
+  }
+  if (pretty_) {
+    indent();
+  }
+  level.has_items = true;
+  os_ << '"' << json_escape(name) << "\":";
+  if (pretty_) {
+    os_ << ' ';
+  }
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  os_ << '{';
+  stack_.push_back({/*is_array=*/false, /*has_items=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().is_array || key_pending_) {
+    throw std::logic_error("JsonWriter: end_object() without matching object");
+  }
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (pretty_ && had_items) {
+    indent();
+  }
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  os_ << '[';
+  stack_.push_back({/*is_array=*/true, /*has_items=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || !stack_.back().is_array) {
+    throw std::logic_error("JsonWriter: end_array() without matching array");
+  }
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (pretty_ && had_items) {
+    indent();
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prepare_value();
+  os_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) {
+    return null();
+  }
+  prepare_value();
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+  os_.write(buf, ptr - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  prepare_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+  os_.write(buf, ptr - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  prepare_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+  os_.write(buf, ptr - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  prepare_value();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace mabfuzz::common

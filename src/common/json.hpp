@@ -1,0 +1,71 @@
+#pragma once
+// Minimal streaming JSON emitter for machine-readable experiment artifacts.
+//
+// Deliberately writer-only: the repo emits artifacts for external tooling
+// (pandas, jq, CI validators) and never parses JSON itself. Numbers are
+// formatted with std::to_chars, so output is bit-identical across runs and
+// platforms — a requirement of the experiment engine's determinism
+// contract (same matrix + seeds => byte-identical artifacts).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mabfuzz::common {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view raw);
+
+/// Streaming writer with comma/indent bookkeeping. Usage:
+///
+///   JsonWriter json(os);
+///   json.begin_object();
+///   json.key("trials").value(std::uint64_t{6});
+///   json.key("rows").begin_array();
+///   json.value("a").value("b");
+///   json.end_array();
+///   json.end_object();
+///
+/// Structural misuse (ending the wrong container, a key outside an object)
+/// throws std::logic_error — artifact corruption fails loudly, not in the
+/// downstream parser. Non-finite doubles are emitted as null.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true)
+      : os_(os), pretty_(pretty) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next value; only valid directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+ private:
+  struct Level {
+    bool is_array = false;
+    bool has_items = false;
+  };
+
+  /// Comma/newline/indent bookkeeping before emitting a value or key.
+  void prepare_value();
+  void indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace mabfuzz::common

@@ -50,6 +50,19 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+namespace {
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 Summary summarize(std::span<const double> samples) {
   Summary s;
   s.count = samples.size();
@@ -64,8 +77,20 @@ Summary summarize(std::span<const double> samples) {
   s.stddev = rs.stddev();
   s.min = rs.min();
   s.max = rs.max();
-  s.median = percentile(samples, 50.0);
+  // One sort serves all three ranks (the dominant cost of this function).
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.median = percentile_sorted(sorted, 50.0);
+  s.p25 = percentile_sorted(sorted, 25.0);
+  s.p75 = percentile_sorted(sorted, 75.0);
   return s;
+}
+
+double speedup_ratio(double baseline, double candidate) noexcept {
+  if (baseline <= 0.0 || candidate <= 0.0) {
+    return 0.0;
+  }
+  return baseline / candidate;
 }
 
 double percentile(std::span<const double> samples, double p) {
@@ -74,12 +99,7 @@ double percentile(std::span<const double> samples, double p) {
   }
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
-  p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return percentile_sorted(sorted, p);
 }
 
 double geometric_mean(std::span<const double> samples) {

@@ -34,7 +34,8 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Batch summary of a sample vector.
+/// Batch summary of a sample vector (the per-cell aggregate the experiment
+/// engine reports for every trial metric).
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
@@ -42,6 +43,8 @@ struct Summary {
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
 };
 
 /// Computes a full summary; tolerates an empty input (all-zero summary).
@@ -49,6 +52,13 @@ struct Summary {
 
 /// Linear-interpolation percentile, p in [0,100]. Empty input -> 0.
 [[nodiscard]] double percentile(std::span<const double> samples, double p);
+
+/// Pairwise speedup baseline/candidate as the paper's Table I reports it
+/// (tests-to-X of the baseline over tests-to-X of the candidate). Guarded:
+/// returns 0 when either side is non-positive (undetected / empty cells),
+/// so censored cells read as "no measurable speedup" instead of dividing
+/// by zero.
+[[nodiscard]] double speedup_ratio(double baseline, double candidate) noexcept;
 
 /// Geometric mean of strictly positive samples; non-positive entries are
 /// skipped. Empty/all-skipped input -> 0.

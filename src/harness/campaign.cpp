@@ -1,13 +1,9 @@
 #include "harness/campaign.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <charconv>
 #include <exception>
-#include <mutex>
-#include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "common/log.hpp"
@@ -87,9 +83,7 @@ soc::BugSet parse_bug_set(std::string_view value, soc::CoreKind core) {
     return soc::BugSet::all();
   }
   soc::BugSet bugs;
-  std::stringstream ss{std::string(value)};
-  std::string token;
-  while (std::getline(ss, token, ',')) {
+  for (const std::string& token : common::split(value, ',')) {
     bool known = false;
     for (const soc::BugInfo& info : soc::all_bugs()) {
       if (info.name == token) {
@@ -107,9 +101,7 @@ soc::BugSet parse_bug_set(std::string_view value, soc::CoreKind core) {
 
 std::vector<unsigned> parse_lengths(std::string_view key, std::string_view value) {
   std::vector<unsigned> out;
-  std::stringstream ss{std::string(value)};
-  std::string token;
-  while (std::getline(ss, token, ',')) {
+  for (const std::string& token : common::split(value, ',')) {
     out.push_back(static_cast<unsigned>(parse_u64(key, token)));
   }
   if (out.empty()) {
@@ -534,50 +526,6 @@ RunResult Campaign::run_until(const StopCondition& stop) {
 
 RunResult Campaign::run() {
   return run_until(StopCondition::max_tests(config_.max_tests));
-}
-
-// --- parallel run driver --------------------------------------------------------
-
-void parallel_runs(std::uint64_t runs, const std::function<void(std::uint64_t)>& fn) {
-  const unsigned workers =
-      std::max(1u, std::min<unsigned>(std::thread::hardware_concurrency(),
-                                      static_cast<unsigned>(runs)));
-  if (workers <= 1) {
-    for (std::uint64_t r = 0; r < runs; ++r) {
-      fn(r);
-    }
-    return;
-  }
-  std::atomic<std::uint64_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      for (;;) {
-        const std::uint64_t r = next.fetch_add(1);
-        if (r >= runs) {
-          return;
-        }
-        try {
-          fn(r);
-          MABFUZZ_DEBUG() << "run " << r << " finished";
-        } catch (...) {
-          const std::scoped_lock lock(error_mutex);
-          if (!first_error) {
-            first_error = std::current_exception();
-          }
-        }
-      }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
 }
 
 }  // namespace mabfuzz::harness

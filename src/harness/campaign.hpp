@@ -256,8 +256,4 @@ class Campaign {
   bool timing_started_ = false;
 };
 
-/// Runs `fn(run_index)` for run_index in [0, runs), using up to
-/// `hardware_concurrency` worker threads. Exceptions propagate.
-void parallel_runs(std::uint64_t runs, const std::function<void(std::uint64_t)>& fn);
-
 }  // namespace mabfuzz::harness

@@ -1,6 +1,10 @@
 #include "harness/curves.hpp"
 
-#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "harness/experiment.hpp"
 
 namespace mabfuzz::harness {
 
@@ -31,27 +35,23 @@ CoverageCurve measure_coverage(const CampaignConfig& config,
 CoverageCurve measure_coverage_multi(CampaignConfig config,
                                      std::uint64_t sample_every,
                                      std::uint64_t runs) {
-  CoverageCurve average;
-  std::mutex mutex;
-
-  parallel_runs(runs, [&](std::uint64_t r) {
-    CampaignConfig run_config = config;
-    run_config.run_index = r;
-    const CoverageCurve curve = measure_coverage(run_config, sample_every);
-    const std::scoped_lock lock(mutex);
-    if (average.grid.empty()) {
-      average.grid = curve.grid;
-      average.covered.assign(curve.covered.size(), 0.0);
-      average.universe = curve.universe;
+  if (runs == 0) {
+    return {};
+  }
+  config.snapshot_every = sample_every == 0 ? 1 : sample_every;
+  const std::string fuzzer = config.fuzzer;
+  TrialMatrix matrix;
+  matrix.base = std::move(config);
+  matrix.trials = runs;
+  const ExperimentResult result = Experiment(std::move(matrix)).run();
+  for (const TrialResult& trial : result.trials) {
+    if (trial.failed) {
+      throw std::runtime_error("measure_coverage_multi: trial " +
+                               std::to_string(trial.index) +
+                               " failed: " + trial.error);
     }
-    for (std::size_t i = 0; i < curve.covered.size(); ++i) {
-      average.covered[i] += curve.covered[i] / static_cast<double>(runs);
-    }
-  });
-
-  average.final_covered =
-      average.covered.empty() ? 0.0 : average.covered.back();
-  return average;
+  }
+  return result.find_cell(fuzzer)->mean_curve;
 }
 
 std::uint64_t tests_to_reach(const CoverageCurve& curve, double target) {

@@ -1,9 +1,10 @@
 #include "harness/detection.hpp"
 
-#include <mutex>
+#include <stdexcept>
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "harness/experiment.hpp"
 
 namespace mabfuzz::harness {
 
@@ -26,24 +27,27 @@ DetectionResult measure_detection(const CampaignConfig& config, soc::BugId bug) 
 
 DetectionSummary measure_detection_multi(CampaignConfig config, soc::BugId bug,
                                          std::uint64_t runs) {
+  TrialMatrix matrix;
+  matrix.base = std::move(config);
+  matrix.trials = runs;
+  ExperimentOptions options;
+  options.target_bug = bug;
+  const ExperimentResult result = Experiment(std::move(matrix), options).run();
+  for (const TrialResult& trial : result.trials) {
+    if (trial.failed) {
+      throw std::runtime_error("measure_detection_multi: trial " +
+                               std::to_string(trial.index) +
+                               " failed: " + trial.error);
+    }
+  }
+
   DetectionSummary summary;
   summary.runs = runs;
-  summary.per_run_tests.assign(runs, 0.0);
-  std::mutex mutex;
-  std::uint64_t detected = 0;
-
-  parallel_runs(runs, [&](std::uint64_t r) {
-    CampaignConfig run_config = config;
-    run_config.run_index = r;
-    const DetectionResult result = measure_detection(run_config, bug);
-    const std::scoped_lock lock(mutex);
-    summary.per_run_tests[r] = static_cast<double>(result.tests_to_detection);
-    if (result.detected) {
-      ++detected;
-    }
-  });
-
-  summary.detected_runs = detected;
+  summary.per_run_tests.reserve(result.trials.size());
+  for (const TrialResult& trial : result.trials) {
+    summary.per_run_tests.push_back(static_cast<double>(trial.detection_tests));
+    summary.detected_runs += trial.target_detected ? 1 : 0;
+  }
   const common::Summary s = common::summarize(summary.per_run_tests);
   summary.mean_tests = s.mean;
   summary.median_tests = s.median;

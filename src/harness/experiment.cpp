@@ -1,48 +1,423 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "harness/worker_pool.hpp"
+
 namespace mabfuzz::harness {
 
-std::string_view fuzzer_name(FuzzerKind kind) noexcept {
-  switch (kind) {
-    case FuzzerKind::kTheHuzz: return "TheHuzz";
-    case FuzzerKind::kMabEpsilonGreedy: return "MABFuzz:eps-greedy";
-    case FuzzerKind::kMabUcb: return "MABFuzz:UCB";
-    case FuzzerKind::kMabExp3: return "MABFuzz:EXP3";
+// --- matrix expansion -----------------------------------------------------------
+
+std::vector<TrialSpec> TrialMatrix::expand() const {
+  const std::vector<std::string> fuzzer_axis =
+      fuzzers.empty() ? std::vector<std::string>{base.fuzzer} : fuzzers;
+  const std::vector<TrialVariant> variant_axis =
+      variants.empty() ? std::vector<TrialVariant>{TrialVariant{}} : variants;
+
+  std::vector<TrialSpec> specs;
+  specs.reserve(fuzzer_axis.size() * variant_axis.size() * trials);
+  for (const std::string& fuzzer : fuzzer_axis) {
+    for (const TrialVariant& variant : variant_axis) {
+      CampaignConfig cell_base = base;
+      cell_base.fuzzer = fuzzer;
+      // Overrides parse with the cell's fuzzer/core as the base, so
+      // core-relative values ("bugs=default") resolve correctly; a
+      // malformed override throws here, before any trial runs.
+      const CampaignConfig cell_config =
+          CampaignConfig::from_pairs(variant.overrides, cell_base);
+      for (std::uint64_t r = 0; r < trials; ++r) {
+        TrialSpec spec;
+        spec.index = specs.size();
+        // An override may retarget the fuzzer ("fuzzer=thompson"); the
+        // spec reports the policy that actually runs, so artifacts and
+        // speedup pairing never mislabel a cell.
+        spec.fuzzer = cell_config.fuzzer;
+        spec.variant = variant.label;
+        spec.run_index = first_run + r;
+        spec.config = cell_config;
+        spec.config.run_index = spec.run_index;
+        specs.push_back(std::move(spec));
+      }
+    }
   }
-  return "?";
+  return specs;
 }
 
-std::string_view policy_key(FuzzerKind kind) noexcept {
-  switch (kind) {
-    case FuzzerKind::kTheHuzz: return "thehuzz";
-    case FuzzerKind::kMabEpsilonGreedy: return "epsilon-greedy";
-    case FuzzerKind::kMabUcb: return "ucb";
-    case FuzzerKind::kMabExp3: return "exp3";
+// --- result queries -------------------------------------------------------------
+
+const CellStats* ExperimentResult::find_cell(
+    std::string_view fuzzer, std::string_view variant) const noexcept {
+  for (const CellStats& cell : cells) {
+    if (cell.fuzzer == fuzzer && cell.variant == variant) {
+      return &cell;
+    }
   }
-  return "?";
+  return nullptr;
 }
 
-CampaignConfig ExperimentConfig::to_campaign() const {
-  CampaignConfig campaign;
-  campaign.fuzzer = std::string(policy_key(fuzzer));
-  campaign.core = core;
-  campaign.bugs = bugs;
-  campaign.max_tests = max_tests;
-  campaign.rng_seed = rng_seed;
-  campaign.run_index = run_index;
-  campaign.policy.bandit = bandit;
-  campaign.policy.bandit.num_arms = mab.num_arms;
-  campaign.policy.alpha = mab.alpha;
-  campaign.policy.gamma = mab.gamma;
-  campaign.policy.mutants_per_interesting = mab.mutants_per_interesting;
-  campaign.policy.arm_pool_cap = mab.arm_pool_cap;
-  campaign.policy.feed_operator_rewards = mab.feed_operator_rewards;
-  campaign.policy.length_policy = mab.length_policy;
-  campaign.policy.thehuzz = thehuzz;
-  return campaign;
+SpeedupReport speedup_report(const ExperimentResult& result,
+                             std::string_view baseline_fuzzer) {
+  std::vector<const CellStats*> baseline_cells;
+  for (const CellStats& cell : result.cells) {
+    if (cell.fuzzer == baseline_fuzzer) {
+      baseline_cells.push_back(&cell);
+    }
+  }
+  if (baseline_cells.empty()) {
+    std::string message = "speedup_report: baseline fuzzer '";
+    message.append(baseline_fuzzer);
+    message += "' has no cells; present fuzzers:";
+    for (const CellStats& cell : result.cells) {
+      message += ' ';
+      message += cell.fuzzer;
+    }
+    throw std::invalid_argument(message);
+  }
+
+  SpeedupReport report;
+  report.baseline = std::string(baseline_fuzzer);
+  for (const CellStats& cell : result.cells) {
+    if (cell.fuzzer == baseline_fuzzer) {
+      continue;
+    }
+    // Pair with the baseline cell of the same variant; a matrix with a
+    // single baseline cell pairs everything against it.
+    const CellStats* base = nullptr;
+    for (const CellStats* candidate : baseline_cells) {
+      if (candidate->variant == cell.variant) {
+        base = candidate;
+        break;
+      }
+    }
+    if (base == nullptr && baseline_cells.size() == 1) {
+      base = baseline_cells.front();
+    }
+    if (base == nullptr) {
+      continue;
+    }
+    SpeedupReport::Row row;
+    row.fuzzer = cell.fuzzer;
+    row.variant = cell.variant;
+    row.mean_speedup = common::speedup_ratio(base->tests.mean, cell.tests.mean);
+    row.median_speedup =
+        common::speedup_ratio(base->tests.median, cell.tests.median);
+    row.coverage_speedup = coverage_speedup(base->mean_curve, cell.mean_curve);
+    row.increment_percent =
+        coverage_increment_percent(base->mean_curve, cell.mean_curve);
+    report.rows.push_back(std::move(row));
+  }
+  return report;
 }
 
-Session::Session(const ExperimentConfig& config)
-    : config_(config), campaign_(config.to_campaign()) {}
+// --- the engine -----------------------------------------------------------------
+
+Experiment::Experiment(TrialMatrix matrix, ExperimentOptions options)
+    : options_(options), specs_(matrix.expand()) {}
+
+StopCondition Experiment::stop_condition(const TrialSpec& spec) const {
+  if (options_.target_bug) {
+    return StopCondition::bug_detected(*options_.target_bug) ||
+           StopCondition::max_tests(spec.config.max_tests);
+  }
+  if (options_.stop_on_all_bugs) {
+    return StopCondition::all_bugs_detected() ||
+           StopCondition::max_tests(spec.config.max_tests);
+  }
+  return StopCondition::max_tests(spec.config.max_tests);
+}
+
+TrialResult Experiment::run_trial(const TrialSpec& spec) const {
+  TrialResult result;
+  result.index = spec.index;
+  result.fuzzer = spec.fuzzer;
+  result.variant = spec.variant;
+  result.run_index = spec.run_index;
+  try {
+    Campaign campaign(spec.config);
+    const RunResult run = campaign.run_until(stop_condition(spec));
+    result.stop = run.reason;
+    result.tests_executed = run.tests_executed;
+    result.covered = campaign.covered();
+    result.universe = campaign.coverage_universe();
+    result.mismatches = campaign.mismatches();
+    result.detected_bugs = campaign.detected_bug_count();
+    if (options_.target_bug) {
+      result.target_detected = campaign.bug_detected(*options_.target_bug);
+      result.detection_tests =
+          result.target_detected
+              ? campaign.first_detection_test(*options_.target_bug)
+              : spec.config.max_tests;  // right-censored at the cap
+    }
+    result.elapsed_seconds = run.elapsed_seconds;
+    result.curve = curve_from_snapshots(campaign.snapshots());
+    result.curve.universe = campaign.coverage_universe();
+  } catch (const std::exception& e) {
+    result.failed = true;
+    result.error = e.what();
+    MABFUZZ_WARN() << "trial " << spec.index << " (" << spec.fuzzer
+                   << (spec.variant.empty() ? "" : "/" + spec.variant)
+                   << ", run " << spec.run_index << ") failed: " << e.what();
+  }
+  return result;
+}
+
+namespace {
+
+/// Run-averaged curve over the successful trials of one cell. The grid is
+/// the longest successful trial's grid; each sample averages the trials
+/// that reached that grid point (detection-stopped trials contribute their
+/// prefix). Iterates in trial-index order — deterministic by construction.
+CoverageCurve average_curve(const std::vector<const TrialResult*>& trials) {
+  CoverageCurve mean;
+  const TrialResult* longest = nullptr;
+  for (const TrialResult* trial : trials) {
+    if (longest == nullptr ||
+        trial->curve.grid.size() > longest->curve.grid.size()) {
+      longest = trial;
+    }
+  }
+  if (longest == nullptr || longest->curve.grid.empty()) {
+    return mean;
+  }
+  mean.grid = longest->curve.grid;
+  mean.universe = longest->curve.universe;
+  mean.covered.assign(mean.grid.size(), 0.0);
+  std::vector<std::uint64_t> counts(mean.grid.size(), 0);
+  for (const TrialResult* trial : trials) {
+    const CoverageCurve& curve = trial->curve;
+    for (std::size_t i = 0; i < curve.grid.size() && i < mean.grid.size(); ++i) {
+      if (curve.grid[i] != mean.grid[i]) {
+        break;  // grids diverged (different snapshot cadence); prefix only
+      }
+      mean.covered[i] += curve.covered[i];
+      ++counts[i];
+    }
+  }
+  for (std::size_t i = 0; i < mean.covered.size(); ++i) {
+    if (counts[i] != 0) {
+      mean.covered[i] /= static_cast<double>(counts[i]);
+    }
+  }
+  mean.final_covered = mean.covered.empty() ? 0.0 : mean.covered.back();
+  return mean;
+}
+
+}  // namespace
+
+ExperimentResult Experiment::run() const {
+  ExperimentResult result;
+  result.trials.resize(specs_.size());
+
+  // Workers write disjoint slots; determinism needs no ordering here
+  // because every aggregate below iterates in trial-index order.
+  const PoolReport pool =
+      run_indexed(specs_.size(), options_.workers, [&](std::uint64_t i) {
+        result.trials[i] = run_trial(specs_[i]);
+      });
+  // run_trial captures campaign exceptions itself; anything the pool still
+  // caught (e.g. allocation failure assembling the result) becomes a
+  // failed trial rather than vanishing.
+  for (const TaskFailure& failure : pool.failures) {
+    TrialResult& trial = result.trials[failure.index];
+    const TrialSpec& spec = specs_[failure.index];
+    trial.index = spec.index;
+    trial.fuzzer = spec.fuzzer;
+    trial.variant = spec.variant;
+    trial.run_index = spec.run_index;
+    trial.failed = true;
+    trial.error = failure.message;
+  }
+
+  // Cells in fuzzer-major expansion order.
+  for (const TrialSpec& spec : specs_) {
+    if (result.find_cell(spec.fuzzer, spec.variant) != nullptr) {
+      continue;
+    }
+    CellStats cell;
+    cell.fuzzer = spec.fuzzer;
+    cell.variant = spec.variant;
+    std::vector<const TrialResult*> ok_trials;
+    std::vector<double> tests;
+    std::vector<double> covered;
+    std::vector<double> detection;
+    for (const TrialResult& trial : result.trials) {
+      if (trial.fuzzer != spec.fuzzer || trial.variant != spec.variant) {
+        continue;
+      }
+      ++cell.trials;
+      if (trial.failed) {
+        ++cell.failed_trials;
+        continue;
+      }
+      ok_trials.push_back(&trial);
+      cell.detected_trials += trial.target_detected ? 1 : 0;
+      tests.push_back(static_cast<double>(trial.tests_executed));
+      covered.push_back(static_cast<double>(trial.covered));
+      detection.push_back(static_cast<double>(trial.detection_tests));
+    }
+    cell.tests = common::summarize(tests);
+    cell.covered = common::summarize(covered);
+    cell.detection = common::summarize(detection);
+    cell.mean_curve = average_curve(ok_trials);
+    result.cells.push_back(std::move(cell));
+  }
+
+  for (const TrialResult& trial : result.trials) {
+    result.failed_trials += trial.failed ? 1 : 0;
+  }
+  return result;
+}
+
+std::uint64_t report_failures(std::ostream& os, const ExperimentResult& result) {
+  for (const TrialResult& trial : result.trials) {
+    if (trial.failed) {
+      os << "trial " << trial.index << " (" << trial.fuzzer;
+      if (!trial.variant.empty()) {
+        os << "/" << trial.variant;
+      }
+      os << ", run " << trial.run_index << "): " << trial.error << "\n";
+    }
+  }
+  return result.failed_trials;
+}
+
+// --- artifact emitters ----------------------------------------------------------
+
+void write_trials_csv(std::ostream& os, const ExperimentResult& result,
+                      const ArtifactOptions& options) {
+  std::vector<std::string> header = {
+      "trial",      "fuzzer",        "variant",         "run",
+      "status",     "stop",          "tests",           "covered",
+      "universe",   "mismatches",    "detected_bugs",   "target_detected",
+      "detection_tests"};
+  if (options.include_timing) {
+    header.emplace_back("elapsed_seconds");
+  }
+  header.emplace_back("error");
+
+  common::Table table(std::move(header));
+  for (const TrialResult& trial : result.trials) {
+    std::vector<std::string> row = {
+        std::to_string(trial.index),
+        trial.fuzzer,
+        trial.variant,
+        std::to_string(trial.run_index),
+        trial.failed ? "failed" : "ok",
+        trial.failed ? "" : std::string(stop_reason_name(trial.stop)),
+        std::to_string(trial.tests_executed),
+        std::to_string(trial.covered),
+        std::to_string(trial.universe),
+        std::to_string(trial.mismatches),
+        std::to_string(trial.detected_bugs),
+        trial.target_detected ? "1" : "0",
+        std::to_string(trial.detection_tests)};
+    if (options.include_timing) {
+      row.push_back(common::format_double(trial.elapsed_seconds, 4));
+    }
+    row.push_back(trial.error);
+    table.add_row(std::move(row));
+  }
+  table.render_csv(os);
+}
+
+namespace {
+
+void write_summary(common::JsonWriter& json, const common::Summary& summary) {
+  json.begin_object();
+  json.key("count").value(static_cast<std::uint64_t>(summary.count));
+  json.key("mean").value(summary.mean);
+  json.key("median").value(summary.median);
+  json.key("stddev").value(summary.stddev);
+  json.key("min").value(summary.min);
+  json.key("max").value(summary.max);
+  json.key("p25").value(summary.p25);
+  json.key("p75").value(summary.p75);
+  json.end_object();
+}
+
+void write_curve(common::JsonWriter& json, const CoverageCurve& curve) {
+  json.begin_object();
+  json.key("universe").value(static_cast<std::uint64_t>(curve.universe));
+  json.key("grid").begin_array();
+  for (const std::uint64_t g : curve.grid) {
+    json.value(g);
+  }
+  json.end_array();
+  json.key("covered").begin_array();
+  for (const double c : curve.covered) {
+    json.value(c);
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_experiment_json(std::ostream& os, const ExperimentResult& result,
+                           const ArtifactOptions& options) {
+  common::JsonWriter json(os, options.pretty_json);
+  json.begin_object();
+  json.key("schema").value("mabfuzz-experiment-v1");
+  json.key("trial_count").value(static_cast<std::uint64_t>(result.trials.size()));
+  json.key("failed_trials").value(result.failed_trials);
+
+  json.key("trials").begin_array();
+  for (const TrialResult& trial : result.trials) {
+    json.begin_object();
+    json.key("trial").value(static_cast<std::uint64_t>(trial.index));
+    json.key("fuzzer").value(trial.fuzzer);
+    json.key("variant").value(trial.variant);
+    json.key("run").value(trial.run_index);
+    json.key("failed").value(trial.failed);
+    if (trial.failed) {
+      json.key("error").value(trial.error);
+    } else {
+      json.key("stop").value(stop_reason_name(trial.stop));
+      json.key("tests").value(trial.tests_executed);
+      json.key("covered").value(static_cast<std::uint64_t>(trial.covered));
+      json.key("universe").value(static_cast<std::uint64_t>(trial.universe));
+      json.key("mismatches").value(trial.mismatches);
+      json.key("detected_bugs")
+          .value(static_cast<std::uint64_t>(trial.detected_bugs));
+      json.key("target_detected").value(trial.target_detected);
+      json.key("detection_tests").value(trial.detection_tests);
+      if (options.include_timing) {
+        json.key("elapsed_seconds").value(trial.elapsed_seconds);
+      }
+      json.key("curve");
+      write_curve(json, trial.curve);
+    }
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("cells").begin_array();
+  for (const CellStats& cell : result.cells) {
+    json.begin_object();
+    json.key("fuzzer").value(cell.fuzzer);
+    json.key("variant").value(cell.variant);
+    json.key("trials").value(cell.trials);
+    json.key("failed_trials").value(cell.failed_trials);
+    json.key("detected_trials").value(cell.detected_trials);
+    json.key("tests");
+    write_summary(json, cell.tests);
+    json.key("covered");
+    write_summary(json, cell.covered);
+    json.key("detection");
+    write_summary(json, cell.detection);
+    json.key("mean_curve");
+    write_curve(json, cell.mean_curve);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  os << '\n';
+}
 
 }  // namespace mabfuzz::harness

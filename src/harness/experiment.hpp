@@ -1,78 +1,209 @@
 #pragma once
-// DEPRECATED compatibility shim — kept for exactly one PR.
+// The trial-matrix experiment engine: the one path every repeated-trial
+// result in this repo (paper Table I, Fig. 3, Fig. 4, the ablations, the
+// CLI's --trials/--matrix mode) is produced through.
 //
-// The enum-keyed construction API (FuzzerKind / ExperimentConfig / Session)
-// is superseded by the string-keyed registry + harness::Campaign in
-// harness/campaign.hpp. This header maps the old vocabulary onto the new
-// one so stragglers keep compiling; new code must construct a Campaign.
+//  - TrialMatrix: a declarative (fuzzer × config-overrides × seed-range)
+//    matrix expanded into independent TrialSpecs. Each spec is a fully
+//    resolved CampaignConfig whose RNG streams derive from
+//    (rng_seed, run_index), so a trial's result depends only on its spec —
+//    never on scheduling.
+//  - Experiment: executes every trial across the shared chunked worker
+//    pool (harness/worker_pool.hpp). Results land in matrix-expansion
+//    order and aggregation runs after the pool drains, so aggregate
+//    statistics are bit-identical regardless of the worker count.
+//  - ExperimentResult: per-trial results (failures included — a throwing
+//    trial is counted and surfaced, not dropped), per-cell aggregate
+//    statistics (mean/median/stddev/percentiles via common/stats), and
+//    pairwise speedup reports against a baseline fuzzer (paper Table I /
+//    Fig. 4 accounting).
+//  - write_trials_csv / write_experiment_json: machine-readable artifact
+//    emitters ("mabfuzz-experiment-v1"; schema documented in README.md).
 
-#include <array>
 #include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
 #include <string_view>
+#include <vector>
 
-#include "core/scheduler.hpp"
+#include "common/stats.hpp"
 #include "harness/campaign.hpp"
+#include "harness/curves.hpp"
+#include "soc/bugs.hpp"
 
 namespace mabfuzz::harness {
 
-/// DEPRECATED: name policies by registry string instead ("thehuzz",
-/// "epsilon-greedy", "ucb", "exp3", "thompson").
-enum class FuzzerKind : std::uint8_t {
-  kTheHuzz,
-  kMabEpsilonGreedy,
-  kMabUcb,
-  kMabExp3,
+/// One named matrix column: "key=value" overrides applied onto the base
+/// config (same vocabulary as CampaignConfig::set). The label keys the
+/// resulting cells; empty overrides make a pass-through variant.
+struct TrialVariant {
+  std::string label;
+  std::vector<std::string> overrides;
 };
 
-inline constexpr std::array<FuzzerKind, 4> kAllFuzzers = {
-    FuzzerKind::kTheHuzz, FuzzerKind::kMabEpsilonGreedy, FuzzerKind::kMabUcb,
-    FuzzerKind::kMabExp3};
+/// One fully expanded trial: (fuzzer, variant, run_index) plus the
+/// resolved config it executes.
+struct TrialSpec {
+  std::size_t index = 0;  // position in the matrix expansion
+  std::string fuzzer;
+  std::string variant;  // TrialVariant label; "" for the default variant
+  std::uint64_t run_index = 0;
+  CampaignConfig config;
+};
 
-inline constexpr std::array<FuzzerKind, 3> kMabFuzzers = {
-    FuzzerKind::kMabEpsilonGreedy, FuzzerKind::kMabUcb, FuzzerKind::kMabExp3};
+/// Declarative experiment matrix. Expansion order is fuzzer-major, then
+/// variant, then run index — the stable trial numbering every report and
+/// artifact uses.
+struct TrialMatrix {
+  CampaignConfig base;
+  /// Fuzzer axis; empty runs just base.fuzzer.
+  std::vector<std::string> fuzzers;
+  /// Config-override axis; empty runs one unmodified variant.
+  std::vector<TrialVariant> variants;
+  /// Seed range: run_index in [first_run, first_run + trials).
+  std::uint64_t trials = 1;
+  std::uint64_t first_run = 0;
 
-/// Display name ("MABFuzz:UCB").
-[[nodiscard]] std::string_view fuzzer_name(FuzzerKind kind) noexcept;
+  /// Expands to the full trial list. Throws std::invalid_argument on a
+  /// malformed variant override (unknown key / unparsable value).
+  [[nodiscard]] std::vector<TrialSpec> expand() const;
+};
 
-/// The fuzz::FuzzerRegistry key the kind maps onto ("ucb").
-[[nodiscard]] std::string_view policy_key(FuzzerKind kind) noexcept;
-
-/// DEPRECATED in favour of harness::CampaignConfig. The loose epsilon/eta
-/// members are gone; bandit parameters live in the nested BanditConfig.
-struct ExperimentConfig {
-  soc::CoreKind core = soc::CoreKind::kRocket;
-  soc::BugSet bugs;  // default: none (coverage experiments)
-  FuzzerKind fuzzer = FuzzerKind::kTheHuzz;
-  std::uint64_t max_tests = 10'000;
-  std::uint64_t rng_seed = 1;
+/// What one trial produced. `failed` trials carry the exception text in
+/// `error` and zeroed metrics; they are excluded from cell statistics but
+/// counted and listed in the aggregate report.
+struct TrialResult {
+  std::size_t index = 0;
+  std::string fuzzer;
+  std::string variant;
   std::uint64_t run_index = 0;
 
-  // MABFuzz parameters (paper Sec. IV-A defaults). mab.num_arms is
-  // authoritative for the arm count, as it was pre-registry.
-  core::MabFuzzConfig mab{};
-  mab::BanditConfig bandit{};
+  bool failed = false;
+  std::string error;
 
-  // Baseline parameters.
-  fuzz::TheHuzzConfig thehuzz{};
+  StopReason stop = StopReason::kMaxTests;
+  std::uint64_t tests_executed = 0;
+  std::size_t covered = 0;
+  std::size_t universe = 0;
+  std::uint64_t mismatches = 0;
+  std::size_t detected_bugs = 0;
+  /// Target-bug accounting (ExperimentOptions::target_bug): detected flag
+  /// and tests-to-detection, right-censored at the test cap like the
+  /// paper's Table I columns.
+  bool target_detected = false;
+  std::uint64_t detection_tests = 0;
+  /// Wall-clock seconds; inherently non-deterministic, excluded from
+  /// artifacts when ArtifactOptions::include_timing is false.
+  double elapsed_seconds = 0.0;
 
-  /// The equivalent new-API description.
-  [[nodiscard]] CampaignConfig to_campaign() const;
+  CoverageCurve curve;  // per-batch coverage samples
 };
 
-/// DEPRECATED: one constructed fuzzing session (backend + policy), ready to
-/// step. Now a thin wrapper over Campaign construction; stepping through
-/// fuzzer().step() bypasses the campaign's observers and bookkeeping.
-class Session {
- public:
-  explicit Session(const ExperimentConfig& config);
+/// Aggregate statistics over one (fuzzer, variant) cell's trials.
+struct CellStats {
+  std::string fuzzer;
+  std::string variant;
+  std::uint64_t trials = 0;
+  std::uint64_t failed_trials = 0;
+  std::uint64_t detected_trials = 0;  // target-bug detections
 
-  [[nodiscard]] fuzz::Fuzzer& fuzzer() noexcept { return campaign_.fuzzer(); }
-  [[nodiscard]] fuzz::Backend& backend() noexcept { return campaign_.backend(); }
-  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+  common::Summary tests;       // tests executed per successful trial
+  common::Summary covered;     // final covered points
+  common::Summary detection;   // tests-to-detection (censored at the cap)
+  CoverageCurve mean_curve;    // run-averaged coverage curve
+};
+
+/// How the engine executes a matrix.
+struct ExperimentOptions {
+  /// Worker threads; 0 = hardware concurrency. Never affects results.
+  unsigned workers = 0;
+  /// Detection experiment: each trial stops at the bug's first detection
+  /// (or the config's test cap), the paper's Table I protocol.
+  std::optional<soc::BugId> target_bug;
+  /// Stop each trial once every enabled bug is detected (or the cap).
+  bool stop_on_all_bugs = false;
+};
+
+/// Everything an Experiment::run() produced.
+struct ExperimentResult {
+  std::vector<TrialResult> trials;  // matrix-expansion order
+  std::vector<CellStats> cells;     // fuzzer-major cell order
+  std::uint64_t failed_trials = 0;
+
+  /// The cell for (fuzzer, variant); nullptr when absent.
+  [[nodiscard]] const CellStats* find_cell(
+      std::string_view fuzzer, std::string_view variant = {}) const noexcept;
+};
+
+/// Table I / Fig. 4-style pairwise comparison of every non-baseline cell
+/// against the baseline fuzzer's cell of the same variant.
+struct SpeedupReport {
+  struct Row {
+    std::string fuzzer;
+    std::string variant;
+    /// baseline tests-to-stop over candidate tests-to-stop (division
+    /// guarded by common::speedup_ratio; 0 when a side is empty).
+    double mean_speedup = 0.0;
+    double median_speedup = 0.0;
+    /// Fig. 4 coverage metrics from the run-averaged curves.
+    double coverage_speedup = 0.0;
+    double increment_percent = 0.0;
+  };
+  std::string baseline;
+  std::vector<Row> rows;
+};
+
+/// Builds the pairwise report. Throws std::invalid_argument when the
+/// baseline fuzzer has no cells in `result`.
+[[nodiscard]] SpeedupReport speedup_report(const ExperimentResult& result,
+                                           std::string_view baseline_fuzzer);
+
+/// One constructed experiment: the matrix expanded and validated, ready to
+/// run (possibly repeatedly — runs are independent).
+class Experiment {
+ public:
+  explicit Experiment(TrialMatrix matrix, ExperimentOptions options = {});
+
+  [[nodiscard]] const std::vector<TrialSpec>& specs() const noexcept {
+    return specs_;
+  }
+  [[nodiscard]] const ExperimentOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Executes every trial on the worker pool and aggregates. Results are
+  /// bit-identical for any worker count.
+  [[nodiscard]] ExperimentResult run() const;
 
  private:
-  ExperimentConfig config_;
-  Campaign campaign_;
+  [[nodiscard]] TrialResult run_trial(const TrialSpec& spec) const;
+  [[nodiscard]] StopCondition stop_condition(const TrialSpec& spec) const;
+
+  ExperimentOptions options_;
+  std::vector<TrialSpec> specs_;  // the expanded matrix (all it needs kept)
 };
+
+/// Artifact emission knobs shared by the CSV and JSON writers.
+struct ArtifactOptions {
+  /// Include wall-clock fields. Disable for byte-identical artifacts
+  /// (the determinism tests and any content-addressed result store).
+  bool include_timing = true;
+  bool pretty_json = true;
+};
+
+/// Prints one line per failed trial ("trial 3 (ucb/g5, run 1): what()")
+/// and returns the failure count — the one-liner every bench gates its
+/// exit status on, so partial data never masquerades as a clean result.
+std::uint64_t report_failures(std::ostream& os, const ExperimentResult& result);
+
+/// One CSV row per trial (header first), matrix-expansion order.
+void write_trials_csv(std::ostream& os, const ExperimentResult& result,
+                      const ArtifactOptions& options = {});
+
+/// The "mabfuzz-experiment-v1" JSON artifact: trial rows plus per-cell
+/// aggregates and coverage curves.
+void write_experiment_json(std::ostream& os, const ExperimentResult& result,
+                           const ArtifactOptions& options = {});
 
 }  // namespace mabfuzz::harness

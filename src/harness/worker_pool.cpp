@@ -1,0 +1,91 @@
+#include "harness/worker_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace mabfuzz::harness {
+
+namespace {
+
+std::optional<TaskFailure> run_one(const std::function<void(std::uint64_t)>& fn,
+                                   std::uint64_t index) {
+  try {
+    fn(index);
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return TaskFailure{index, e.what()};
+  } catch (...) {
+    return TaskFailure{index, "unknown exception"};
+  }
+}
+
+}  // namespace
+
+PoolReport run_indexed(std::uint64_t tasks, unsigned workers,
+                       const std::function<void(std::uint64_t)>& fn) {
+  PoolReport report;
+  report.tasks = tasks;
+  if (tasks == 0) {
+    return report;
+  }
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min<unsigned>(
+      workers, static_cast<unsigned>(std::min<std::uint64_t>(tasks, ~0u)));
+  report.workers = workers;
+
+  if (workers <= 1) {
+    for (std::uint64_t i = 0; i < tasks; ++i) {
+      if (auto failure = run_one(fn, i)) {
+        report.failures.push_back(std::move(*failure));
+      }
+    }
+    return report;
+  }
+
+  // Chunked claiming: each worker grabs a small contiguous range per
+  // fetch_add, amortising counter contention while keeping enough slack
+  // for load balancing across uneven task durations.
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(1, tasks / (static_cast<std::uint64_t>(workers) * 8));
+  std::atomic<std::uint64_t> next{0};
+  std::mutex failures_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::uint64_t begin = next.fetch_add(chunk);
+        if (begin >= tasks) {
+          return;
+        }
+        const std::uint64_t end = std::min(tasks, begin + chunk);
+        for (std::uint64_t i = begin; i < end; ++i) {
+          if (auto failure = run_one(fn, i)) {
+            const std::scoped_lock lock(failures_mutex);
+            report.failures.push_back(std::move(*failure));
+          } else {
+            MABFUZZ_DEBUG() << "task " << i << " finished";
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.index < b.index;
+            });
+  return report;
+}
+
+}  // namespace mabfuzz::harness

@@ -1,8 +1,8 @@
 // Campaign-API tests: registry lookup and error reporting, key=value
 // config parsing, paper-default invariants, stop-condition composition and
-// precedence, observer callback ordering, and the redesign's determinism
-// contract — a Campaign run is bit-identical to the deprecated Session
-// loop for the same seed.
+// precedence, observer callback ordering, and the driver's determinism
+// contract — a batched run_until() is bit-identical to a hand-rolled
+// step() loop for the same seed.
 
 #include <gtest/gtest.h>
 
@@ -15,7 +15,6 @@
 #include "fuzz/registry.hpp"
 #include "harness/campaign.hpp"
 #include "harness/curves.hpp"
-#include "harness/experiment.hpp"
 #include "mab/registry.hpp"
 #include "mab/ucb.hpp"
 
@@ -198,14 +197,6 @@ TEST(CampaignConfigTest, DefaultsMatchPaperSectionIVA) {
   EXPECT_DOUBLE_EQ(config.policy.alpha, 0.25);       // reward mix
   EXPECT_EQ(config.policy.gamma, 3u);                // reset threshold
   EXPECT_EQ(config.policy.mutants_per_interesting, 5u);
-  // The deprecated shim must agree with the unified config.
-  const ExperimentConfig old_config;
-  const CampaignConfig converted = old_config.to_campaign();
-  EXPECT_EQ(converted.policy.bandit.num_arms, config.policy.bandit.num_arms);
-  EXPECT_DOUBLE_EQ(converted.policy.bandit.epsilon, config.policy.bandit.epsilon);
-  EXPECT_DOUBLE_EQ(converted.policy.bandit.eta, config.policy.bandit.eta);
-  EXPECT_DOUBLE_EQ(converted.policy.alpha, config.policy.alpha);
-  EXPECT_EQ(converted.policy.gamma, config.policy.gamma);
 }
 
 // --- StepResult::arm disambiguation ---------------------------------------------
@@ -396,7 +387,7 @@ TEST(Observers, SnapshotsFeedCurves) {
                    static_cast<double>(campaign.covered()));
 }
 
-// --- determinism: Campaign ≡ deprecated Session loop ----------------------------
+// --- determinism: batched driver ≡ hand-rolled step loop -------------------------
 
 struct Trace {
   std::vector<std::size_t> arms;
@@ -407,49 +398,40 @@ struct Trace {
   friend bool operator==(const Trace&, const Trace&) = default;
 };
 
-class CampaignMatchesSession : public ::testing::TestWithParam<std::string_view> {};
+class BatchedDriverDeterminism
+    : public ::testing::TestWithParam<std::string_view> {};
 
-TEST_P(CampaignMatchesSession, BitIdenticalTrajectoriesAndCurves) {
+TEST_P(BatchedDriverDeterminism, RunUntilMatchesManualStepLoop) {
   constexpr std::uint64_t kTests = 200;
   constexpr std::uint64_t kSeed = 77;
 
-  // The pre-redesign construction + hand-rolled step loop, via the shim.
-  ExperimentConfig old_config;
-  old_config.core = soc::CoreKind::kCva6;
-  old_config.bugs = soc::default_bugs(soc::CoreKind::kCva6);
-  old_config.max_tests = kTests;
-  old_config.rng_seed = kSeed;
-  for (const FuzzerKind kind : kAllFuzzers) {
-    if (policy_key(kind) == GetParam()) {
-      old_config.fuzzer = kind;
-    }
-  }
-  Trace session_trace;
-  std::vector<double> session_curve;
-  {
-    Session session(old_config);
-    for (std::uint64_t t = 1; t <= kTests; ++t) {
-      const fuzz::StepResult r = session.fuzzer().step();
-      session_trace.arms.push_back(r.arm.value_or(SIZE_MAX));
-      session_trace.new_points.push_back(r.new_global_points);
-      session_trace.mismatches.push_back(r.mismatch);
-      if (t % 50 == 0) {
-        session_curve.push_back(
-            static_cast<double>(session.fuzzer().accumulated().covered()));
-      }
-    }
-    session_trace.covered = session.fuzzer().accumulated().covered();
-  }
-
-  // The new driver, batched stepping and all.
   CampaignConfig config;
   config.fuzzer = std::string(GetParam());
-  config.core = old_config.core;
-  config.bugs = old_config.bugs;
+  config.core = soc::CoreKind::kCva6;
+  config.bugs = soc::default_bugs(soc::CoreKind::kCva6);
   config.max_tests = kTests;
   config.rng_seed = kSeed;
   config.snapshot_every = 50;
-  Trace campaign_trace;
+
+  // The hand-rolled loop: step() by hand, sample coverage manually.
+  Trace manual_trace;
+  std::vector<double> manual_curve;
+  {
+    Campaign campaign(config);
+    for (std::uint64_t t = 1; t <= kTests; ++t) {
+      const fuzz::StepResult r = campaign.step();
+      manual_trace.arms.push_back(r.arm.value_or(SIZE_MAX));
+      manual_trace.new_points.push_back(r.new_global_points);
+      manual_trace.mismatches.push_back(r.mismatch);
+      if (t % 50 == 0) {
+        manual_curve.push_back(static_cast<double>(campaign.covered()));
+      }
+    }
+    manual_trace.covered = campaign.covered();
+  }
+
+  // The batched driver, snapshots and stop evaluation and all.
+  Trace driver_trace;
   struct Tracer final : CampaignObserver {
     Trace* trace;
     void on_step(const Campaign&, const fuzz::StepResult& r) override {
@@ -458,20 +440,20 @@ TEST_P(CampaignMatchesSession, BitIdenticalTrajectoriesAndCurves) {
       trace->mismatches.push_back(r.mismatch);
     }
   } tracer;
-  tracer.trace = &campaign_trace;
+  tracer.trace = &driver_trace;
   Campaign campaign(config);
   campaign.add_observer(tracer);
   campaign.run();
-  campaign_trace.covered = campaign.covered();
+  driver_trace.covered = campaign.covered();
 
-  EXPECT_EQ(campaign_trace, session_trace)
-      << "Campaign driver perturbed the run for " << GetParam();
+  EXPECT_EQ(driver_trace, manual_trace)
+      << "batched driver perturbed the run for " << GetParam();
   const CoverageCurve curve = curve_from_snapshots(campaign.snapshots());
-  ASSERT_EQ(curve.covered.size(), session_curve.size());
-  EXPECT_EQ(curve.covered, session_curve);
+  ASSERT_EQ(curve.covered.size(), manual_curve.size());
+  EXPECT_EQ(curve.covered, manual_curve);
 }
 
-INSTANTIATE_TEST_SUITE_P(ShimPolicies, CampaignMatchesSession,
+INSTANTIATE_TEST_SUITE_P(Policies, BatchedDriverDeterminism,
                          ::testing::Values("thehuzz", "ucb", "exp3"),
                          [](const ::testing::TestParamInfo<std::string_view>& info) {
                            std::string out;

@@ -3,12 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "common/bitops.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -205,6 +208,22 @@ TEST(Stats, SummarizeEmptyIsZero) {
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.p25, 0.0);
+  EXPECT_EQ(s.p75, 0.0);
+}
+
+TEST(Stats, SummarizeSingleSampleIsThatSampleEverywhere) {
+  const std::vector<double> v = {42.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.p25, 42.0);
+  EXPECT_DOUBLE_EQ(s.p75, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
 }
 
 TEST(Stats, PercentileInterpolation) {
@@ -212,6 +231,20 @@ TEST(Stats, PercentileInterpolation) {
   EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
   EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 3.25);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);  // empty
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 100), 7.0);
+  // Out-of-range p clamps instead of indexing out of bounds.
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 250), 3.0);
 }
 
 TEST(Stats, MedianOddCount) {
@@ -219,11 +252,74 @@ TEST(Stats, MedianOddCount) {
   EXPECT_DOUBLE_EQ(median(v), 3.0);
 }
 
+TEST(Stats, MedianEvenCountInterpolates) {
+  const std::vector<double> v = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Stats, SpeedupRatioGuardsDivisionByZero) {
+  EXPECT_DOUBLE_EQ(speedup_ratio(10.0, 4.0), 2.5);
+  EXPECT_DOUBLE_EQ(speedup_ratio(4.0, 10.0), 0.4);
+  // Zero / negative sides (empty or censored cells) read as "no speedup"
+  // rather than dividing by zero.
+  EXPECT_DOUBLE_EQ(speedup_ratio(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(speedup_ratio(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(speedup_ratio(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(speedup_ratio(-1.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(speedup_ratio(5.0, -1.0), 0.0);
+}
+
 TEST(Stats, GeometricMean) {
   const std::vector<double> v = {1.0, 100.0};
   EXPECT_NEAR(geometric_mean(v), 10.0, 1e-9);
   const std::vector<double> with_zero = {0.0, 10.0};
   EXPECT_NEAR(geometric_mean(with_zero), 10.0, 1e-9);  // zeros skipped
+}
+
+// --- json --------------------------------------------------------------------
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterEmitsCompactNestedStructure) {
+  std::ostringstream os;
+  JsonWriter json(os, /*pretty=*/false);
+  json.begin_object();
+  json.key("name").value("ucb");
+  json.key("tests").value(std::uint64_t{60});
+  json.key("mean").value(2.5);
+  json.key("ok").value(true);
+  json.key("grid").begin_array();
+  json.value(std::uint64_t{1}).value(std::uint64_t{2});
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(os.str(),
+            R"({"name":"ucb","tests":60,"mean":2.5,"ok":true,"grid":[1,2]})");
+}
+
+TEST(Json, DoublesAreShortestRoundTripAndNonFiniteIsNull) {
+  std::ostringstream os;
+  JsonWriter json(os, /*pretty=*/false);
+  json.begin_array();
+  json.value(0.1);
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(os.str(), "[0.1,null,null]");
+}
+
+TEST(Json, StructuralMisuseThrows) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  EXPECT_THROW(json.value("no key"), std::logic_error);
+  EXPECT_THROW(json.end_array(), std::logic_error);
+  EXPECT_THROW(json.begin_array().key("k"), std::logic_error);
 }
 
 // --- table -------------------------------------------------------------------
@@ -268,6 +364,15 @@ TEST(TableFormat, FormatScientific) {
 }
 
 // --- cli ---------------------------------------------------------------------
+
+TEST(Cli, SplitKeepsGetlineSemantics) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(split(",a", ','), (std::vector<std::string>{"", "a"}));
+  EXPECT_EQ(split("", ','), std::vector<std::string>{});
+  EXPECT_EQ(split("solo", ','), std::vector<std::string>{"solo"});
+}
 
 TEST(Cli, ParsesKeyValueForms) {
   const char* argv[] = {"prog", "--tests", "500", "--alpha=0.25", "--verbose"};

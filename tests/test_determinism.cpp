@@ -1,17 +1,20 @@
 // Seeded-determinism regression: two MABFuzz runs built from the same
 // MabFuzzConfig and RNG seeds must replay the exact same experiment —
 // identical arm-selection sequences, coverage totals, resets and mismatch
-// flags. This locks in reproducibility before any parallelism work.
+// flags — and a whole trial matrix must produce byte-identical aggregate
+// statistics no matter how many worker threads execute it.
 
 #include <gtest/gtest.h>
 
 #include <cctype>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/scheduler.hpp"
 #include "fuzz/backend.hpp"
+#include "harness/experiment.hpp"
 #include "mab/registry.hpp"
 #include "soc/bugs.hpp"
 #include "soc/cores.hpp"
@@ -88,6 +91,43 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismTest,
                            });
                            return name;
                          });
+
+// --- determinism under concurrency ----------------------------------------------
+
+// The same trial matrix + seeds must produce byte-identical aggregate
+// statistics with 1, 2 and 8 workers: per-trial RNG streams derive from
+// (seed, run_index) only, results land in matrix-expansion order, and
+// aggregation runs after the pool drains. Compared as serialized artifacts
+// (timing excluded — wall clock is the one legitimately non-deterministic
+// field), so any ordering or aggregation drift fails the string equality.
+TEST(ExperimentDeterminism, AggregateStatsByteIdenticalAcrossWorkerCounts) {
+  harness::TrialMatrix matrix;
+  matrix.base.core = soc::CoreKind::kRocket;
+  matrix.base.bugs = soc::default_bugs(soc::CoreKind::kRocket);
+  matrix.base.max_tests = 50;
+  matrix.base.snapshot_every = 25;
+  matrix.base.rng_seed = 1234;
+  matrix.fuzzers = {"thehuzz", "ucb", "exp3"};
+  matrix.trials = 4;
+
+  auto artifact = [&](unsigned workers) {
+    harness::ExperimentOptions options;
+    options.workers = workers;
+    const harness::ExperimentResult result =
+        harness::Experiment(matrix, options).run();
+    harness::ArtifactOptions artifact_options;
+    artifact_options.include_timing = false;
+    std::ostringstream os;
+    harness::write_experiment_json(os, result, artifact_options);
+    harness::write_trials_csv(os, result, artifact_options);
+    return os.str();
+  };
+
+  const std::string serial = artifact(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, artifact(2)) << "2-worker run diverged from serial";
+  EXPECT_EQ(serial, artifact(8)) << "8-worker run diverged from serial";
+}
 
 }  // namespace
 }  // namespace mabfuzz

@@ -1,6 +1,6 @@
 // Harness tests: campaign construction for every registered policy,
 // detection measurement, coverage curves, the Fig. 4 speedup/increment
-// math, the parallel run driver and the report renderers.
+// math, the shared worker pool and the report renderers.
 
 #include <gtest/gtest.h>
 
@@ -8,11 +8,13 @@
 #include <atomic>
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
 
 #include "harness/campaign.hpp"
 #include "harness/curves.hpp"
 #include "harness/detection.hpp"
 #include "harness/report.hpp"
+#include "harness/worker_pool.hpp"
 
 namespace mabfuzz::harness {
 namespace {
@@ -166,29 +168,60 @@ TEST(Curves, BuiltFromCampaignSnapshots) {
   EXPECT_DOUBLE_EQ(curve.final_covered, 30.0);
 }
 
-// --- parallel runs ------------------------------------------------------------------
+// --- worker pool --------------------------------------------------------------------
 
-TEST(ParallelRuns, ExecutesAllIndicesExactlyOnce) {
+TEST(WorkerPool, ExecutesAllIndicesExactlyOnce) {
   std::vector<std::atomic<int>> counts(32);
-  parallel_runs(32, [&](std::uint64_t r) { counts[r].fetch_add(1); });
+  const PoolReport report =
+      run_indexed(32, 0, [&](std::uint64_t r) { counts[r].fetch_add(1); });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.tasks, 32u);
   for (const auto& c : counts) {
     EXPECT_EQ(c.load(), 1);
   }
 }
 
-TEST(ParallelRuns, PropagatesExceptions) {
-  EXPECT_THROW(
-      parallel_runs(4,
-                    [&](std::uint64_t r) {
-                      if (r == 2) {
-                        throw std::runtime_error("boom");
-                      }
-                    }),
-      std::runtime_error);
+TEST(WorkerPool, CollectsEveryFailureAndKeepsRunning) {
+  // The old parallel_runs helper recorded only the first exception and
+  // dropped the rest; the pool must capture all of them, per index, while
+  // the non-throwing tasks still run.
+  std::vector<std::atomic<int>> counts(6);
+  const PoolReport report = run_indexed(6, 3, [&](std::uint64_t r) {
+    counts[r].fetch_add(1);
+    if (r == 1) {
+      throw std::runtime_error("boom-1");
+    }
+    if (r == 4) {
+      throw std::runtime_error("boom-4");
+    }
+  });
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.failed(), 2u);
+  EXPECT_EQ(report.failures[0].index, 1u);  // sorted by index
+  EXPECT_EQ(report.failures[0].message, "boom-1");
+  EXPECT_EQ(report.failures[1].index, 4u);
+  EXPECT_EQ(report.failures[1].message, "boom-4");
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1) << "a failure must not starve other tasks";
+  }
 }
 
-TEST(ParallelRuns, ZeroRunsIsNoop) {
-  parallel_runs(0, [&](std::uint64_t) { FAIL(); });
+TEST(WorkerPool, SingleWorkerCollectsFailuresToo) {
+  const PoolReport report = run_indexed(3, 1, [&](std::uint64_t r) {
+    if (r != 1) {
+      throw std::invalid_argument("bad " + std::to_string(r));
+    }
+  });
+  ASSERT_EQ(report.failed(), 2u);
+  EXPECT_EQ(report.failures[0].message, "bad 0");
+  EXPECT_EQ(report.failures[1].message, "bad 2");
+}
+
+TEST(WorkerPool, ZeroTasksIsNoop) {
+  const PoolReport report =
+      run_indexed(0, 0, [&](std::uint64_t) { FAIL(); });
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.tasks, 0u);
 }
 
 // --- report renderers ------------------------------------------------------------------
