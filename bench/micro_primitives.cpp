@@ -11,7 +11,9 @@
 #include "fuzz/backend.hpp"
 #include "fuzz/seedgen.hpp"
 #include "golden/iss.hpp"
+#include "golden/memory.hpp"
 #include "harness/experiment.hpp"
+#include "isa/decoded_program.hpp"
 #include "mab/registry.hpp"
 #include "mutation/engine.hpp"
 #include "soc/cores.hpp"
@@ -55,6 +57,83 @@ void BM_BackendDifferentialTest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BackendDifferentialTest);
+
+// The campaign hot path: run_test with a reused TestOutcome (the form every
+// fuzzer's step() uses). The headline run_test-throughput number recorded in
+// BENCH_baseline.json; items/sec = tests/sec.
+void BM_BackendRunTestReused(benchmark::State& state) {
+  const auto kind = static_cast<soc::CoreKind>(state.range(0));
+  fuzz::BackendConfig config;
+  config.core = kind;
+  config.bugs = soc::default_bugs(kind);
+  fuzz::Backend backend(config);
+  const fuzz::TestCase seed = backend.make_seed();
+  fuzz::TestOutcome outcome;
+  for (auto _ : state) {
+    backend.run_test(seed, outcome);
+    benchmark::DoNotOptimize(outcome.coverage);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(soc::core_name(kind)));
+}
+BENCHMARK(BM_BackendRunTestReused)->Arg(0)->Arg(1)->Arg(2);
+
+// DRAM reset cost, full memset vs dirty-region. The store pattern mirrors a
+// typical test: program image + handler at the bottom, a handful of scattered
+// scratch-region stores.
+void BM_DramResetFull(benchmark::State& state) {
+  golden::Memory memory(isa::kDramBase, isa::kDramSizeDefault);
+  for (auto _ : state) {
+    memory.store(isa::kProgramBase, 0x1234'5678, 4);
+    memory.store(isa::kScratchBase, ~0ULL, 8);
+    memory.store(isa::kScratchBase + 0x2000, 0xff, 1);
+    memory.clear();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(isa::kDramSizeDefault));
+}
+BENCHMARK(BM_DramResetFull);
+
+void BM_DramResetDirty(benchmark::State& state) {
+  golden::Memory memory(isa::kDramBase, isa::kDramSizeDefault);
+  for (auto _ : state) {
+    memory.store(isa::kProgramBase, 0x1234'5678, 4);
+    memory.store(isa::kScratchBase, ~0ULL, 8);
+    memory.store(isa::kScratchBase + 0x2000, 0xff, 1);
+    memory.reset();
+  }
+  // No SetBytesProcessed: reset() memsets only the ~3 dirty pages, so a
+  // whole-DRAM bytes/sec figure would be inflated ~20x. Compare the two
+  // variants by time per iteration.
+}
+BENCHMARK(BM_DramResetDirty);
+
+// Decode-path cost: strict isa::decode vs the DecodedProgram cache hit.
+void BM_IsaDecodePerWord(benchmark::State& state) {
+  const auto program = sample_program();
+  for (auto _ : state) {
+    for (const isa::Word word : program) {
+      benchmark::DoNotOptimize(isa::decode(word));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(program.size()));
+}
+BENCHMARK(BM_IsaDecodePerWord);
+
+void BM_DecodedProgramLookup(benchmark::State& state) {
+  const auto program = sample_program();
+  isa::DecodedProgram decoded;
+  decoded.build(program);
+  for (auto _ : state) {
+    for (const isa::Word word : program) {
+      benchmark::DoNotOptimize(decoded.lookup(word));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(program.size()));
+}
+BENCHMARK(BM_DecodedProgramLookup);
 
 void BM_SeedGeneration(benchmark::State& state) {
   fuzz::SeedGenerator gen(fuzz::SeedGenConfig{}, common::Xoshiro256StarStar(2));

@@ -73,10 +73,12 @@ int main(int argc, char** argv) {
   backend_config.bugs = soc::BugSet::single(*bug);
   backend_config.rng_seed = seed;
   fuzz::Backend backend(backend_config);
-  // Drive the backend directly so we can hold on to the failing test case.
+  // Drive the backend directly so we can hold on to the failing test case;
+  // one reused outcome keeps the replay loop allocation-free.
+  fuzz::TestOutcome outcome;
   for (std::uint64_t t = 0; t < max_tests; ++t) {
     const fuzz::TestCase test = backend.make_seed();
-    const fuzz::TestOutcome outcome = backend.run_test(test);
+    backend.run_test(test, outcome);
     bool fired = false;
     for (const soc::BugFiring& f : outcome.firings) {
       fired |= f.id == *bug;

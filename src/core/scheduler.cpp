@@ -43,20 +43,20 @@ fuzz::StepResult MabScheduler::step() {
   }
   const fuzz::TestCase test = arm.next();
 
-  // 2. Simulate on DUT + golden model.
-  const fuzz::TestOutcome outcome = backend_.run_test(test);
+  // 2. Simulate on DUT + golden model (reusing the step-outcome buffers).
+  backend_.run_test(test, outcome_);
 
   // 3. Reward from coverage feedback (computed against the pre-update maps).
   const RewardBreakdown reward = compute_reward(
-      reward_config_, outcome.coverage, arm.coverage(), global_.global());
+      reward_config_, outcome_.coverage, arm.coverage(), global_.global());
 
   fuzz::StepResult result;
   result.test_index = ++steps_;
-  result.mismatch = outcome.mismatch;
-  result.firings = outcome.firings;
+  result.mismatch = outcome_.mismatch;
+  result.firings = outcome_.firings;
   result.arm = selected;
-  result.new_global_points = global_.absorb(outcome.coverage);
-  arm.coverage().merge(outcome.coverage);
+  result.new_global_points = global_.absorb(outcome_.coverage);
+  arm.coverage().merge(outcome_.coverage);
 
   // 4. Interesting (arm-locally novel) tests extend the arm's lineage.
   if (reward.cov_local > 0) {

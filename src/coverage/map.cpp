@@ -76,6 +76,15 @@ void Map::clear() noexcept {
   }
 }
 
+bool Map::any() const noexcept {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::size_t Accumulator::absorb(const Map& test_map) {
   const std::size_t fresh = test_map.count_new(global_);
   if (fresh > 0) {

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "coverage/registry.hpp"
@@ -39,7 +40,23 @@ class Map {
   [[nodiscard]] bool subset_of(const Map& other) const noexcept;
 
   void clear() noexcept;
-  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  /// True when at least one bit is set; returns at the first nonzero word
+  /// instead of popcounting the whole map.
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return !any(); }
+
+  /// Becomes a copy of `other`, reusing this map's existing word storage
+  /// (no reallocation when the universes already match). Behaviorally plain
+  /// copy assignment — the name exists to make buffer-reuse intent explicit
+  /// at hot-path call sites.
+  void assign_from(const Map& other) { *this = other; }
+
+  /// O(1) storage exchange; the scratch-recycling primitive.
+  void swap(Map& other) noexcept {
+    std::swap(num_points_, other.num_points_);
+    words_.swap(other.words_);
+  }
 
   friend bool operator==(const Map& a, const Map& b) noexcept {
     return a.num_points_ == b.num_points_ && a.words_ == b.words_;

@@ -13,21 +13,33 @@ Backend::Backend(const BackendConfig& config)
                 config.operator_policy) {}
 
 TestOutcome Backend::run_test(const TestCase& test) {
-  ++tests_executed_;
-  soc::RunOutput dut_out = dut_.run(test.words);
-  const isa::ArchResult golden_out = golden_.run(test.words);
-
   TestOutcome outcome;
-  outcome.coverage = std::move(dut_out.test_coverage);
-  outcome.firings = std::move(dut_out.firings);
-  outcome.dut_cycles = dut_out.cycles;
-  outcome.commits = dut_out.arch.commits.size();
-  if (const auto mismatch = compare(dut_out.arch, golden_out)) {
-    outcome.mismatch = true;
-    outcome.mismatch_description = mismatch->description;
-    outcome.mismatch_commit = mismatch->commit_index;
-  }
+  run_test(test, outcome);
   return outcome;
+}
+
+void Backend::run_test(const TestCase& test, TestOutcome& out) {
+  ++tests_executed_;
+  // One shared decode cache serves both simulators: the pipeline's fetches
+  // warm entries the ISS reuses (and vice versa on trap-handler detours).
+  scratch_.decoded.build(test.words);
+  dut_.run(test.words, scratch_.decoded, scratch_.dut_out);
+  golden_.run(test.words, scratch_.decoded, scratch_.golden_out);
+
+  // Swap, don't copy: the outcome takes this test's buffers; the scratch
+  // takes the caller's previous ones, recycled on the next run.
+  out.coverage.swap(scratch_.dut_out.test_coverage);
+  out.firings.swap(scratch_.dut_out.firings);
+  out.dut_cycles = scratch_.dut_out.cycles;
+  out.commits = scratch_.dut_out.arch.commits.size();
+  out.mismatch = false;
+  out.mismatch_description.clear();
+  out.mismatch_commit = 0;
+  if (const auto mismatch = compare(scratch_.dut_out.arch, scratch_.golden_out)) {
+    out.mismatch = true;
+    out.mismatch_description = mismatch->description;
+    out.mismatch_commit = mismatch->commit_index;
+  }
 }
 
 TestCase Backend::make_seed() { return make_seed(0); }

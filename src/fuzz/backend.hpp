@@ -46,12 +46,30 @@ struct TestOutcome {
   std::size_t commits = 0;
 };
 
+/// Per-backend execution scratch, reused across run_test calls: the decode
+/// cache shared by the DUT pipeline and the golden ISS, plus both
+/// simulators' output buffers (commit vectors, firing log, coverage map).
+/// Owned by Backend; steady-state run_test performs no heap allocation
+/// through these (the equivalence suite in tests/test_differential.cpp
+/// locks in that reuse changes no result).
+struct ExecutionContext {
+  isa::DecodedProgram decoded;
+  soc::RunOutput dut_out;
+  isa::ArchResult golden_out;
+};
+
 class Backend {
  public:
   explicit Backend(const BackendConfig& config);
 
   /// Simulates `test` on the DUT and the golden model and compares.
   [[nodiscard]] TestOutcome run_test(const TestCase& test);
+
+  /// Same, recycling the caller's outcome buffers: `out` is fully
+  /// overwritten; its coverage map and firing log are swapped with the
+  /// backend scratch, so a caller that reuses one TestOutcome across steps
+  /// allocates nothing per test.
+  void run_test(const TestCase& test, TestOutcome& out);
 
   /// Fresh random seed test (ids assigned by this backend).
   [[nodiscard]] TestCase make_seed();
@@ -78,6 +96,13 @@ class Backend {
   [[nodiscard]] std::uint64_t tests_executed() const noexcept {
     return tests_executed_;
   }
+  /// The reusable scratch. The decode-cache counters and the raw
+  /// architectural traces (dut_out.arch / cycles, golden_out) are from the
+  /// last run_test; the scratch's coverage map and firing log are NOT — they
+  /// were swapped into the caller's TestOutcome.
+  [[nodiscard]] const ExecutionContext& execution_context() const noexcept {
+    return scratch_;
+  }
 
  private:
   BackendConfig config_;
@@ -85,6 +110,7 @@ class Backend {
   golden::Iss golden_;
   SeedGenerator seedgen_;
   mutation::Engine mutation_;
+  ExecutionContext scratch_;
   std::uint64_t next_test_id_ = 1;
   std::uint64_t tests_executed_ = 0;
 };

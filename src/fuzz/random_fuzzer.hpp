@@ -16,12 +16,12 @@ class RandomFuzzer final : public Fuzzer {
 
   StepResult step() override {
     const TestCase test = backend_.make_seed();
-    const TestOutcome outcome = backend_.run_test(test);
+    backend_.run_test(test, outcome_);
     StepResult result;
     result.test_index = ++steps_;
-    result.mismatch = outcome.mismatch;
-    result.firings = outcome.firings;
-    result.new_global_points = accumulated_.absorb(outcome.coverage);
+    result.mismatch = outcome_.mismatch;
+    result.firings = outcome_.firings;
+    result.new_global_points = accumulated_.absorb(outcome_.coverage);
     return result;
   }
 
@@ -35,6 +35,7 @@ class RandomFuzzer final : public Fuzzer {
  private:
   Backend& backend_;
   coverage::Accumulator accumulated_;
+  TestOutcome outcome_;  // reused across steps (backend scratch swap)
   std::uint64_t steps_ = 0;
 };
 

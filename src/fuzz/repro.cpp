@@ -75,9 +75,12 @@ MinimizeResult minimize_test(
   MinimizeResult result;
   result.test = test;
 
+  // One outcome reused across the whole bisection (backend scratch swap).
+  TestOutcome outcome;
   auto check = [&](const TestCase& candidate) {
     ++result.executions;
-    return still_fails(backend.run_test(candidate));
+    backend.run_test(candidate, outcome);
+    return still_fails(outcome);
   };
 
   // Chunked deletion: try removing halves, then quarters, ... then singles.

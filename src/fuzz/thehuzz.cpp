@@ -31,13 +31,13 @@ StepResult TheHuzz::step() {
     refill_from_database();
   }
   const TestCase test = *pool_.pop();
-  const TestOutcome outcome = backend_.run_test(test);
+  backend_.run_test(test, outcome_);
 
   StepResult result;
   result.test_index = ++steps_;
-  result.mismatch = outcome.mismatch;
-  result.firings = outcome.firings;
-  result.new_global_points = accumulated_.absorb(outcome.coverage);
+  result.mismatch = outcome_.mismatch;
+  result.firings = outcome_.firings;
+  result.new_global_points = accumulated_.absorb(outcome_.coverage);
 
   // Static policy: every test that covered anything new is "interesting";
   // it enters the database and contributes a burst of mutants.

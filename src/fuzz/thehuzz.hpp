@@ -48,6 +48,7 @@ class TheHuzz final : public Fuzzer {
   std::deque<TestCase> database_;  // interesting tests, insertion order
   std::size_t db_cursor_ = 0;      // static FIFO replay position
   coverage::Accumulator accumulated_;
+  TestOutcome outcome_;  // reused across steps (backend scratch swap)
   std::uint64_t steps_ = 0;
 };
 

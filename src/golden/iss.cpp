@@ -101,7 +101,9 @@ void Iss::reset_hart() noexcept {
 }
 
 void Iss::load(const std::vector<Word>& program) {
-  memory_.clear();
+  // Dirty-region reset: only the pages the previous test touched are
+  // zeroed (observationally identical to a full clear).
+  memory_.reset();
   memory_.write_words(isa::kHandlerBase, isa::assemble(isa::trap_handler_stub()));
   memory_.write_words(isa::kProgramBase, program);
   sentinel_pc_ = isa::kProgramBase + program.size() * 4;
@@ -121,10 +123,26 @@ void Iss::write_reg(isa::RegIndex rd, std::uint64_t value, CommitRecord& record)
 }
 
 ArchResult Iss::run(const std::vector<Word>& program) {
+  ArchResult result;
+  run_impl(program, nullptr, result);
+  return result;
+}
+
+void Iss::run(const std::vector<Word>& program, ArchResult& out) {
+  run_impl(program, nullptr, out);
+}
+
+void Iss::run(const std::vector<Word>& program, isa::DecodedProgram& decoded,
+              ArchResult& out) {
+  run_impl(program, &decoded, out);
+}
+
+void Iss::run_impl(const std::vector<Word>& program,
+                   isa::DecodedProgram* decoded_program, ArchResult& result) {
   load(program);
   reset_hart();
 
-  ArchResult result;
+  result.commits.clear();
   result.halt = HaltReason::kBudget;
 
   for (std::uint64_t step = 0; step < config_.instruction_budget; ++step) {
@@ -159,7 +177,12 @@ ArchResult Iss::run(const std::vector<Word>& program) {
     // including ones that trap. The V7 bug deviates from this on EBREAK.
     ++instret_;
 
-    const isa::DecodeResult decoded = isa::decode(word);
+    // Bind a reference on the cached path — a cache hit must not pay a
+    // per-commit DecodeResult copy.
+    isa::DecodeResult decoded_storage;
+    const isa::DecodeResult& decoded =
+        decoded_program != nullptr ? decoded_program->lookup(word)
+                                   : (decoded_storage = isa::decode(word));
     StepOutcome outcome;
     if (!decoded.ok()) {
       outcome.has_trap = true;
@@ -190,7 +213,6 @@ ArchResult Iss::run(const std::vector<Word>& program) {
   result.mtval = csrs_.mtval();
   result.mtvec = csrs_.mtvec();
   result.mscratch = csrs_.mscratch();
-  return result;
 }
 
 Iss::StepOutcome Iss::execute(const Instruction& instr, Word word, CommitRecord& record) {

@@ -13,6 +13,7 @@
 #include "golden/memory.hpp"
 #include "golden/trap.hpp"
 #include "isa/commit.hpp"
+#include "isa/decoded_program.hpp"
 #include "isa/platform.hpp"
 
 namespace mabfuzz::golden {
@@ -29,7 +30,19 @@ class Iss {
 
   /// Loads the trap handler and `program` into a fresh DRAM, resets the
   /// hart, runs to completion, and returns the architectural trace.
+  /// Decodes every fetched word through isa::decode (the reference path the
+  /// pre-decoded overload is tested against).
   [[nodiscard]] isa::ArchResult run(const std::vector<isa::Word>& program);
+
+  /// Same execution, recycling the caller's commit vector: `out` is fully
+  /// overwritten, its buffers reused (no per-test allocation after warmup).
+  void run(const std::vector<isa::Word>& program, isa::ArchResult& out);
+
+  /// Pre-decoded hot path: fetched words resolve through `decoded`
+  /// (typically the cache Backend::run_test shares with the DUT pipeline).
+  /// Architecturally identical to the per-word-decode overloads.
+  void run(const std::vector<isa::Word>& program, isa::DecodedProgram& decoded,
+           isa::ArchResult& out);
 
   [[nodiscard]] const IssConfig& config() const noexcept { return config_; }
 
@@ -42,6 +55,8 @@ class Iss {
 
   void reset_hart() noexcept;
   void load(const std::vector<isa::Word>& program);
+  void run_impl(const std::vector<isa::Word>& program,
+                isa::DecodedProgram* decoded, isa::ArchResult& out);
 
   /// Executes the decoded instruction at pc_, filling `record` with its
   /// architectural effects (rd/memory writes).

@@ -1,14 +1,24 @@
 #include "golden/memory.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "isa/platform.hpp"
 
 namespace mabfuzz::golden {
 
+namespace {
+constexpr std::uint64_t kPageWordBits = 64;
+}  // namespace
+
 Memory::Memory(std::uint64_t base, std::uint64_t size)
-    : base_(base), bytes_(size, 0) {}
+    : base_(base),
+      bytes_(size, 0),
+      dirty_((size / Memory::kPageBytes + (size % Memory::kPageBytes != 0 ? 1 : 0) +
+              kPageWordBits - 1) /
+                 kPageWordBits,
+             0) {}
 
 bool Memory::contains(std::uint64_t addr, unsigned bytes) const noexcept {
   addr &= isa::kPhysAddrMask;
@@ -33,6 +43,15 @@ std::optional<std::uint64_t> Memory::load(std::uint64_t addr,
   return value;
 }
 
+void Memory::mark_dirty(std::uint64_t first_offset,
+                        std::uint64_t last_offset) noexcept {
+  const std::uint64_t first_page = first_offset / kPageBytes;
+  const std::uint64_t last_page = last_offset / kPageBytes;
+  for (std::uint64_t page = first_page; page <= last_page; ++page) {
+    dirty_[page / kPageWordBits] |= 1ULL << (page % kPageWordBits);
+  }
+}
+
 bool Memory::store(std::uint64_t addr, std::uint64_t value, unsigned bytes) noexcept {
   addr &= isa::kPhysAddrMask;
   if (bytes == 0 || bytes > 8 || !contains(addr, bytes)) {
@@ -42,6 +61,7 @@ bool Memory::store(std::uint64_t addr, std::uint64_t value, unsigned bytes) noex
   for (unsigned i = 0; i < bytes; ++i) {
     bytes_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
   }
+  mark_dirty(offset, offset + bytes - 1);
   return true;
 }
 
@@ -59,12 +79,50 @@ bool Memory::write_words(std::uint64_t addr, const std::vector<isa::Word>& words
       span > bytes_.size() - (addr - base_)) {
     return false;
   }
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    store(addr + i * 4, words[i], 4);
+  if (words.empty()) {
+    return true;
   }
+  // Bounds are established once for the whole image; the inner loop writes
+  // bytes directly instead of re-validating per word through store().
+  const std::uint64_t offset = addr - base_;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const isa::Word word = words[i];
+    const std::uint64_t at = offset + i * 4;
+    bytes_[at + 0] = static_cast<std::uint8_t>(word);
+    bytes_[at + 1] = static_cast<std::uint8_t>(word >> 8);
+    bytes_[at + 2] = static_cast<std::uint8_t>(word >> 16);
+    bytes_[at + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+  mark_dirty(offset, offset + span - 1);
   return true;
 }
 
-void Memory::clear() noexcept { std::fill(bytes_.begin(), bytes_.end(), 0); }
+void Memory::clear() noexcept {
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+}
+
+void Memory::reset() noexcept {
+  for (std::size_t w = 0; w < dirty_.size(); ++w) {
+    std::uint64_t mask = dirty_[w];
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const std::uint64_t begin = (w * kPageWordBits + bit) * kPageBytes;
+      const std::uint64_t len =
+          std::min<std::uint64_t>(kPageBytes, bytes_.size() - begin);
+      std::memset(bytes_.data() + begin, 0, static_cast<std::size_t>(len));
+    }
+    dirty_[w] = 0;
+  }
+}
+
+std::size_t Memory::dirty_pages() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : dirty_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
 
 }  // namespace mabfuzz::golden

@@ -17,8 +17,17 @@ namespace mabfuzz::golden {
 ///
 /// Addresses are canonicalised to the 32-bit physical bus
 /// (isa::kPhysAddrMask) before decoding, on every access.
+///
+/// Every mutation (store / write_words) marks its 4 KiB page dirty, so the
+/// per-test reset() zeroes only the pages a test actually touched instead
+/// of memset'ing the whole DRAM — the difference between a full-DRAM clear
+/// and a few pages is most of the per-test reset cost in the fuzzing loop.
 class Memory {
  public:
+  /// Dirty-tracking granularity. 4 KiB keeps the page set of a default
+  /// 256 KiB DRAM in a single 64-bit word.
+  static constexpr std::uint64_t kPageBytes = 4096;
+
   Memory(std::uint64_t base, std::uint64_t size);
 
   [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
@@ -41,12 +50,23 @@ class Memory {
   /// false when it does not fit.
   bool write_words(std::uint64_t addr, const std::vector<isa::Word>& words) noexcept;
 
-  /// Zero-fills the RAM.
+  /// Zero-fills the RAM unconditionally (and marks everything clean).
   void clear() noexcept;
 
+  /// Zero-fills only the pages written since construction / the last
+  /// clear() / reset(). Observationally identical to clear() — every byte
+  /// reads 0 afterwards — but touches dirty pages only.
+  void reset() noexcept;
+
+  /// Number of pages currently marked dirty (diagnostics / benchmarks).
+  [[nodiscard]] std::size_t dirty_pages() const noexcept;
+
  private:
+  void mark_dirty(std::uint64_t first_offset, std::uint64_t last_offset) noexcept;
+
   std::uint64_t base_;
   std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint64_t> dirty_;  // one bit per kPageBytes page
 };
 
 }  // namespace mabfuzz::golden

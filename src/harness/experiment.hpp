@@ -11,7 +11,11 @@
 //  - Experiment: executes every trial across the shared chunked worker
 //    pool (harness/worker_pool.hpp). Results land in matrix-expansion
 //    order and aggregation runs after the pool drains, so aggregate
-//    statistics are bit-identical regardless of the worker count.
+//    statistics are bit-identical regardless of the worker count. Each
+//    trial's Campaign owns one Backend whose ExecutionContext (decode
+//    cache, DUT/ISS run buffers, dirty-region DRAM) is recycled across
+//    every test of the trial — the per-worker hot path allocates nothing
+//    per executed test.
 //  - ExperimentResult: per-trial results (failures included — a throwing
 //    trial is counted and surfaced, not dropped), per-cell aggregate
 //    statistics (mean/median/stddev/percentiles via common/stats), and

@@ -1,0 +1,39 @@
+#include "isa/decoded_program.hpp"
+
+#include "isa/encoder.hpp"
+#include "isa/platform.hpp"
+
+namespace mabfuzz::isa {
+
+DecodedProgram::DecodedProgram(std::size_t slots) {
+  // Minimum of 2 slots keeps the index shift strictly below 32 bits.
+  std::size_t rounded = 2;
+  unsigned log2 = 1;
+  while (rounded < slots && rounded < (std::size_t{1} << 31)) {
+    rounded <<= 1;
+    ++log2;
+  }
+  shift_ = 32 - log2;
+
+  // Seed every slot with the (legal-to-cache) decode of word 0, so the tag
+  // check alone decides hit/miss — no separate valid bit on the hot path.
+  Slot zero;
+  zero.result = decode(0);
+  slots_.assign(rounded, zero);
+
+  // The handler stub and the end-of-test sentinel are in every test image.
+  for (const Instruction& instr : trap_handler_stub()) {
+    (void)lookup(encode_or_die(instr));
+  }
+  (void)lookup(encode_or_die(jal(0, 0)));
+  lookups_ = 0;
+  misses_ = 0;
+}
+
+void DecodedProgram::build(const std::vector<Word>& program) {
+  for (const Word word : program) {
+    (void)lookup(word);
+  }
+}
+
+}  // namespace mabfuzz::isa

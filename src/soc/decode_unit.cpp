@@ -110,6 +110,12 @@ void DecodeUnit::hit_condition_points(const isa::Instruction& instr,
 
 DecodeUnit::Outcome DecodeUnit::decode(isa::Word word, unsigned lane,
                                        coverage::Context& ctx) {
+  return decode(word, isa::decode(word), lane, ctx);
+}
+
+DecodeUnit::Outcome DecodeUnit::decode(isa::Word word,
+                                       const isa::DecodeResult& strict,
+                                       unsigned lane, coverage::Context& ctx) {
   lane %= params_.lanes == 0 ? 1 : params_.lanes;
   Outcome outcome;
 
@@ -121,7 +127,6 @@ DecodeUnit::Outcome DecodeUnit::decode(isa::Word word, unsigned lane,
     ctx.hit(cov_fpu_, index);
   }
 
-  const isa::DecodeResult strict = isa::decode(word);
   outcome.status = strict.status;
 
   if (strict.ok()) {

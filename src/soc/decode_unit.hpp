@@ -35,6 +35,12 @@ class DecodeUnit {
   /// Decodes `word` in lane `lane` (callers pass commit_index % lanes).
   Outcome decode(isa::Word word, unsigned lane, coverage::Context& ctx);
 
+  /// Same, with the strict isa::decode result supplied by the caller —
+  /// the pre-decoded hot path (the pipeline passes its DecodedProgram
+  /// lookup). `strict` must equal isa::decode(word).
+  Outcome decode(isa::Word word, const isa::DecodeResult& strict, unsigned lane,
+                 coverage::Context& ctx);
+
   /// True when `word` sits in the OP/OP-32 space with a reserved funct7 that
   /// the V2 gate would accept.
   [[nodiscard]] static bool v2_candidate(isa::Word word) noexcept;

@@ -56,7 +56,9 @@ Pipeline::Pipeline(PipelineParams params)
 }
 
 void Pipeline::cold_reset(const std::vector<Word>& program) {
-  memory_.clear();
+  // Dirty-region reset: only the pages the previous test touched (program
+  // image, handler, store targets, cache writebacks) are zeroed.
+  memory_.reset();
   memory_.write_words(isa::kHandlerBase, isa::assemble(isa::trap_handler_stub()));
   memory_.write_words(isa::kProgramBase, program);
   sentinel_pc_ = isa::kProgramBase + program.size() * 4;
@@ -164,10 +166,27 @@ void Pipeline::note_pair_issue(InstrClass klass, bool raw_dependent,
 }
 
 RunOutput Pipeline::run(const std::vector<Word>& program) {
+  RunOutput out;
+  run_impl(program, nullptr, out);
+  return out;
+}
+
+void Pipeline::run(const std::vector<Word>& program, RunOutput& out) {
+  run_impl(program, nullptr, out);
+}
+
+void Pipeline::run(const std::vector<Word>& program, isa::DecodedProgram& decoded,
+                   RunOutput& out) {
+  run_impl(program, &decoded, out);
+}
+
+void Pipeline::run_impl(const std::vector<Word>& program,
+                        isa::DecodedProgram* decoded_program, RunOutput& out) {
   ctx_.begin_test();
   cold_reset(program);
 
-  RunOutput out;
+  out.arch.commits.clear();
+  out.firings.clear();
   out.arch.halt = HaltReason::kBudget;
 
   for (std::uint64_t step_count = 0; step_count < params_.instruction_budget;
@@ -210,7 +229,10 @@ RunOutput Pipeline::run(const std::vector<Word>& program) {
     step.record.word = word;
     step.next_pc = pc_ + 4;
 
-    const DecodeUnit::Outcome decoded = decode_.decode(word, lane, ctx_);
+    const DecodeUnit::Outcome decoded =
+        decoded_program != nullptr
+            ? decode_.decode(word, decoded_program->lookup(word), lane, ctx_)
+            : decode_.decode(word, lane, ctx_);
 
     // Retirement counting convention shared with the ISS; bug V7 skips the
     // increment for EBREAK.
@@ -289,8 +311,7 @@ RunOutput Pipeline::run(const std::vector<Word>& program) {
   out.arch.mtvec = csrs_.mtvec();
   out.arch.mscratch = csrs_.mscratch();
   out.cycles = cycle_;
-  out.test_coverage = ctx_.test_map();
-  return out;
+  out.test_coverage.assign_from(ctx_.test_map());
 }
 
 void Pipeline::execute_instruction(const DecodeUnit::Outcome& decoded, Word word,

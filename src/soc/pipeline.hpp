@@ -16,6 +16,7 @@
 #include "golden/csr.hpp"
 #include "golden/memory.hpp"
 #include "isa/commit.hpp"
+#include "isa/decoded_program.hpp"
 #include "isa/platform.hpp"
 #include "soc/bugs.hpp"
 #include "soc/cache.hpp"
@@ -60,8 +61,21 @@ class Pipeline {
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
 
-  /// Runs one test program from a cold reset.
+  /// Runs one test program from a cold reset. Decodes every fetched word
+  /// through isa::decode (the reference path the pre-decoded overload is
+  /// tested against).
   [[nodiscard]] RunOutput run(const std::vector<isa::Word>& program);
+
+  /// Same execution, recycling the caller's buffers: commit vector, firing
+  /// log and coverage map are reused in place (no per-test allocation after
+  /// warmup). `out` is fully overwritten.
+  void run(const std::vector<isa::Word>& program, RunOutput& out);
+
+  /// Pre-decoded hot path: fetched words resolve through `decoded`
+  /// (typically the cache Backend::run_test shares with the golden ISS).
+  /// Architecturally identical to the per-word-decode overloads.
+  void run(const std::vector<isa::Word>& program, isa::DecodedProgram& decoded,
+           RunOutput& out);
 
   [[nodiscard]] const PipelineParams& params() const noexcept { return params_; }
   [[nodiscard]] const coverage::Registry& registry() const noexcept {
@@ -82,6 +96,8 @@ class Pipeline {
   };
 
   void cold_reset(const std::vector<isa::Word>& program);
+  void run_impl(const std::vector<isa::Word>& program,
+                isa::DecodedProgram* decoded, RunOutput& out);
 
   /// Coherent instruction fetch (D$ snoop, then DRAM).
   [[nodiscard]] std::optional<isa::Word> fetch_word(std::uint64_t addr,

@@ -89,6 +89,65 @@ TEST(Map, CountNewAndDifference) {
   EXPECT_FALSE(a.subset_of(b));
 }
 
+TEST(Map, AnyAndEmptyAgreeWithCount) {
+  Map m(40'000);  // hundreds of words: empty() must not need a full popcount
+  EXPECT_FALSE(m.any());
+  EXPECT_TRUE(m.empty());
+
+  // A bit in the first word short-circuits immediately...
+  m.set(0);
+  EXPECT_TRUE(m.any());
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.count(), 1u);
+
+  // ...and a bit only in the very last word is still found.
+  Map tail(40'000);
+  tail.set(39'999);
+  EXPECT_TRUE(tail.any());
+  EXPECT_FALSE(tail.empty());
+
+  tail.clear();
+  EXPECT_FALSE(tail.any());
+  EXPECT_TRUE(tail.empty());
+
+  // Degenerate universes.
+  Map zero(0);
+  EXPECT_FALSE(zero.any());
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(Map, AssignFromReusesStorageAndCopiesBits) {
+  Map src(200);
+  src.set(3);
+  src.set(130);
+
+  Map dst(200);
+  dst.set(7);  // stale bit that must vanish
+  dst.assign_from(src);
+  EXPECT_TRUE(dst == src);
+  EXPECT_FALSE(dst.test(7));
+  EXPECT_TRUE(dst.test(130));
+
+  // Universe changes follow the source.
+  Map small(10);
+  small.assign_from(src);
+  EXPECT_TRUE(small == src);
+  EXPECT_EQ(small.universe(), 200u);
+}
+
+TEST(Map, SwapExchangesContents) {
+  Map a(100);
+  Map b(30);
+  a.set(64);
+  b.set(5);
+  a.swap(b);
+  EXPECT_EQ(a.universe(), 30u);
+  EXPECT_EQ(b.universe(), 100u);
+  EXPECT_TRUE(a.test(5));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_FALSE(a.test(64));
+}
+
 TEST(Map, ClearResets) {
   Map m(20);
   m.set(5);

@@ -9,9 +9,11 @@
 
 #include <string>
 
+#include "fuzz/backend.hpp"
 #include "fuzz/oracle.hpp"
 #include "fuzz/seedgen.hpp"
 #include "golden/iss.hpp"
+#include "isa/decoded_program.hpp"
 #include "mutation/engine.hpp"
 #include "soc/cores.hpp"
 #include "soc/pipeline.hpp"
@@ -96,6 +98,150 @@ TEST_P(CleanCoreDifferential, MutatedProgramsMatchGoldenIss) {
 
 INSTANTIATE_TEST_SUITE_P(AllCores, CleanCoreDifferential,
                          ::testing::ValuesIn(soc::kAllCores), core_param_name);
+
+// --- decode-cache / execution-context equivalence --------------------------------
+//
+// The execution-engine refactor introduced (a) a pre-decoded hot path
+// (isa::DecodedProgram shared by ISS and pipeline), (b) dirty-region DRAM
+// reset, and (c) reused run buffers. None of it may change any architectural
+// bit: the pre-decoded overloads must be bit-identical to the per-word-decode
+// reference path, on clean cores AND with every injected bug enabled, and a
+// backend whose ExecutionContext is reused across many tests must produce
+// the same outcomes as a backend constructed fresh for each test.
+
+class DecodeCacheEquivalence : public ::testing::TestWithParam<soc::CoreKind> {};
+
+// One comparison: reference (decode-per-word) vs pre-decoded (shared cache);
+// both sides run through the buffer-reuse overloads, so reuse and caching
+// are exercised together.
+void expect_predecoded_equivalent(soc::CoreKind kind, const soc::BugSet& bugs,
+                                  const std::vector<isa::Word>& program,
+                                  soc::Pipeline& dut_ref, soc::Pipeline& dut_pre,
+                                  golden::Iss& iss_ref, golden::Iss& iss_pre,
+                                  isa::DecodedProgram& decoded,
+                                  soc::RunOutput& ref, soc::RunOutput& dut_out,
+                                  isa::ArchResult& iss_ref_out,
+                                  isa::ArchResult& iss_out, int t) {
+  // The reference side uses the decode-per-word *buffer-reuse* overloads —
+  // both halves of the refactor (reuse and cache) are under test here.
+  dut_ref.run(program, ref);
+  decoded.build(program);
+  dut_pre.run(program, decoded, dut_out);
+  ASSERT_EQ(ref.arch.commits, dut_out.arch.commits)
+      << soc::core_name(kind) << (bugs.empty() ? " (clean)" : " (default bugs)")
+      << ": pre-decoded pipeline commit trace diverged on program " << t;
+  EXPECT_EQ(ref.arch.regs, dut_out.arch.regs);
+  EXPECT_EQ(ref.arch.instret, dut_out.arch.instret);
+  EXPECT_EQ(ref.arch.halt, dut_out.arch.halt);
+  EXPECT_EQ(ref.arch.mstatus, dut_out.arch.mstatus);
+  EXPECT_EQ(ref.arch.mepc, dut_out.arch.mepc);
+  EXPECT_EQ(ref.arch.mcause, dut_out.arch.mcause);
+  EXPECT_EQ(ref.arch.mtval, dut_out.arch.mtval);
+  EXPECT_EQ(ref.arch.mscratch, dut_out.arch.mscratch);
+  EXPECT_EQ(ref.cycles, dut_out.cycles) << "cycle annotation diverged";
+  EXPECT_EQ(ref.firings, dut_out.firings) << "bug firing log diverged";
+  EXPECT_TRUE(ref.test_coverage == dut_out.test_coverage)
+      << "coverage bitmap diverged on program " << t;
+
+  iss_ref.run(program, iss_ref_out);
+  iss_pre.run(program, decoded, iss_out);
+  ASSERT_EQ(iss_ref_out.commits, iss_out.commits)
+      << soc::core_name(kind)
+      << ": pre-decoded ISS commit trace diverged on program " << t;
+  EXPECT_EQ(iss_ref_out.regs, iss_out.regs);
+  EXPECT_EQ(iss_ref_out.instret, iss_out.instret);
+  EXPECT_EQ(iss_ref_out.halt, iss_out.halt);
+  EXPECT_EQ(iss_ref_out.mcause, iss_out.mcause);
+  EXPECT_EQ(iss_ref_out.mtval, iss_out.mtval);
+}
+
+TEST_P(DecodeCacheEquivalence, PreDecodedPathMatchesPerWordDecode) {
+  const soc::CoreKind kind = GetParam();
+  // Default (paper) bug set: V1-V6 on CVA6, V7 on Rocket, none on BOOM —
+  // the injected-bug behaviours must be bit-exact through the cache too.
+  const soc::BugSet bugs = soc::default_bugs(kind);
+  soc::Pipeline dut_ref(soc::core_params(kind, bugs));
+  soc::Pipeline dut_pre(soc::core_params(kind, bugs));
+  golden::Iss iss_ref(soc::golden_config_for(kind));
+  golden::Iss iss_pre(soc::golden_config_for(kind));
+  fuzz::SeedGenerator gen(fuzz::SeedGenConfig{},
+                          common::make_stream(4242, 0, "decode-cache"));
+  mutation::Engine engine(mutation::EngineConfig{},
+                          common::make_stream(4242, 0, "decode-cache-mut"));
+
+  // One cache and one set of output buffers reused for the whole suite
+  // (on BOTH sides): exactly the Backend::run_test ownership pattern.
+  isa::DecodedProgram decoded;
+  soc::RunOutput ref_out;
+  soc::RunOutput dut_out;
+  isa::ArchResult iss_ref_out;
+  isa::ArchResult iss_out;
+
+  for (int t = 0; t < 25; ++t) {
+    std::vector<isa::Word> program = gen.next_program();
+    if (t % 2 == 1) {
+      // Mutated programs inject illegal encodings and wild control flow —
+      // the cache must agree on the trap paths as well.
+      for (int m = 0; m < 3; ++m) {
+        program = engine.mutate(program);
+      }
+    }
+    expect_predecoded_equivalent(kind, bugs, program, dut_ref, dut_pre, iss_ref,
+                                 iss_pre, decoded, ref_out, dut_out,
+                                 iss_ref_out, iss_out, t);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCores, DecodeCacheEquivalence,
+                         ::testing::ValuesIn(soc::kAllCores), core_param_name);
+
+// A backend reusing its ExecutionContext (decode cache + run buffers +
+// dirty-region DRAM) across a long test sequence must report exactly what a
+// backend constructed from scratch for every single test reports.
+TEST(ExecutionContextReuse, ReusedBackendMatchesFreshBackendPerTest) {
+  fuzz::BackendConfig config;
+  config.core = soc::CoreKind::kCva6;
+  config.bugs = soc::default_bugs(soc::CoreKind::kCva6);
+  config.rng_seed = 99;
+  fuzz::Backend reused(config);
+
+  // Programs generated outside the backends so both sides execute the very
+  // same words (ids do not influence execution).
+  fuzz::SeedGenerator gen(fuzz::SeedGenConfig{},
+                          common::make_stream(99, 0, "ctx-reuse"));
+  mutation::Engine engine(mutation::EngineConfig{},
+                          common::make_stream(99, 0, "ctx-reuse-mut"));
+
+  fuzz::TestOutcome outcome;  // reused across all iterations
+  for (int t = 0; t < 30; ++t) {
+    fuzz::TestCase test;
+    test.id = static_cast<std::uint64_t>(t) + 1;
+    test.words = gen.next_program();
+    if (t % 3 == 2) {
+      test.words = engine.mutate(test.words);
+    }
+
+    reused.run_test(test, outcome);
+    fuzz::Backend fresh(config);
+    const fuzz::TestOutcome expected = fresh.run_test(test);
+
+    ASSERT_TRUE(expected.coverage == outcome.coverage)
+        << "coverage diverged on test " << t;
+    EXPECT_EQ(expected.mismatch, outcome.mismatch) << "test " << t;
+    EXPECT_EQ(expected.mismatch_description, outcome.mismatch_description);
+    EXPECT_EQ(expected.mismatch_commit, outcome.mismatch_commit);
+    EXPECT_EQ(expected.firings, outcome.firings) << "test " << t;
+    EXPECT_EQ(expected.dut_cycles, outcome.dut_cycles) << "test " << t;
+    EXPECT_EQ(expected.commits, outcome.commits) << "test " << t;
+  }
+  // The reused context must actually have been reused (cache warm across
+  // tests), or this test proves nothing about the scratch path.
+  EXPECT_GT(reused.execution_context().decoded.lookups(),
+            reused.execution_context().decoded.misses());
+}
 
 TEST(DifferentialOracle, EnabledBugStillDiverges) {
   // Sanity inversion: the equivalence above must come from the cores

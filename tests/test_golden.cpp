@@ -65,6 +65,67 @@ TEST(Memory, ClearZeroes) {
   EXPECT_EQ(mem.load(kDramBase, 1), 0ULL);
 }
 
+// --- dirty-region reset ---------------------------------------------------------
+
+TEST(Memory, ResetZeroesOnlyWhatWasWrittenButReadsLikeClear) {
+  Memory mem(kDramBase, 256 * 1024);
+  EXPECT_EQ(mem.dirty_pages(), 0u);
+
+  // Scattered stores across distinct pages, including an 8-byte store
+  // straddling a page boundary (must dirty both pages).
+  ASSERT_TRUE(mem.store(kDramBase + 0x400, 0xdeadbeef, 4));
+  ASSERT_TRUE(mem.store(kDramBase + 0x1'0000, ~0ULL, 8));
+  ASSERT_TRUE(mem.store(kDramBase + 2 * Memory::kPageBytes - 4, ~0ULL, 8));
+  ASSERT_TRUE(mem.write_words(kDramBase + 0x8000, {0x11111111, 0x22222222}));
+  EXPECT_EQ(mem.dirty_pages(), 5u);  // pages 0, 16, 1, 2, 8
+
+  mem.reset();
+  EXPECT_EQ(mem.dirty_pages(), 0u);
+  EXPECT_EQ(mem.load(kDramBase + 0x400, 4), 0ULL);
+  EXPECT_EQ(mem.load(kDramBase + 0x1'0000, 8), 0ULL);
+  EXPECT_EQ(mem.load(kDramBase + 2 * Memory::kPageBytes - 4, 8), 0ULL);
+  EXPECT_EQ(mem.load(kDramBase + 0x8000, 8), 0ULL);
+}
+
+TEST(Memory, ResetIsObservationallyIdenticalToClear) {
+  // Write the same pattern into two memories, reset() one, clear() the
+  // other, then compare every byte.
+  Memory reset_mem(kDramBase, 8 * Memory::kPageBytes);
+  Memory clear_mem(kDramBase, 8 * Memory::kPageBytes);
+  for (std::uint64_t offset = 0; offset < 8 * Memory::kPageBytes;
+       offset += 977) {  // prime stride: hits every page, misaligned offsets
+    reset_mem.store(kDramBase + offset, offset, 1);
+    clear_mem.store(kDramBase + offset, offset, 1);
+  }
+  reset_mem.reset();
+  clear_mem.clear();
+  for (std::uint64_t offset = 0; offset < 8 * Memory::kPageBytes; offset += 8) {
+    ASSERT_EQ(reset_mem.load(kDramBase + offset, 8),
+              clear_mem.load(kDramBase + offset, 8))
+        << "offset " << offset;
+  }
+}
+
+TEST(Memory, WritesAfterResetAreTrackedAgain) {
+  Memory mem(kDramBase, 4 * Memory::kPageBytes);
+  mem.store(kDramBase + 100, 0xab, 1);
+  mem.reset();
+  mem.store(kDramBase + 3 * Memory::kPageBytes, 0xcd, 1);
+  EXPECT_EQ(mem.dirty_pages(), 1u);
+  mem.reset();
+  EXPECT_EQ(mem.load(kDramBase + 3 * Memory::kPageBytes, 1), 0ULL);
+  EXPECT_EQ(mem.dirty_pages(), 0u);
+}
+
+TEST(Memory, PartialTrailingPageResetsFully) {
+  // A RAM whose size is not a page multiple: the trailing partial page must
+  // reset without touching out-of-range bytes.
+  Memory mem(kDramBase, Memory::kPageBytes + 128);
+  ASSERT_TRUE(mem.store(kDramBase + Memory::kPageBytes + 120, ~0ULL, 8));
+  mem.reset();
+  EXPECT_EQ(mem.load(kDramBase + Memory::kPageBytes + 120, 8), 0ULL);
+}
+
 // --- CsrFile ------------------------------------------------------------------
 
 TEST(CsrFile, ResetState) {
