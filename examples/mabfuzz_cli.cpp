@@ -13,13 +13,18 @@
 //
 // Flags (campaign keys are accepted directly as --key value / --key=value):
 //   --fuzzer NAME        scheduling policy (--list-fuzzers shows them;
-//                        includes thehuzz, random, epsilon-greedy, ucb,
-//                        exp3, thompson and any registered extension)
+//                        includes thehuzz, random, reuse, epsilon-greedy,
+//                        ucb, exp3, thompson and any registered extension)
 //   --core cva6|rocket|boom        (default cva6)
 //   --bugs V1,..,V7|default|all|none   (default: the core's paper bug set)
 //   --tests N  --seed S  --run R
 //   --arms N --alpha A --gamma G --epsilon E --eta H
 //   --adaptive-ops --adaptive-length     (Sec. V extensions)
+//   --corpus-in PATH --corpus-out PATH   (persistent mabfuzz-corpus-v1
+//                        store; pair with --fuzzer reuse for ReFuzz-style
+//                        cross-campaign seed scheduling — --reuse-bandit
+//                        and --corpus-cap tune it; docs/ARTIFACTS.md has
+//                        the format)
 //   --progress N   (status line every N tests; 0 = quiet)
 //   --csv          (emit the per-sample coverage CSV at the end;
 //                   in matrix mode: the per-trial CSV)
@@ -42,6 +47,7 @@
 #include "common/table.hpp"
 #include "core/register.hpp"
 #include "coverage/summary.hpp"
+#include "fuzz/corpus.hpp"
 #include "fuzz/registry.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
@@ -83,6 +89,14 @@ int print_help(const std::string& program) {
 }
 
 int run_matrix(const common::CliArgs& args, harness::CampaignConfig config) {
+  if (!config.corpus_out.empty()) {
+    // TrialMatrix::expand rejects this too; catching it here gives the
+    // flag-level message instead of an exception trace.
+    std::cerr << "error: --corpus-out is a single-campaign flag "
+                 "(matrix trials share one output path; use --corpus-in "
+                 "to warm-start trials from a saved store)\n";
+    return 1;
+  }
   harness::TrialMatrix matrix;
   matrix.base = std::move(config);
   matrix.trials = std::max<std::uint64_t>(1, args.get_uint("trials", 1));
@@ -235,7 +249,15 @@ int main(int argc, char** argv) {
       std::cout << " (first at #" << first_detection << ")";
     }
     std::cout << "\ndetected bugs     : " << campaign.detected_bug_count()
-              << " / " << campaign.enabled_bug_count() << " enabled\n\n";
+              << " / " << campaign.enabled_bug_count() << " enabled\n";
+    if (campaign.corpus() != nullptr) {
+      const fuzz::Corpus& corpus = *campaign.corpus();
+      std::cout << "corpus            : " << corpus.size() << " entries ("
+                << campaign.corpus_loaded_entries() << " loaded, "
+                << corpus.admitted() << " admitted, " << corpus.evicted()
+                << " evicted), " << corpus.covered() << " accumulated points\n";
+    }
+    std::cout << "\n";
 
     const auto groups = coverage::summarize_groups(
         campaign.backend().dut().registry(),
@@ -254,6 +276,10 @@ int main(int argc, char** argv) {
       for (const harness::BatchSnapshot& snapshot : campaign.snapshots()) {
         std::cout << snapshot.tests_executed << "," << snapshot.covered << "\n";
       }
+    }
+    if (campaign.save_corpus()) {
+      std::cout << "\nwrote corpus " << config.corpus_out << " (+ manifest "
+                << config.corpus_out << ".json)\n";
     }
     return 0;
   } catch (const std::exception& e) {

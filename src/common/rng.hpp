@@ -2,7 +2,7 @@
 // Deterministic pseudo-random number generation for every stochastic
 // component in the system.
 //
-// Reproducibility contract (DESIGN.md §4.6): every component owns an
+// Reproducibility contract (docs/ARCHITECTURE.md): every component owns an
 // independent Xoshiro256StarStar stream derived from (experiment seed,
 // run index, component tag) via SplitMix64, so results are bit-identical
 // across runs with the same CLI arguments and immune to changes in the

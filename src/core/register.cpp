@@ -20,6 +20,7 @@ MabFuzzConfig scheduler_config_of(const fuzz::PolicyConfig& policy) {
   config.arm_pool_cap = policy.arm_pool_cap;
   config.feed_operator_rewards = policy.feed_operator_rewards;
   config.length_policy = policy.length_policy;
+  config.corpus = policy.corpus;
   return config;
 }
 

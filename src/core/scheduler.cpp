@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "fuzz/corpus.hpp"
+
 namespace mabfuzz::core {
 
 MabScheduler::MabScheduler(fuzz::Backend& backend,
@@ -57,6 +59,9 @@ fuzz::StepResult MabScheduler::step() {
   result.arm = selected;
   result.new_global_points = global_.absorb(outcome_.coverage);
   arm.coverage().merge(outcome_.coverage);
+  if (config_.corpus) {
+    config_.corpus->offer(test, outcome_.coverage);
+  }
 
   // 4. Interesting (arm-locally novel) tests extend the arm's lineage.
   if (reward.cov_local > 0) {

@@ -25,6 +25,10 @@
 #include "fuzz/fuzzer.hpp"
 #include "mab/bandit.hpp"
 
+namespace mabfuzz::fuzz {
+class Corpus;  // fuzz/corpus.hpp; carried opaquely here
+}  // namespace mabfuzz::fuzz
+
 namespace mabfuzz::core {
 
 struct MabFuzzConfig {
@@ -42,6 +46,10 @@ struct MabFuzzConfig {
   /// the default static policy; enables the Sec. V adaptive-operator
   /// extension when the backend carries a MabOperatorPolicy.
   bool feed_operator_rewards = true;
+  /// Optional cross-campaign store (fuzz/corpus.hpp): every executed test
+  /// is offered to it; the corpus's novelty gate decides admission. Null =
+  /// no persistence.
+  std::shared_ptr<fuzz::Corpus> corpus;
 };
 
 class MabScheduler final : public fuzz::Fuzzer {

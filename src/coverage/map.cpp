@@ -1,6 +1,8 @@
 #include "coverage/map.hpp"
 
 #include <bit>
+#include <stdexcept>
+#include <string>
 
 #include "common/bitops.hpp"
 
@@ -74,6 +76,28 @@ void Map::clear() noexcept {
   for (std::uint64_t& w : words_) {
     w = 0;
   }
+}
+
+void Map::assign_words(std::size_t num_points,
+                       std::span<const std::uint64_t> words) {
+  if (words.size() != words_for(num_points)) {
+    throw std::invalid_argument(
+        "coverage::Map::assign_words: " + std::to_string(words.size()) +
+        " words cannot back a universe of " + std::to_string(num_points) +
+        " points (expected " + std::to_string(words_for(num_points)) + ")");
+  }
+  // Enforce the documented invariant that bits at/above the universe are
+  // zero — a corrupt serialized map fails loudly instead of silently
+  // inflating count() and breaking equality with legitimately built maps.
+  if (const std::size_t tail_bits = num_points % kWordBits;
+      tail_bits != 0 && !words.empty() &&
+      (words.back() >> tail_bits) != 0) {
+    throw std::invalid_argument(
+        "coverage::Map::assign_words: bits set beyond the " +
+        std::to_string(num_points) + "-point universe");
+  }
+  num_points_ = num_points;
+  words_.assign(words.begin(), words.end());
 }
 
 bool Map::any() const noexcept {

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,18 @@ class Map {
   /// copy assignment — the name exists to make buffer-reuse intent explicit
   /// at hot-path call sites.
   void assign_from(const Map& other) { *this = other; }
+
+  /// The raw 64-bit backing words, lowest point id in bit 0 of word 0.
+  /// Bits at or above universe() are always zero — the serialization
+  /// surface of the mabfuzz-corpus-v1 artifact (docs/ARTIFACTS.md).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// Rebuilds the map from serialized backing words. `words` must be
+  /// exactly the storage size for `num_points` (throws
+  /// std::invalid_argument otherwise — a corrupt artifact fails loudly).
+  void assign_words(std::size_t num_points, std::span<const std::uint64_t> words);
 
   /// O(1) storage exchange; the scratch-recycling primitive.
   void swap(Map& other) noexcept {

@@ -2,9 +2,10 @@
 // The fuzzing backend: everything below the scheduling policy. It owns the
 // DUT pipeline, the golden ISS, the seed generator and the mutation engine,
 // and executes one test end-to-end (simulate DUT -> simulate golden ->
-// differential compare -> coverage extraction). TheHuzz and MABFuzz share
-// this object completely, so experiments isolate the scheduling policy —
-// the paper's experimental control (DESIGN.md §4.2).
+// differential compare -> coverage extraction). Every scheduling policy
+// shares this object completely, so experiments isolate the policy — the
+// paper's experimental control (docs/ARCHITECTURE.md, "Campaign data
+// flow").
 
 #include <cstdint>
 #include <memory>

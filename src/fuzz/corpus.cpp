@@ -1,0 +1,305 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace mabfuzz::fuzz {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'A', 'B', 'F', 'U', 'Z', 'Z', 'C'};
+
+/// Guard against absurd length fields in corrupt files: no real corpus
+/// entry carries a megaword program or a megabyte of operator history.
+constexpr std::uint64_t kMaxFieldLength = 1u << 20;
+
+/// Same for the header's size fields — every allocation a corrupt file
+/// could steer is bounded before it happens. Real coverage universes are
+/// ~10^4 points; 2^26 (a 1 MiB map) is orders of magnitude of headroom.
+constexpr std::uint64_t kMaxUniverse = 1u << 26;
+constexpr std::uint64_t kMaxEntries = kMaxFieldLength;
+
+// Explicit little-endian byte I/O: the artifact is bit-identical across
+// platforms regardless of host endianness.
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  os.write(bytes, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  os.write(bytes, 8);
+}
+
+void put_bytes(std::ostream& os, const std::vector<std::uint8_t>& bytes) {
+  put_u32(os, static_cast<std::uint32_t>(bytes.size()));
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+[[noreturn]] void fail(std::string_view what) {
+  throw std::runtime_error("corpus load: " + std::string(what));
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  char bytes[4];
+  if (!is.read(bytes, 4)) {
+    fail("truncated file (u32)");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char bytes[8];
+  if (!is.read(bytes, 8)) {
+    fail("truncated file (u64)");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_length(std::istream& is, std::string_view what) {
+  const std::uint32_t n = get_u32(is);
+  if (n > kMaxFieldLength) {
+    fail(std::string(what) + " length " + std::to_string(n) +
+         " exceeds the sanity bound");
+  }
+  return n;
+}
+
+}  // namespace
+
+Corpus::Corpus(std::string core, std::size_t coverage_universe,
+               std::size_t max_entries)
+    : core_(std::move(core)),
+      max_entries_(std::max<std::size_t>(1, max_entries)),
+      accumulated_(coverage_universe) {}
+
+bool Corpus::offer(const TestCase& test, const coverage::Map& test_coverage) {
+  const std::size_t fresh = test_coverage.count_new(accumulated_);
+  if (fresh == 0) {
+    ++rejected_;
+    return false;
+  }
+  if (entries_.size() >= max_entries_) {
+    // Evict the least novel entry, oldest first on ties — never FIFO age
+    // alone: a low-yield old entry goes before a high-yield older one.
+    const auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const CorpusEntry& a, const CorpusEntry& b) {
+          return a.novelty != b.novelty ? a.novelty < b.novelty
+                                        : a.order < b.order;
+        });
+    entries_.erase(victim);
+    ++evicted_;
+  }
+  CorpusEntry entry;
+  entry.test = test;
+  entry.novelty = fresh;
+  entry.order = next_order_++;
+  entries_.push_back(std::move(entry));
+  accumulated_.merge(test_coverage);
+  ++admitted_;
+  return true;
+}
+
+// --- serialization --------------------------------------------------------------
+
+void Corpus::save(std::ostream& os) const {
+  os.write(kMagic, sizeof kMagic);
+  put_u32(os, kVersion);
+  put_u32(os, static_cast<std::uint32_t>(core_.size()));
+  os.write(core_.data(), static_cast<std::streamsize>(core_.size()));
+  put_u64(os, universe());
+  put_u64(os, max_entries_);
+  put_u64(os, admitted_);
+  put_u64(os, rejected_);
+  put_u64(os, evicted_);
+  put_u64(os, next_order_);
+  put_u64(os, entries_.size());
+  for (const CorpusEntry& entry : entries_) {
+    put_u64(os, entry.test.id);
+    put_u64(os, entry.test.seed_id);
+    put_u64(os, entry.test.parent_id);
+    put_u32(os, entry.test.generation);
+    put_u64(os, entry.novelty);
+    put_u64(os, entry.order);
+    put_bytes(os, entry.test.mutation_ops);
+    put_u32(os, static_cast<std::uint32_t>(entry.test.words.size()));
+    for (const isa::Word word : entry.test.words) {
+      put_u32(os, word);
+    }
+  }
+  const auto words = accumulated_.words();
+  put_u64(os, words.size());
+  for (const std::uint64_t word : words) {
+    put_u64(os, word);
+  }
+}
+
+void Corpus::save(const std::string& path) const {
+  {
+    std::ofstream os(path, std::ios::binary);
+    if (os) {
+      save(os);
+      os.flush();
+    }
+    if (!os) {
+      throw std::runtime_error("corpus save: cannot write '" + path + "'");
+    }
+  }
+  const std::string manifest_path = path + ".json";
+  std::ofstream manifest(manifest_path);
+  if (manifest) {
+    write_manifest(manifest);
+    manifest.flush();
+  }
+  if (!manifest) {
+    throw std::runtime_error("corpus save: cannot write '" + manifest_path +
+                             "'");
+  }
+}
+
+void Corpus::write_manifest(std::ostream& os) const {
+  common::JsonWriter json(os);
+  json.begin_object();
+  json.key("schema").value(kSchema);
+  json.key("core").value(core_);
+  json.key("universe").value(static_cast<std::uint64_t>(universe()));
+  json.key("max_entries").value(static_cast<std::uint64_t>(max_entries_));
+  json.key("entries").value(static_cast<std::uint64_t>(entries_.size()));
+  json.key("covered").value(static_cast<std::uint64_t>(covered()));
+  json.key("admitted").value(admitted_);
+  json.key("rejected").value(rejected_);
+  json.key("evicted").value(evicted_);
+  json.key("tests").begin_array();
+  for (const CorpusEntry& entry : entries_) {
+    json.begin_object();
+    json.key("id").value(entry.test.id);
+    json.key("seed_id").value(entry.test.seed_id);
+    json.key("parent_id").value(entry.test.parent_id);
+    json.key("generation")
+        .value(static_cast<std::uint64_t>(entry.test.generation));
+    json.key("novelty").value(entry.novelty);
+    json.key("order").value(entry.order);
+    json.key("words").value(static_cast<std::uint64_t>(entry.test.words.size()));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+Corpus Corpus::load(std::istream& is) {
+  char magic[sizeof kMagic];
+  if (!is.read(magic, sizeof magic) ||
+      !std::equal(magic, magic + sizeof magic, kMagic)) {
+    fail("bad magic (not a mabfuzz-corpus file)");
+  }
+  const std::uint32_t version = get_u32(is);
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version) + " (this build reads " +
+         std::to_string(kVersion) + ")");
+  }
+  const std::uint64_t core_len = get_length(is, "core name");
+  std::string core(core_len, '\0');
+  if (core_len != 0 && !is.read(core.data(), static_cast<std::streamsize>(core_len))) {
+    fail("truncated core name");
+  }
+  const std::uint64_t universe = get_u64(is);
+  if (universe > kMaxUniverse) {
+    fail("universe " + std::to_string(universe) + " exceeds the sanity bound");
+  }
+  const std::uint64_t max_entries = get_u64(is);
+  if (max_entries > kMaxEntries) {
+    fail("entry cap " + std::to_string(max_entries) +
+         " exceeds the sanity bound");
+  }
+
+  Corpus corpus(std::move(core), static_cast<std::size_t>(universe),
+                static_cast<std::size_t>(max_entries));
+  corpus.admitted_ = get_u64(is);
+  corpus.rejected_ = get_u64(is);
+  corpus.evicted_ = get_u64(is);
+  corpus.next_order_ = get_u64(is);
+
+  const std::uint64_t entry_count = get_u64(is);
+  if (entry_count > corpus.max_entries_) {
+    fail("entry count " + std::to_string(entry_count) +
+         " exceeds the stored cap " + std::to_string(corpus.max_entries_));
+  }
+  corpus.entries_.reserve(static_cast<std::size_t>(entry_count));
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    CorpusEntry entry;
+    entry.test.id = get_u64(is);
+    entry.test.seed_id = get_u64(is);
+    entry.test.parent_id = get_u64(is);
+    entry.test.generation = get_u32(is);
+    entry.novelty = get_u64(is);
+    entry.order = get_u64(is);
+    const std::uint64_t ops = get_length(is, "mutation_ops");
+    entry.test.mutation_ops.resize(static_cast<std::size_t>(ops));
+    if (ops != 0 &&
+        !is.read(reinterpret_cast<char*>(entry.test.mutation_ops.data()),
+                 static_cast<std::streamsize>(ops))) {
+      fail("truncated mutation_ops");
+    }
+    const std::uint64_t words = get_length(is, "program");
+    if (words == 0) {
+      fail("entry with an empty program");
+    }
+    entry.test.words.reserve(static_cast<std::size_t>(words));
+    for (std::uint64_t w = 0; w < words; ++w) {
+      entry.test.words.push_back(get_u32(is));
+    }
+    corpus.entries_.push_back(std::move(entry));
+  }
+
+  const std::uint64_t map_words = get_u64(is);
+  if (map_words > kMaxFieldLength) {
+    fail("coverage map length exceeds the sanity bound");
+  }
+  std::vector<std::uint64_t> words;
+  words.reserve(static_cast<std::size_t>(map_words));
+  for (std::uint64_t w = 0; w < map_words; ++w) {
+    words.push_back(get_u64(is));
+  }
+  try {
+    corpus.accumulated_.assign_words(static_cast<std::size_t>(universe), words);
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+  return corpus;
+}
+
+Corpus Corpus::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("corpus load: cannot open '" + path + "'");
+  }
+  return load(is);
+}
+
+}  // namespace mabfuzz::fuzz

@@ -1,0 +1,124 @@
+#pragma once
+// Cross-campaign corpus: the persistent, coverage-novelty-gated test store
+// that lets a campaign seed the next one (ReFuzz-style test reuse). Unlike
+// fuzz::TestPool — a transient FIFO working queue that forgets everything
+// at campaign end — the corpus only *admits* a test when its coverage map
+// adds points over the corpus's accumulated map, and when full it evicts
+// the entry with the lowest novelty score (the points it contributed at
+// admission), never by age.
+//
+// The store serializes deterministically as the mabfuzz-corpus-v1 artifact
+// (docs/ARTIFACTS.md): a little-endian binary file carrying the tests, the
+// admission scores and the accumulated coverage map, plus a JSON manifest
+// sidecar (`<path>.json`, emitted through common/json) for external
+// tooling and CI validators. Equal corpora serialize byte-identically, so
+// a save → load → save round trip reproduces the file exactly.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coverage/map.hpp"
+#include "fuzz/test_case.hpp"
+
+namespace mabfuzz::fuzz {
+
+/// One admitted test with its admission-time score and sequence number.
+struct CorpusEntry {
+  TestCase test;
+  /// Coverage points this test added over the accumulated map when it was
+  /// admitted — the eviction score (lower = evicted first).
+  std::uint64_t novelty = 0;
+  /// Admission sequence number; the deterministic eviction tie-break
+  /// (equal novelty evicts the older entry) and the arm-assignment order
+  /// of the reuse fuzzer.
+  std::uint64_t order = 0;
+
+  friend bool operator==(const CorpusEntry&, const CorpusEntry&) = default;
+};
+
+class Corpus {
+ public:
+  static constexpr std::string_view kSchema = "mabfuzz-corpus-v1";
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// An empty corpus bound to one DUT configuration: `core` is the
+  /// soc::core_name the tests were executed on and `coverage_universe` the
+  /// size of that core's coverage point space — both are validated when a
+  /// saved corpus is loaded into a campaign. `max_entries` is clamped to
+  /// at least 1.
+  Corpus(std::string core, std::size_t coverage_universe,
+         std::size_t max_entries = 256);
+
+  /// Offers one executed test. Admitted (and copied in) only when
+  /// `test_coverage` sets at least one point the accumulated map does not;
+  /// an admission into a full corpus first evicts the lowest-novelty entry
+  /// (ties evict the oldest). Returns whether the test was admitted.
+  bool offer(const TestCase& test, const coverage::Map& test_coverage);
+
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t max_entries() const noexcept { return max_entries_; }
+  [[nodiscard]] const std::string& core() const noexcept { return core_; }
+  [[nodiscard]] std::size_t universe() const noexcept {
+    return accumulated_.universe();
+  }
+
+  /// Union of every admitted test's coverage, ever — a ratchet: eviction
+  /// removes the test, not its contribution to the admission gate.
+  [[nodiscard]] const coverage::Map& accumulated() const noexcept {
+    return accumulated_;
+  }
+  [[nodiscard]] std::size_t covered() const noexcept {
+    return accumulated_.count();
+  }
+
+  // --- lifetime accounting (persisted across save/load) ---
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
+
+  // --- serialization (mabfuzz-corpus-v1; format in docs/ARTIFACTS.md) ---
+
+  /// Writes the deterministic little-endian binary image.
+  void save(std::ostream& os) const;
+
+  /// Writes the binary image to `path` and the JSON manifest to
+  /// `<path>.json`. Throws std::runtime_error when either file cannot be
+  /// written.
+  void save(const std::string& path) const;
+
+  /// The JSON manifest (schema, provenance, per-entry metadata — no test
+  /// words; the binary is the single source of truth for reloading).
+  void write_manifest(std::ostream& os) const;
+
+  /// Reads a binary image; throws std::runtime_error on a bad magic,
+  /// unsupported version, truncation or a structurally invalid payload.
+  [[nodiscard]] static Corpus load(std::istream& is);
+  [[nodiscard]] static Corpus load(const std::string& path);
+
+  friend bool operator==(const Corpus& a, const Corpus& b) noexcept {
+    return a.core_ == b.core_ && a.max_entries_ == b.max_entries_ &&
+           a.entries_ == b.entries_ && a.accumulated_ == b.accumulated_ &&
+           a.admitted_ == b.admitted_ && a.rejected_ == b.rejected_ &&
+           a.evicted_ == b.evicted_ && a.next_order_ == b.next_order_;
+  }
+
+ private:
+  std::string core_;
+  std::size_t max_entries_;
+  std::vector<CorpusEntry> entries_;
+  coverage::Map accumulated_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace mabfuzz::fuzz

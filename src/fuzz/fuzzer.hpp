@@ -1,8 +1,9 @@
 #pragma once
 // The scheduling-policy interface: a fuzzer is "something that executes one
-// test per step against the shared backend". TheHuzz (static FIFO policy)
-// and MABFuzz (MAB seed selection) both implement this, so the experiment
-// harness can drive either interchangeably.
+// test per step against the shared backend". Every policy implements it —
+// TheHuzz (static FIFO), MABFuzz (MAB seed selection), the corpus-reuse
+// fuzzer, the random-regression control — so the experiment harness drives
+// any of them interchangeably (by registry name; fuzz/registry.hpp).
 
 #include <cstdint>
 #include <optional>

@@ -1,7 +1,15 @@
 #pragma once
-// FIFO test pool. TheHuzz drains one global pool front-to-back; MABFuzz
-// keeps one pool per arm. A size cap bounds memory during long campaigns
-// (oldest tests are dropped first, as a real fuzzer's database GC would).
+// FIFO test pool: the transient *working queue* of a running campaign.
+// TheHuzz drains one global pool front-to-back; each MABFuzz arm owns a
+// private pool holding its seed's mutation lineage (core/arm.hpp); the
+// repro minimizer stages candidates through one. A size cap bounds memory
+// during long campaigns — oldest tests are dropped first and counted in
+// dropped(), a lifetime statistic that pop()/clear() never reset.
+//
+// Pools forget everything at campaign end. Cross-campaign persistence is
+// the job of fuzz::Corpus (fuzz/corpus.hpp), which gates admission on
+// coverage novelty and evicts by lowest novelty score instead of age —
+// see docs/ARCHITECTURE.md ("TestPool vs Corpus") for the split.
 
 #include <cstddef>
 #include <deque>

@@ -28,6 +28,8 @@ class SeedLengthPolicy;  // core/adaptive.hpp; carried opaquely here
 
 namespace mabfuzz::fuzz {
 
+class Corpus;  // fuzz/corpus.hpp; carried opaquely here
+
 /// The unified scheduling-policy configuration (paper Sec. III / IV-A
 /// defaults). Each registered factory reads the fields relevant to it:
 /// bandit-backed schedulers consume `bandit` plus the MABFuzz shaping
@@ -57,6 +59,18 @@ struct PolicyConfig {
   bool adaptive_length = false;          // MAB seed-length selection
   std::vector<unsigned> length_choices{12, 20, 28, 40};
   std::shared_ptr<core::SeedLengthPolicy> length_policy;
+
+  /// Cross-campaign corpus reuse (fuzz/corpus.hpp). `corpus` is the store
+  /// campaigns share tests through — materialised by harness::Campaign
+  /// from its corpus-in/corpus-out keys; when null, the "reuse" fuzzer
+  /// creates a campaign-private store of `corpus_cap` entries. Every
+  /// corpus-feeding policy (thehuzz, the bandit schedulers, reuse) offers
+  /// its executed tests to the store when one is present. `reuse_bandit`
+  /// names the mab::BanditRegistry policy the reuse fuzzer selects seeds
+  /// with (Thompson sampling by default, per ReFuzz).
+  std::string reuse_bandit = "thompson";
+  std::size_t corpus_cap = 256;
+  std::shared_ptr<Corpus> corpus;
 };
 
 class FuzzerRegistry {

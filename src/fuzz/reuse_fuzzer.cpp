@@ -1,0 +1,112 @@
+#include "fuzz/reuse_fuzzer.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace mabfuzz::fuzz {
+
+ReuseFuzzer::ReuseFuzzer(Backend& backend, std::shared_ptr<Corpus> corpus,
+                         std::unique_ptr<mab::Bandit> bandit,
+                         const ReuseConfig& config)
+    : backend_(backend), corpus_(std::move(corpus)), bandit_(std::move(bandit)),
+      config_(config), global_(backend.coverage_universe()) {
+  if (!corpus_ || !bandit_ || bandit_->num_arms() == 0) {
+    std::abort();  // mis-wired construction is a programming error
+  }
+
+  // Rank the start-of-campaign corpus snapshot best-novelty first (ties:
+  // older entry first) — the deterministic arm-assignment order.
+  std::vector<const CorpusEntry*> ranked;
+  ranked.reserve(corpus_->size());
+  for (const CorpusEntry& entry : corpus_->entries()) {
+    ranked.push_back(&entry);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const CorpusEntry* a, const CorpusEntry* b) {
+              return a->novelty != b->novelty ? a->novelty > b->novelty
+                                              : a->order < b->order;
+            });
+
+  const std::size_t num_arms = bandit_->num_arms();
+  arms_.reserve(num_arms);
+  for (std::size_t a = 0; a < num_arms; ++a) {
+    ArmState arm;
+    arm.monitor = coverage::GammaWindowMonitor(config_.gamma);
+    if (a < ranked.size()) {
+      arm.parent = ranked[a]->test;
+      ++arms_from_corpus_;
+    } else {
+      arm.parent = backend_.make_seed();
+    }
+    arms_.push_back(std::move(arm));
+  }
+  // Entries beyond the arm count wait in reserve for depletion re-seeding.
+  for (std::size_t i = num_arms; i < ranked.size(); ++i) {
+    reserve_.push_back(ranked[i]->test);
+  }
+  name_ = "Reuse:" + std::string(bandit_->name());
+}
+
+TestCase ReuseFuzzer::next_replacement() {
+  if (reserve_cursor_ < reserve_.size()) {
+    return reserve_[reserve_cursor_++];
+  }
+  return backend_.make_seed();
+}
+
+StepResult ReuseFuzzer::step() {
+  // 1. The agent picks a corpus arm.
+  const std::size_t selected = bandit_->select();
+  ArmState& arm = arms_[selected];
+
+  // 2. First pull replays the arm's test itself (rebuilding this
+  // campaign's coverage state); later pulls run one fresh mutant of it.
+  TestCase test;
+  const bool is_replay = !arm.executed;
+  if (is_replay) {
+    arm.executed = true;
+    test = arm.parent;
+  } else {
+    test = backend_.make_mutant(arm.parent);
+  }
+  backend_.run_test(test, outcome_);
+
+  StepResult result;
+  result.test_index = ++steps_;
+  result.mismatch = outcome_.mismatch;
+  result.firings = outcome_.firings;
+  result.arm = selected;
+  result.new_global_points = global_.absorb(outcome_.coverage);
+
+  // 3. Feed the store; an admitted mutant becomes the arm's working test
+  // (hill-climb toward the newest interesting descendant). A corpus-loaded
+  // parent's id belongs to a previous campaign's id space, so the replay
+  // flag — not an id comparison — distinguishes parent from mutant.
+  const bool admitted = corpus_->offer(test, outcome_.coverage);
+  if (admitted && !is_replay) {
+    arm.parent = test;
+  }
+
+  // 4. Reward = new-coverage-per-mutant, normalised by |C| when the
+  // algorithm (EXP3) assumes rewards in [0, 1].
+  double reward = static_cast<double>(result.new_global_points);
+  if (bandit_->requires_normalized_reward()) {
+    const auto universe = static_cast<double>(backend_.coverage_universe());
+    reward = universe > 0 ? reward / universe : 0.0;
+  }
+  bandit_->update(selected, reward);
+
+  // 5. γ pulls without new coverage deplete the arm: re-seed it from the
+  // best unused corpus entry (or a fresh seed) and reset its statistics.
+  if (arm.monitor.record(result.new_global_points)) {
+    arm.parent = next_replacement();
+    arm.executed = false;
+    arm.monitor.reset();
+    bandit_->reset_arm(selected);
+    ++total_resets_;
+  }
+  return result;
+}
+
+}  // namespace mabfuzz::fuzz

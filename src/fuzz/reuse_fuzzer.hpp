@@ -1,0 +1,100 @@
+#pragma once
+// The corpus-reuse fuzzer (ReFuzz-style cross-campaign scheduling): corpus
+// entries are the bandit's arms. Entries are ranked by admission novelty
+// and the best ones become arms; an arm's first pull re-executes its
+// corpus test (rebuilding this campaign's coverage state), later pulls run
+// one fresh mutant of the arm's current working test through the shared
+// mutation::Engine. The reward fed to the bandit is the pull's
+// globally-new coverage — new-coverage-per-mutant — normalised by |C| for
+// algorithms that require it. Any mab::BanditRegistry policy drives the
+// selection (Thompson sampling by default, following ReFuzz).
+//
+// Hill-climb rule: a mutant the corpus admits (it covered something the
+// corpus had never seen) becomes its arm's working test, so the arm keeps
+// mutating its newest interesting descendant. Arms that produce no new
+// coverage for γ consecutive pulls are depleted: the arm is re-seeded from
+// the next-best unused corpus entry (fresh random seeds once the corpus
+// is exhausted) and the bandit's statistics for it are reset — the same
+// γ-window mechanism as the MABFuzz scheduler.
+//
+// Every executed test is offered back to the corpus, so a campaign both
+// consumes and extends the store: --corpus-out after --corpus-in persists
+// the union for the next campaign.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coverage/monitor.hpp"
+#include "fuzz/backend.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "mab/bandit.hpp"
+
+namespace mabfuzz::fuzz {
+
+struct ReuseConfig {
+  /// Depletion threshold for the per-arm γ-window monitor; 0 disables
+  /// arm replacement (paper Sec. III-C semantics).
+  std::size_t gamma = 3;
+};
+
+class ReuseFuzzer final : public Fuzzer {
+ public:
+  /// `bandit->num_arms()` fixes the arm count. The corpus supplies the
+  /// initial arm seeds (best-novelty first); missing arms start from fresh
+  /// random seeds — an empty corpus degrades to a cold-start mutational
+  /// fuzzer whose discoveries populate the store.
+  ReuseFuzzer(Backend& backend, std::shared_ptr<Corpus> corpus,
+              std::unique_ptr<mab::Bandit> bandit, const ReuseConfig& config);
+
+  StepResult step() override;
+
+  [[nodiscard]] const coverage::Accumulator& accumulated() const override {
+    return global_;
+  }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] const Corpus& corpus() const noexcept { return *corpus_; }
+  [[nodiscard]] const mab::Bandit& bandit() const noexcept { return *bandit_; }
+  [[nodiscard]] std::size_t num_arms() const noexcept { return arms_.size(); }
+  /// The arm's current working test (the mutation parent).
+  [[nodiscard]] const TestCase& arm_parent(std::size_t arm) const {
+    return arms_.at(arm).parent;
+  }
+  /// How many arms were seeded from the corpus (vs fresh random seeds).
+  [[nodiscard]] std::size_t arms_from_corpus() const noexcept {
+    return arms_from_corpus_;
+  }
+  [[nodiscard]] std::uint64_t total_resets() const noexcept {
+    return total_resets_;
+  }
+
+ private:
+  struct ArmState {
+    TestCase parent;  // current working test; mutation parent once executed
+    bool executed = false;  // parent itself already run this campaign
+    coverage::GammaWindowMonitor monitor;
+  };
+
+  /// Next arm seed on depletion: the best unused corpus entry, then fresh
+  /// random seeds.
+  [[nodiscard]] TestCase next_replacement();
+
+  Backend& backend_;
+  std::shared_ptr<Corpus> corpus_;
+  std::unique_ptr<mab::Bandit> bandit_;
+  ReuseConfig config_;
+  std::vector<ArmState> arms_;
+  std::vector<TestCase> reserve_;  // unused corpus entries, best-first
+  std::size_t reserve_cursor_ = 0;
+  std::size_t arms_from_corpus_ = 0;
+  coverage::Accumulator global_;
+  TestOutcome outcome_;  // reused across steps (backend scratch swap)
+  std::string name_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t total_resets_ = 0;
+};
+
+}  // namespace mabfuzz::fuzz

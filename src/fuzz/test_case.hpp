@@ -22,6 +22,8 @@ struct TestCase {
   std::vector<std::uint8_t> mutation_ops;
 
   [[nodiscard]] bool is_seed() const noexcept { return generation == 0; }
+
+  friend bool operator==(const TestCase&, const TestCase&) = default;
 };
 
 /// Multi-line disassembly listing of the test (for reports and examples).

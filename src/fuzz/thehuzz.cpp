@@ -1,5 +1,7 @@
 #include "fuzz/thehuzz.hpp"
 
+#include "fuzz/corpus.hpp"
+
 namespace mabfuzz::fuzz {
 
 TheHuzz::TheHuzz(Backend& backend, const TheHuzzConfig& config)
@@ -38,6 +40,9 @@ StepResult TheHuzz::step() {
   result.mismatch = outcome_.mismatch;
   result.firings = outcome_.firings;
   result.new_global_points = accumulated_.absorb(outcome_.coverage);
+  if (config_.corpus) {
+    config_.corpus->offer(test, outcome_.coverage);
+  }
 
   // Static policy: every test that covered anything new is "interesting";
   // it enters the database and contributes a burst of mutants.

@@ -10,6 +10,7 @@
 // has nothing to offer.
 
 #include <deque>
+#include <memory>
 
 #include "fuzz/backend.hpp"
 #include "fuzz/fuzzer.hpp"
@@ -17,11 +18,17 @@
 
 namespace mabfuzz::fuzz {
 
+class Corpus;  // fuzz/corpus.hpp
+
 struct TheHuzzConfig {
   unsigned initial_seeds = 10;
   unsigned mutants_per_interesting = 5;
   std::size_t pool_cap = 4096;
   std::size_t database_cap = 2048;
+  /// Optional cross-campaign store: every executed test is offered to it
+  /// (the corpus's novelty gate decides admission). Null = no persistence,
+  /// the original TheHuzz behaviour.
+  std::shared_ptr<Corpus> corpus;
 };
 
 class TheHuzz final : public Fuzzer {

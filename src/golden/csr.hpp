@@ -1,7 +1,7 @@
 #pragma once
 // Machine-mode CSR file for the golden ISS.
 //
-// Determinism note (DESIGN.md §4): the modelled platform architecturally
+// Determinism note (docs/ARCHITECTURE.md): the modelled platform architecturally
 // defines its timebase CSRs as functions of the retired-instruction count
 // (mcycle = 2·instret, time = instret/8). Both the golden model and the
 // substrate cores implement the same definition, so timing CSR reads are

@@ -173,7 +173,7 @@ void Iss::run_impl(const std::vector<Word>& program,
     record.pc = pc_;
     record.word = word;
 
-    // Counting convention (DESIGN.md): every fetched instruction counts,
+    // Counting convention: every fetched instruction counts,
     // including ones that trap. The V7 bug deviates from this on EBREAK.
     ++instret_;
 

@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "core/adaptive.hpp"
 #include "core/register.hpp"
+#include "fuzz/corpus.hpp"
 #include "mab/registry.hpp"
 #include "mutation/operators.hpp"
 
@@ -198,6 +199,20 @@ constexpr ConfigKey kConfigKeys[] = {
      [](CampaignConfig& c, std::string_view v) {
        c.policy.length_choices = parse_lengths("length-choices", v);
      }},
+    {"corpus-in", "load a mabfuzz-corpus-v1 store before the run",
+     [](CampaignConfig& c, std::string_view v) { c.corpus_in = std::string(v); }},
+    {"corpus-out", "save the campaign's corpus here after the run",
+     [](CampaignConfig& c, std::string_view v) {
+       c.corpus_out = std::string(v);
+     }},
+    {"corpus-cap", "fresh-corpus entry cap (full: evict lowest novelty)",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.corpus_cap = parse_u64("corpus-cap", v);
+     }},
+    {"reuse-bandit", "bandit policy for the reuse fuzzer's seed selection",
+     [](CampaignConfig& c, std::string_view v) {
+       c.policy.reuse_bandit = std::string(v);
+     }},
 };
 
 }  // namespace
@@ -370,6 +385,34 @@ Campaign::Campaign(const CampaignConfig& config) : config_(config) {
   }
   backend_ = std::make_unique<fuzz::Backend>(backend_config);
 
+  // Corpus persistence: either key materialises one shared store the
+  // selected policy feeds; corpus_in additionally validates that the
+  // stored tests were produced on this campaign's DUT configuration —
+  // replaying a CVA6 corpus on Rocket would silently measure nothing.
+  if (!config_.corpus_in.empty()) {
+    fuzz::Corpus loaded = fuzz::Corpus::load(config_.corpus_in);
+    if (loaded.core() != soc::core_name(config_.core)) {
+      throw std::invalid_argument(
+          "corpus-in '" + config_.corpus_in + "' was recorded on core '" +
+          loaded.core() + "' but the campaign targets '" +
+          std::string(soc::core_name(config_.core)) + "'");
+    }
+    if (loaded.universe() != backend_->coverage_universe()) {
+      throw std::invalid_argument(
+          "corpus-in '" + config_.corpus_in + "' has coverage universe " +
+          std::to_string(loaded.universe()) + " but the campaign's DUT has " +
+          std::to_string(backend_->coverage_universe()));
+    }
+    corpus_ = std::make_shared<fuzz::Corpus>(std::move(loaded));
+    corpus_loaded_entries_ = corpus_->size();
+    config_.policy.corpus = corpus_;
+  } else if (!config_.corpus_out.empty()) {
+    corpus_ = std::make_shared<fuzz::Corpus>(
+        std::string(soc::core_name(config_.core)),
+        backend_->coverage_universe(), config_.policy.corpus_cap);
+    config_.policy.corpus = corpus_;
+  }
+
   // Every stochastic component derives its stream from (seed, run, tag):
   // the campaign owns the derivation so equal configs replay bit-identically
   // regardless of who authored the PolicyConfig.
@@ -386,6 +429,14 @@ Campaign::Campaign(const CampaignConfig& config) : config_(config) {
 
   fuzzer_ = fuzz::FuzzerRegistry::instance().create(config_.fuzzer, *backend_,
                                                     config_.policy);
+}
+
+bool Campaign::save_corpus() const {
+  if (!corpus_ || config_.corpus_out.empty()) {
+    return false;
+  }
+  corpus_->save(config_.corpus_out);
+  return true;
 }
 
 double Campaign::elapsed_seconds() const noexcept {

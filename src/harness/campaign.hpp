@@ -58,6 +58,14 @@ struct CampaignConfig {
   /// Coverage-snapshot cadence for run_until(); 0 = auto (max_tests / 100,
   /// at least 1).
   std::uint64_t snapshot_every = 0;
+  /// Cross-campaign corpus persistence (fuzz/corpus.hpp). `corpus_in`
+  /// loads a mabfuzz-corpus-v1 store before the run (validated against
+  /// this campaign's core and coverage universe); `corpus_out` is where
+  /// save_corpus() writes the store afterwards. Either key makes the
+  /// campaign materialise one shared store in `policy.corpus`, which every
+  /// corpus-feeding policy extends as it runs.
+  std::string corpus_in;
+  std::string corpus_out;
   /// Everything the selected policy consumes (bandit parameters included —
   /// the single home of num_arms / epsilon / eta).
   fuzz::PolicyConfig policy;
@@ -217,6 +225,21 @@ class Campaign {
   [[nodiscard]] fuzz::Backend& backend() noexcept { return *backend_; }
   [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
 
+  /// The campaign's shared corpus; null unless corpus_in/corpus_out was
+  /// configured (a bare "reuse" campaign keeps a fuzzer-private store).
+  [[nodiscard]] const std::shared_ptr<fuzz::Corpus>& corpus() const noexcept {
+    return corpus_;
+  }
+  /// Entries the corpus held when loaded (0 for a fresh store) — the
+  /// provenance number experiment artifacts record.
+  [[nodiscard]] std::size_t corpus_loaded_entries() const noexcept {
+    return corpus_loaded_entries_;
+  }
+  /// Writes the corpus (binary + JSON manifest) to config().corpus_out.
+  /// Returns false when the campaign has no shared corpus or no corpus_out
+  /// path; throws std::runtime_error when the write fails.
+  bool save_corpus() const;
+
   [[nodiscard]] std::uint64_t tests_executed() const noexcept { return steps_; }
   [[nodiscard]] std::size_t covered() const noexcept {
     return fuzzer_->accumulated().covered();
@@ -246,6 +269,8 @@ class Campaign {
 
   CampaignConfig config_;
   std::unique_ptr<fuzz::Backend> backend_;
+  std::shared_ptr<fuzz::Corpus> corpus_;
+  std::size_t corpus_loaded_entries_ = 0;
   std::unique_ptr<fuzz::Fuzzer> fuzzer_;
   std::vector<CampaignObserver*> observers_;
   std::vector<BatchSnapshot> snapshots_;

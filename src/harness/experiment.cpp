@@ -30,6 +30,16 @@ std::vector<TrialSpec> TrialMatrix::expand() const {
       // malformed override throws here, before any trial runs.
       const CampaignConfig cell_config =
           CampaignConfig::from_pairs(variant.overrides, cell_base);
+      // corpus_out is a single-campaign facility: nothing in the matrix
+      // path saves a corpus, and auto-saving would race every trial on
+      // one file. Reject at expansion, before any trial runs, so every
+      // driver inherits the restriction (corpus_in — read-only — is fine).
+      if (!cell_config.corpus_out.empty()) {
+        throw std::invalid_argument(
+            "TrialMatrix: corpus_out ('" + cell_config.corpus_out +
+            "') is not supported in trial matrices; save a corpus from a "
+            "single Campaign and pass it to trials via corpus_in");
+      }
       for (std::uint64_t r = 0; r < trials; ++r) {
         TrialSpec spec;
         spec.index = specs.size();
@@ -137,8 +147,12 @@ TrialResult Experiment::run_trial(const TrialSpec& spec) const {
   result.fuzzer = spec.fuzzer;
   result.variant = spec.variant;
   result.run_index = spec.run_index;
+  // Provenance is config, not outcome: a failed warm-start trial must
+  // still be recorded as warm-started in the artifacts.
+  result.corpus_in = spec.config.corpus_in;
   try {
     Campaign campaign(spec.config);
+    result.corpus_entries = campaign.corpus_loaded_entries();
     const RunResult run = campaign.run_until(stop_condition(spec));
     result.stop = run.reason;
     result.tests_executed = run.tests_executed;
@@ -294,7 +308,7 @@ void write_trials_csv(std::ostream& os, const ExperimentResult& result,
       "trial",      "fuzzer",        "variant",         "run",
       "status",     "stop",          "tests",           "covered",
       "universe",   "mismatches",    "detected_bugs",   "target_detected",
-      "detection_tests"};
+      "detection_tests", "corpus_in", "corpus_entries"};
   if (options.include_timing) {
     header.emplace_back("elapsed_seconds");
   }
@@ -315,7 +329,9 @@ void write_trials_csv(std::ostream& os, const ExperimentResult& result,
         std::to_string(trial.mismatches),
         std::to_string(trial.detected_bugs),
         trial.target_detected ? "1" : "0",
-        std::to_string(trial.detection_tests)};
+        std::to_string(trial.detection_tests),
+        trial.corpus_in,
+        std::to_string(trial.corpus_entries)};
     if (options.include_timing) {
       row.push_back(common::format_double(trial.elapsed_seconds, 4));
     }
@@ -374,6 +390,11 @@ void write_experiment_json(std::ostream& os, const ExperimentResult& result,
     json.key("variant").value(trial.variant);
     json.key("run").value(trial.run_index);
     json.key("failed").value(trial.failed);
+    // Provenance is config, so it is reported for failed trials too.
+    if (!trial.corpus_in.empty()) {
+      json.key("corpus_in").value(trial.corpus_in);
+      json.key("corpus_entries").value(trial.corpus_entries);
+    }
     if (trial.failed) {
       json.key("error").value(trial.error);
     } else {

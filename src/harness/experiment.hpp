@@ -22,7 +22,7 @@
 //    pairwise speedup reports against a baseline fuzzer (paper Table I /
 //    Fig. 4 accounting).
 //  - write_trials_csv / write_experiment_json: machine-readable artifact
-//    emitters ("mabfuzz-experiment-v1"; schema documented in README.md).
+//    emitters ("mabfuzz-experiment-v1"; schema in docs/ARTIFACTS.md).
 
 #include <cstdint>
 #include <optional>
@@ -100,6 +100,11 @@ struct TrialResult {
   /// Wall-clock seconds; inherently non-deterministic, excluded from
   /// artifacts when ArtifactOptions::include_timing is false.
   double elapsed_seconds = 0.0;
+
+  /// Corpus provenance: the mabfuzz-corpus-v1 store this trial warmed up
+  /// from (empty = cold start) and how many entries it held at load.
+  std::string corpus_in;
+  std::uint64_t corpus_entries = 0;
 
   CoverageCurve curve;  // per-batch coverage samples
 };

@@ -1,7 +1,7 @@
 #pragma once
 // The substrate core's CSR unit. Architectural semantics are delegated to
 // golden::CsrFile (the platform's CSR bookkeeping is pure state; sharing it
-// removes a class of accidental drift — DESIGN.md §4), while this unit adds
+// removes a class of accidental drift), while this unit adds
 // what the RTL has and the ISS does not: per-CSR address-decode coverage,
 // written-value toggle coverage, trap-entry coverage, and the V6 bug gate
 // (unimplemented custom-range CSRs return X-values instead of trapping).

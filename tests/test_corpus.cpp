@@ -1,0 +1,439 @@
+// Corpus subsystem tests: novelty-gated admission, lowest-novelty
+// eviction, deterministic mabfuzz-corpus-v1 serialization (save → load →
+// byte-identical re-save), campaign-level corpus plumbing (corpus-in
+// validation, corpus-out, byte-identical warm-campaign continuation) and
+// the corpus-reuse fuzzer built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <initializer_list>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "fuzz/backend.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/reuse_fuzzer.hpp"
+#include "harness/campaign.hpp"
+#include "harness/experiment.hpp"
+#include "mab/registry.hpp"
+#include "soc/cores.hpp"
+
+namespace mabfuzz {
+namespace {
+
+using fuzz::Corpus;
+using fuzz::CorpusEntry;
+using fuzz::TestCase;
+
+// --- admission / eviction -------------------------------------------------------
+
+TestCase make_test(std::uint64_t id) {
+  TestCase t;
+  t.id = id;
+  t.seed_id = id;
+  t.words = {0x13};  // nop
+  return t;
+}
+
+coverage::Map map_with(std::size_t universe,
+                       std::initializer_list<coverage::PointId> points) {
+  coverage::Map map(universe);
+  for (const coverage::PointId p : points) {
+    map.set(p);
+  }
+  return map;
+}
+
+TEST(Corpus, AdmitsOnlyNovelCoverage) {
+  Corpus corpus("rocket", 128, 8);
+  EXPECT_TRUE(corpus.offer(make_test(1), map_with(128, {0, 1, 2})));
+  // Same points again: nothing new over the accumulated map.
+  EXPECT_FALSE(corpus.offer(make_test(2), map_with(128, {0, 1, 2})));
+  EXPECT_FALSE(corpus.offer(make_test(3), map_with(128, {2})));
+  // One fresh point suffices.
+  EXPECT_TRUE(corpus.offer(make_test(4), map_with(128, {2, 3})));
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.admitted(), 2u);
+  EXPECT_EQ(corpus.rejected(), 2u);
+  EXPECT_EQ(corpus.covered(), 4u);
+}
+
+TEST(Corpus, NoveltyIsAdmissionTimeDelta) {
+  Corpus corpus("rocket", 128, 8);
+  ASSERT_TRUE(corpus.offer(make_test(1), map_with(128, {0, 1, 2})));
+  ASSERT_TRUE(corpus.offer(make_test(2), map_with(128, {1, 2, 3, 4})));
+  EXPECT_EQ(corpus.entries()[0].novelty, 3u);
+  EXPECT_EQ(corpus.entries()[1].novelty, 2u);  // 3 and 4 were new, 1/2 not
+}
+
+TEST(Corpus, EvictsLowestNoveltyNotOldest) {
+  Corpus corpus("rocket", 128, 2);
+  ASSERT_TRUE(corpus.offer(make_test(1), map_with(128, {0, 1, 2, 3})));  // novelty 4
+  ASSERT_TRUE(corpus.offer(make_test(2), map_with(128, {4})));           // novelty 1
+  // Full. A FIFO would drop test 1 (oldest); the novelty gate drops test 2.
+  ASSERT_TRUE(corpus.offer(make_test(3), map_with(128, {5, 6})));        // novelty 2
+  ASSERT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.entries()[0].test.id, 1u);
+  EXPECT_EQ(corpus.entries()[1].test.id, 3u);
+  EXPECT_EQ(corpus.evicted(), 1u);
+  // Eviction removes the test, not its accumulated contribution: point 4
+  // stays known, so re-offering it is rejected.
+  EXPECT_FALSE(corpus.offer(make_test(4), map_with(128, {4})));
+  EXPECT_EQ(corpus.covered(), 7u);
+}
+
+TEST(Corpus, EvictionTieBreaksOldestFirst) {
+  Corpus corpus("rocket", 128, 2);
+  ASSERT_TRUE(corpus.offer(make_test(1), map_with(128, {0})));  // novelty 1, order 0
+  ASSERT_TRUE(corpus.offer(make_test(2), map_with(128, {1})));  // novelty 1, order 1
+  ASSERT_TRUE(corpus.offer(make_test(3), map_with(128, {2})));  // evicts id 1
+  ASSERT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.entries()[0].test.id, 2u);
+  EXPECT_EQ(corpus.entries()[1].test.id, 3u);
+}
+
+TEST(Corpus, ZeroCapClampsToOne) {
+  Corpus corpus("rocket", 128, 0);
+  EXPECT_EQ(corpus.max_entries(), 1u);
+  EXPECT_TRUE(corpus.offer(make_test(1), map_with(128, {0})));
+  EXPECT_TRUE(corpus.offer(make_test(2), map_with(128, {1})));
+  EXPECT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus.evicted(), 1u);
+}
+
+// --- serialization --------------------------------------------------------------
+
+/// A corpus populated with real backend-executed tests (realistic word
+/// payloads, mutation_ops, coverage maps).
+Corpus executed_corpus(std::size_t tests = 40, std::size_t cap = 16) {
+  fuzz::BackendConfig config;
+  config.core = soc::CoreKind::kRocket;
+  config.bugs = soc::BugSet::none();
+  fuzz::Backend backend(config);
+  Corpus corpus(std::string(soc::core_name(config.core)),
+                backend.coverage_universe(), cap);
+  TestCase parent = backend.make_seed();
+  for (std::size_t i = 0; i < tests; ++i) {
+    const TestCase test = i % 3 == 0 ? backend.make_seed()
+                                     : backend.make_mutant(parent);
+    const fuzz::TestOutcome outcome = backend.run_test(test);
+    if (corpus.offer(test, outcome.coverage) && !test.is_seed()) {
+      parent = test;
+    }
+  }
+  return corpus;
+}
+
+TEST(CorpusSerialization, RoundTripPreservesEverything) {
+  const Corpus original = executed_corpus();
+  ASSERT_GT(original.size(), 0u);
+  ASSERT_GT(original.covered(), 0u);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  const Corpus reloaded = Corpus::load(buffer);
+  EXPECT_TRUE(reloaded == original);
+  EXPECT_EQ(reloaded.core(), "rocket");
+  EXPECT_EQ(reloaded.universe(), original.universe());
+  EXPECT_EQ(reloaded.covered(), original.covered());
+  // Mutant provenance survives (words + ops, not just metadata).
+  bool saw_mutant = false;
+  for (const CorpusEntry& entry : reloaded.entries()) {
+    if (!entry.test.is_seed()) {
+      saw_mutant = true;
+      EXPECT_FALSE(entry.test.mutation_ops.empty());
+    }
+    EXPECT_FALSE(entry.test.words.empty());
+  }
+  EXPECT_TRUE(saw_mutant);
+}
+
+TEST(CorpusSerialization, ReSaveIsByteIdentical) {
+  const Corpus original = executed_corpus();
+  std::stringstream first;
+  original.save(first);
+  const Corpus reloaded = Corpus::load(first);
+  std::stringstream second;
+  reloaded.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(CorpusSerialization, ContinuationAfterReloadMatchesUninterrupted) {
+  // Admissions into a reloaded corpus behave exactly as if the campaign
+  // had never stopped: same gate decisions, same eviction victims.
+  Corpus live = executed_corpus(/*tests=*/25);
+  std::stringstream buffer;
+  live.save(buffer);
+  Corpus reloaded = Corpus::load(buffer);
+
+  const std::size_t universe = live.universe();
+  for (std::uint64_t id = 1000; id < 1012; ++id) {
+    const auto map = map_with(universe, {static_cast<coverage::PointId>(id),
+                                         static_cast<coverage::PointId>(id % 7)});
+    EXPECT_EQ(live.offer(make_test(id), map), reloaded.offer(make_test(id), map));
+  }
+  EXPECT_TRUE(live == reloaded);
+}
+
+TEST(CorpusSerialization, ManifestListsEntries) {
+  const Corpus corpus = executed_corpus();
+  std::ostringstream os;
+  corpus.write_manifest(os);
+  const std::string manifest = os.str();
+  EXPECT_NE(manifest.find("\"schema\": \"mabfuzz-corpus-v1\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"core\": \"rocket\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"novelty\""), std::string::npos);
+}
+
+TEST(CorpusSerialization, LoadRejectsCorruptInput) {
+  // Not a corpus at all.
+  std::stringstream junk("definitely not a corpus");
+  EXPECT_THROW((void)Corpus::load(junk), std::runtime_error);
+
+  const Corpus corpus = executed_corpus();
+  std::stringstream buffer;
+  corpus.save(buffer);
+  const std::string image = buffer.str();
+
+  // Truncation anywhere fails loudly instead of yielding a partial store.
+  std::stringstream truncated(image.substr(0, image.size() / 2));
+  EXPECT_THROW((void)Corpus::load(truncated), std::runtime_error);
+
+  // Unsupported version.
+  std::string versioned = image;
+  versioned[8] = 0x7f;  // version field follows the 8-byte magic
+  std::stringstream wrong_version(versioned);
+  EXPECT_THROW((void)Corpus::load(wrong_version), std::runtime_error);
+
+  std::stringstream empty;
+  EXPECT_THROW((void)Corpus::load(empty), std::runtime_error);
+
+  // A corrupt universe field must fail the sanity bound, not attempt a
+  // petabyte coverage-map allocation. The field sits after the 8-byte
+  // magic, u32 version and length-prefixed core name ("rocket").
+  std::string huge_universe = image;
+  const std::size_t universe_offset = 8 + 4 + 4 + std::string("rocket").size();
+  for (std::size_t i = 0; i < 8; ++i) {
+    huge_universe[universe_offset + i] = '\xff';
+  }
+  std::stringstream unbounded(huge_universe);
+  EXPECT_THROW((void)Corpus::load(unbounded), std::runtime_error);
+}
+
+TEST(CorpusSerialization, FileSaveWritesBinaryAndManifest) {
+  const Corpus corpus = executed_corpus();
+  const std::string path = testing::TempDir() + "corpus_file_roundtrip.bin";
+  corpus.save(path);
+  const Corpus reloaded = Corpus::load(path);
+  EXPECT_TRUE(reloaded == corpus);
+  std::ifstream manifest(path + ".json");
+  ASSERT_TRUE(manifest.good());
+  std::string first_line;
+  std::getline(manifest, first_line);
+  EXPECT_EQ(first_line, "{");
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
+  EXPECT_THROW((void)Corpus::load(path), std::runtime_error);
+}
+
+// --- campaign plumbing ----------------------------------------------------------
+
+harness::CampaignConfig reuse_config(std::uint64_t tests = 150) {
+  harness::CampaignConfig config;
+  config.fuzzer = "reuse";
+  config.core = soc::CoreKind::kRocket;
+  config.bugs = soc::BugSet::none();
+  config.max_tests = tests;
+  config.rng_seed = 77;
+  return config;
+}
+
+TEST(CorpusCampaign, CorpusOutBuildsAndSavesAStore) {
+  const std::string path = testing::TempDir() + "campaign_corpus_out.bin";
+  auto config = reuse_config();
+  config.corpus_out = path;
+  harness::Campaign campaign(config);
+  ASSERT_NE(campaign.corpus(), nullptr);
+  EXPECT_EQ(campaign.corpus_loaded_entries(), 0u);
+  campaign.run();
+  EXPECT_GT(campaign.corpus()->size(), 0u);
+  ASSERT_TRUE(campaign.save_corpus());
+
+  const Corpus saved = Corpus::load(path);
+  EXPECT_TRUE(saved == *campaign.corpus());
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
+}
+
+TEST(CorpusCampaign, NoCorpusConfiguredMeansNoSharedStore) {
+  harness::Campaign campaign(reuse_config(/*tests=*/10));
+  EXPECT_EQ(campaign.corpus(), nullptr);  // fuzzer keeps a private store
+  EXPECT_FALSE(campaign.save_corpus());
+  campaign.run();
+}
+
+TEST(CorpusCampaign, TheHuzzFeedsTheSharedCorpus) {
+  const std::string path = testing::TempDir() + "thehuzz_corpus_out.bin";
+  auto config = reuse_config();
+  config.fuzzer = "thehuzz";
+  config.corpus_out = path;
+  harness::Campaign campaign(config);
+  campaign.run();
+  EXPECT_GT(campaign.corpus()->size(), 0u);
+  ASSERT_TRUE(campaign.save_corpus());
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
+}
+
+TEST(CorpusCampaign, CorpusInRejectsCoreMismatch) {
+  const std::string path = testing::TempDir() + "core_mismatch_corpus.bin";
+  executed_corpus().save(path);  // recorded on rocket
+
+  auto config = reuse_config();
+  config.core = soc::CoreKind::kCva6;
+  config.corpus_in = path;
+  try {
+    harness::Campaign campaign(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("rocket"), std::string::npos);
+    EXPECT_NE(message.find("cva6"), std::string::npos);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
+}
+
+TEST(CorpusCampaign, TrialMatrixRejectsCorpusOutAtExpansion) {
+  // corpus_out is single-campaign only; the engine rejects it before any
+  // trial runs so every driver (not just the CLI guard) inherits the rule.
+  harness::TrialMatrix matrix;
+  matrix.base = reuse_config(10);
+  matrix.base.corpus_out = "never-written.bin";
+  matrix.trials = 2;
+  EXPECT_THROW((void)matrix.expand(), std::invalid_argument);
+  // Via an override too — and read-only corpus_in stays allowed.
+  harness::TrialMatrix override_matrix;
+  override_matrix.base = reuse_config(10);
+  override_matrix.variants = {{"bad", {"corpus-out=x.bin"}}};
+  EXPECT_THROW((void)override_matrix.expand(), std::invalid_argument);
+}
+
+TEST(CorpusCampaign, MissingCorpusInFailsLoudly) {
+  auto config = reuse_config();
+  config.corpus_in = testing::TempDir() + "does_not_exist_corpus.bin";
+  EXPECT_THROW(harness::Campaign campaign(config), std::runtime_error);
+}
+
+TEST(CorpusCampaign, WarmContinuationIsByteIdenticalAcrossReloads) {
+  // Save a corpus, then run the same warm campaign twice from it: the
+  // continuations must replay bit-identically (coverage trace, corpus
+  // contents, re-serialized image).
+  const std::string path = testing::TempDir() + "warm_continuation_corpus.bin";
+  {
+    auto warmup = reuse_config(/*tests=*/200);
+    warmup.corpus_out = path;
+    harness::Campaign campaign(warmup);
+    campaign.run();
+    ASSERT_TRUE(campaign.save_corpus());
+  }
+
+  auto run_warm = [&] {
+    auto config = reuse_config(/*tests=*/120);
+    config.rng_seed = 99;
+    config.corpus_in = path;
+    harness::Campaign campaign(config);
+    campaign.run();
+    std::stringstream image;
+    campaign.corpus()->save(image);
+    return std::pair<std::size_t, std::string>(campaign.covered(), image.str());
+  };
+  const auto a = run_warm();
+  const auto b = run_warm();
+  EXPECT_GT(a.first, 0u);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
+}
+
+// --- the reuse fuzzer -----------------------------------------------------------
+
+TEST(ReuseFuzzer, ColdStartStepsAndAccumulates) {
+  fuzz::BackendConfig config;
+  config.core = soc::CoreKind::kRocket;
+  config.bugs = soc::BugSet::none();
+  fuzz::Backend backend(config);
+  auto corpus = std::make_shared<Corpus>("rocket", backend.coverage_universe(), 64);
+  mab::BanditConfig bandit_config;
+  bandit_config.num_arms = 4;
+  fuzz::ReuseFuzzer fuzzer(backend, corpus,
+                           mab::make_bandit("thompson", bandit_config),
+                           fuzz::ReuseConfig{});
+  EXPECT_EQ(fuzzer.name(), "Reuse:thompson");
+  EXPECT_EQ(fuzzer.arms_from_corpus(), 0u);
+  for (int i = 0; i < 80; ++i) {
+    const fuzz::StepResult result = fuzzer.step();
+    EXPECT_EQ(result.test_index, static_cast<std::uint64_t>(i + 1));
+    EXPECT_TRUE(result.has_arm());
+    EXPECT_LT(*result.arm, 4u);
+  }
+  EXPECT_GT(fuzzer.accumulated().covered(), 0u);
+  // The cold start populated the store for the next campaign.
+  EXPECT_GT(corpus->size(), 0u);
+}
+
+TEST(ReuseFuzzer, WarmStartSeedsArmsFromTheCorpus) {
+  auto corpus = std::make_shared<Corpus>(executed_corpus(/*tests=*/60, /*cap=*/32));
+  ASSERT_GE(corpus->size(), 4u);
+
+  fuzz::BackendConfig config;
+  config.core = soc::CoreKind::kRocket;
+  config.bugs = soc::BugSet::none();
+  fuzz::Backend backend(config);
+  mab::BanditConfig bandit_config;
+  bandit_config.num_arms = 4;
+  fuzz::ReuseFuzzer fuzzer(backend, corpus,
+                           mab::make_bandit("thompson", bandit_config),
+                           fuzz::ReuseConfig{});
+  EXPECT_EQ(fuzzer.arms_from_corpus(), 4u);
+
+  // Arms are the highest-novelty corpus entries, best first.
+  std::uint64_t previous = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t a = 0; a < fuzzer.num_arms(); ++a) {
+    const TestCase& parent = fuzzer.arm_parent(a);
+    std::uint64_t novelty = 0;
+    bool found = false;
+    for (const CorpusEntry& entry : corpus->entries()) {
+      if (entry.test.id == parent.id) {
+        novelty = entry.novelty;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "arm " << a << " parent not from the corpus";
+    EXPECT_LE(novelty, previous);
+    previous = novelty;
+  }
+  for (int i = 0; i < 40; ++i) {
+    fuzzer.step();
+  }
+  EXPECT_GT(fuzzer.accumulated().covered(), 0u);
+}
+
+TEST(ReuseFuzzer, DetectsEasyBugEventually) {
+  harness::CampaignConfig config = reuse_config(/*tests=*/800);
+  config.core = soc::CoreKind::kCva6;
+  config.bugs = soc::BugSet::single(soc::BugId::kV5SilentLoadFault);
+  harness::Campaign campaign(config);
+  const harness::RunResult result = campaign.run_until(
+      harness::StopCondition::bug_detected(soc::BugId::kV5SilentLoadFault) ||
+      harness::StopCondition::max_tests(config.max_tests));
+  EXPECT_EQ(result.reason, harness::StopReason::kBugDetected);
+}
+
+}  // namespace
+}  // namespace mabfuzz

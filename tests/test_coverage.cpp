@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "coverage/context.hpp"
 #include "coverage/map.hpp"
@@ -164,6 +167,32 @@ TEST(Map, EqualityIncludesUniverse) {
   EXPECT_FALSE(a == c);
   a.set(1);
   EXPECT_FALSE(a == b);
+}
+
+TEST(Map, WordsAssignWordsRoundTrip) {
+  Map m(100);
+  m.set(0);
+  m.set(63);
+  m.set(99);
+  const auto words = m.words();
+  ASSERT_EQ(words.size(), 2u);
+  Map rebuilt;
+  rebuilt.assign_words(100, words);
+  EXPECT_EQ(rebuilt, m);
+  EXPECT_EQ(rebuilt.count(), 3u);
+}
+
+TEST(Map, AssignWordsRejectsWrongSizeAndTailBits) {
+  const std::vector<std::uint64_t> one_word(1, 0);
+  Map m;
+  EXPECT_THROW(m.assign_words(100, one_word), std::invalid_argument);
+  // Serialized-map invariant: bits at/above the universe must be zero —
+  // a corrupt artifact fails loudly instead of inflating count().
+  const std::vector<std::uint64_t> tail_set = {0, 1ULL << 63};
+  EXPECT_THROW(m.assign_words(100, tail_set), std::invalid_argument);
+  const std::vector<std::uint64_t> tail_ok = {~0ULL, (1ULL << 36) - 1};
+  m.assign_words(100, tail_ok);
+  EXPECT_EQ(m.count(), 100u);
 }
 
 class MapProperty : public ::testing::TestWithParam<std::size_t> {};

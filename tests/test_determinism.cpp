@@ -8,9 +8,12 @@
 
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "fuzz/corpus.hpp"
 
 #include "core/scheduler.hpp"
 #include "fuzz/backend.hpp"
@@ -127,6 +130,59 @@ TEST(ExperimentDeterminism, AggregateStatsByteIdenticalAcrossWorkerCounts) {
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, artifact(2)) << "2-worker run diverged from serial";
   EXPECT_EQ(serial, artifact(8)) << "8-worker run diverged from serial";
+}
+
+// A corpus round trip is part of the same contract: campaigns reloading a
+// saved mabfuzz-corpus-v1 store must replay byte-identically for the same
+// seeds no matter how many workers execute the matrix (the corpus is
+// read-only shared input; every trial re-materialises its own copy).
+TEST(ExperimentDeterminism, ReloadedCorpusCampaignByteIdenticalAcrossWorkers) {
+  const std::string path = testing::TempDir() + "determinism_corpus.bin";
+  {
+    harness::CampaignConfig warmup;
+    warmup.fuzzer = "reuse";
+    warmup.core = soc::CoreKind::kRocket;
+    warmup.bugs = soc::BugSet::none();
+    warmup.max_tests = 200;
+    warmup.rng_seed = 4321;
+    warmup.corpus_out = path;
+    harness::Campaign campaign(warmup);
+    campaign.run();
+    ASSERT_TRUE(campaign.save_corpus());
+    ASSERT_GT(campaign.corpus()->size(), 0u);
+  }
+
+  harness::TrialMatrix matrix;
+  matrix.base.fuzzer = "reuse";
+  matrix.base.core = soc::CoreKind::kRocket;
+  matrix.base.bugs = soc::default_bugs(soc::CoreKind::kRocket);
+  matrix.base.max_tests = 60;
+  matrix.base.snapshot_every = 30;
+  matrix.base.rng_seed = 1234;
+  matrix.base.corpus_in = path;
+  matrix.trials = 4;
+
+  auto artifact = [&](unsigned workers) {
+    harness::ExperimentOptions options;
+    options.workers = workers;
+    const harness::ExperimentResult result =
+        harness::Experiment(matrix, options).run();
+    EXPECT_EQ(result.failed_trials, 0u);
+    harness::ArtifactOptions artifact_options;
+    artifact_options.include_timing = false;
+    std::ostringstream os;
+    harness::write_experiment_json(os, result, artifact_options);
+    harness::write_trials_csv(os, result, artifact_options);
+    return os.str();
+  };
+
+  const std::string serial = artifact(1);
+  EXPECT_NE(serial.find("corpus_entries"), std::string::npos)
+      << "artifact lost the corpus provenance fields";
+  EXPECT_EQ(serial, artifact(2)) << "2-worker warm run diverged from serial";
+  EXPECT_EQ(serial, artifact(8)) << "8-worker warm run diverged from serial";
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
 }
 
 }  // namespace

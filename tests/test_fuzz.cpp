@@ -53,6 +53,48 @@ TEST(Pool, ClearEmpties) {
   EXPECT_TRUE(pool.empty());
 }
 
+TEST(Pool, DroppedAccumulatesAcrossOverflows) {
+  TestPool pool(2);
+  for (std::uint64_t id = 1; id <= 7; ++id) {
+    pool.push(make_test(id));
+  }
+  // 7 pushes into a 2-slot pool: 5 oldest dropped, newest 2 retained.
+  EXPECT_EQ(pool.dropped(), 5u);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.pop()->id, 6u);
+  EXPECT_EQ(pool.pop()->id, 7u);
+}
+
+TEST(Pool, DroppedIsLifetimeNotOccupancy) {
+  // dropped() is campaign-lifetime accounting: pops and clear() empty the
+  // queue without erasing the history of cap-dropped tests.
+  TestPool pool(2);
+  pool.push(make_test(1));
+  pool.push(make_test(2));
+  pool.push(make_test(3));  // drops id 1
+  EXPECT_EQ(pool.dropped(), 1u);
+  (void)pool.pop();
+  (void)pool.pop();
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.dropped(), 1u);  // pops are consumption, not drops
+  pool.push(make_test(4));
+  pool.clear();
+  EXPECT_EQ(pool.dropped(), 1u);  // clear() discards tests, keeps history
+  pool.push(make_test(5));
+  pool.push(make_test(6));
+  pool.push(make_test(7));
+  EXPECT_EQ(pool.dropped(), 2u);
+}
+
+TEST(Pool, NoDropsBelowCap) {
+  TestPool pool(8);
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    pool.push(make_test(id));
+  }
+  EXPECT_EQ(pool.dropped(), 0u);
+  EXPECT_EQ(pool.size(), 8u);
+}
+
 // --- SeedGenerator ----------------------------------------------------------------
 
 TEST(SeedGen, ProgramsHaveConfiguredLength) {

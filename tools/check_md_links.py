@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Markdown link checker: every relative link in the repo's *.md files must
+point at a file or directory that exists.
+
+Checked: inline links/images `[text](target)` whose target is not an
+external URL (http/https/mailto) or a pure in-page anchor (#...). A
+`path#anchor` target is checked for the path only — anchors are not
+resolved. Fenced code blocks are skipped (they hold example markup, not
+navigation).
+
+Also enforces the docs/ presence contract: ARCHITECTURE.md, ARTIFACTS.md
+and EXTENDING.md must exist.
+
+Usage: python3 tools/check_md_links.py [repo-root]   (default: cwd)
+Exit status: 0 clean, 1 with one "file:line: broken link" per problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REQUIRED_DOCS = ["docs/ARCHITECTURE.md", "docs/ARTIFACTS.md", "docs/EXTENDING.md"]
+SKIP_DIRS = {"build", "build-asan", "build-release", ".git"}
+# Machine-scraped reference material (arxiv extracts), not navigable docs.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        if path.name in SKIP_FILES:
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path):
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            base = root if rel.startswith("/") else path.parent
+            if not (base / rel.lstrip("/")).exists():
+                problems.append(f"{path.relative_to(root)}:{lineno}: broken link '{target}'")
+    return problems
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    problems = [f"missing required doc: {doc}"
+                for doc in REQUIRED_DOCS if not (root / doc).is_file()]
+    checked = 0
+    for path in markdown_files(root):
+        problems.extend(check_file(path, root))
+        checked += 1
+    for problem in problems:
+        print(problem)
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if not problems else f'{len(problems)} problem(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
