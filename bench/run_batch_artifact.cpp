@@ -1,0 +1,168 @@
+// Backend::run_batch gate bench: measures the batched execution hot path
+// against the single-test path on the *same* workload and records the
+// machine-readable BENCH artifact (docs/ARTIFACTS.md).
+//
+// Protocol:
+//   - Battery: `batch` copies of the default seed program under distinct
+//     test ids, so per-test work is identical to the reused-outcome
+//     run_test loop that produced the PR 4 BENCH_baseline.json numbers
+//     (cva6 2393 / rocket 3271 / boom 4496 ns). A mutant-chain battery
+//     would not be comparable: deep mutants run ~5x more cycles.
+//   - Estimator: minimum time/test over `reps` short windows (one batch,
+//     or `batch` back-to-back run_test calls). On shared/noisy machines
+//     the minimum of many short windows is the robust estimate of the
+//     true cost; means and even medians of long windows absorb scheduler
+//     bursts. The matching gbench (BM_BackendRunBatch) cross-checks the
+//     same numbers interactively.
+//
+// Usage:
+//   run_batch_artifact [--batch N] [--reps R] [--json PATH]
+// Defaults: --batch 64 --reps 200 --json BENCH_run_batch.json
+//
+// The acceptance gate for the run_batch PR is speedup_vs_pr4 >= 2.0 for
+// every core at batch >= 64.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "fuzz/backend.hpp"
+#include "soc/cores.hpp"
+
+namespace {
+
+using namespace mabfuzz;
+using Clock = std::chrono::steady_clock;
+
+// PR 4 BENCH_baseline.json after_refactor_ns BM_BackendRunTestReused —
+// the reference the run_batch gate is measured against.
+constexpr double kPr4RunTestNs[] = {2393.0, 3271.0, 4496.0};
+
+struct CoreResult {
+  std::string name;
+  double run_test_ns = 0;   // min time/test, single-test path
+  double run_batch_ns = 0;  // min time/test, batched path
+  double pr4_ns = 0;
+  double speedup_vs_pr4 = 0;
+};
+
+CoreResult measure_core(soc::CoreKind kind, std::size_t batch, int reps) {
+  fuzz::BackendConfig config;
+  config.core = kind;
+  config.bugs = soc::default_bugs(kind);
+  fuzz::Backend backend(config);
+
+  const fuzz::TestCase seed = backend.make_seed();
+  std::vector<fuzz::TestCase> tests;
+  tests.reserve(batch);
+  while (tests.size() < batch) {
+    fuzz::TestCase test = seed;
+    test.id = seed.id + tests.size();
+    tests.push_back(std::move(test));
+  }
+
+  fuzz::TestOutcome one;
+  std::vector<fuzz::TestOutcome> outcomes;
+  // Warm every buffer (decode cache, scratch, arena, outcome vectors).
+  for (std::size_t i = 0; i < batch; ++i) {
+    backend.run_test(seed, one);
+  }
+  backend.run_batch(tests, outcomes);
+
+  double best_single = 1e300;
+  double best_batch = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < batch; ++i) {
+      backend.run_test(seed, one);
+    }
+    const auto t1 = Clock::now();
+    backend.run_batch(tests, outcomes);
+    const auto t2 = Clock::now();
+    const double single =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(batch);
+    const double batched =
+        std::chrono::duration<double, std::nano>(t2 - t1).count() /
+        static_cast<double>(batch);
+    best_single = std::min(best_single, single);
+    best_batch = std::min(best_batch, batched);
+  }
+
+  CoreResult result;
+  result.name = std::string(soc::core_name(kind));
+  result.run_test_ns = best_single;
+  result.run_batch_ns = best_batch;
+  result.pr4_ns = kPr4RunTestNs[static_cast<int>(kind)];
+  result.speedup_vs_pr4 = result.pr4_ns / result.run_batch_ns;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto batch = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, args.get_uint("batch", 64)));
+  const int reps =
+      static_cast<int>(std::max<std::uint64_t>(1, args.get_uint("reps", 200)));
+  const std::string json_path = args.get_string("json", "BENCH_run_batch.json");
+
+  std::vector<CoreResult> results;
+  for (int k = 0; k < 3; ++k) {
+    results.push_back(measure_core(static_cast<soc::CoreKind>(k), batch, reps));
+  }
+
+  bool gate_ok = true;
+  std::cout << "run_batch gate (batch=" << batch << ", min over " << reps
+            << " windows, time/test):\n";
+  for (const CoreResult& r : results) {
+    std::cout << "  " << r.name << ": run_test " << r.run_test_ns
+              << " ns, run_batch " << r.run_batch_ns << " ns, PR4 baseline "
+              << r.pr4_ns << " ns -> " << r.speedup_vs_pr4 << "x\n";
+    gate_ok = gate_ok && r.speedup_vs_pr4 >= 2.0;
+  }
+  std::cout << "gate (>= 2x on every core): " << (gate_ok ? "PASS" : "FAIL")
+            << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: failed writing '" << json_path << "'\n";
+      return 1;
+    }
+    common::JsonWriter json(out);
+    json.begin_object();
+    json.key("schema").value("mabfuzz-bench-run-batch-v1");
+    json.key("bench").value(
+        "run_batch_artifact: seed-program battery under distinct ids; "
+        "min time/test over short windows (see bench/run_batch_artifact.cpp)");
+    json.key("batch").value(static_cast<std::uint64_t>(batch));
+    json.key("reps").value(static_cast<std::uint64_t>(reps));
+    json.key("pr4_reference").value(
+        "BENCH_baseline.json after_refactor_ns BM_BackendRunTestReused");
+    json.key("gate").value("run_batch time/test >= 2x faster than PR 4 "
+                           "run_test on every core");
+    json.key("gate_pass").value(gate_ok);
+    json.key("cores").begin_array();
+    for (const CoreResult& r : results) {
+      json.begin_object();
+      json.key("core").value(r.name);
+      json.key("run_test_ns").value(r.run_test_ns);
+      json.key("run_batch_ns").value(r.run_batch_ns);
+      json.key("pr4_run_test_ns").value(r.pr4_ns);
+      json.key("speedup_vs_pr4").value(r.speedup_vs_pr4);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+#pragma once
+// Monotonic chunked bump allocator: the batch-lifetime staging store
+// behind fuzz::Backend::run_batch. All allocations share one lifetime —
+// reset() rewinds the whole arena in O(chunks) while *retaining* the
+// chunk storage, so a steady-state batch loop (allocate during the batch,
+// reset between batches) performs no heap traffic at all after warmup.
+//
+// Ownership rules (docs/ARCHITECTURE.md, "Batched execution"):
+//  - The arena owns every byte it hands out; callers never free.
+//  - Allocated objects must be trivially destructible (alloc_span enforces
+//    this): reset() rewinds without running destructors.
+//  - reset() invalidates every outstanding pointer/span at once. Nothing
+//    allocated from an arena may outlive the next reset() — staged batch
+//    data must be materialised into caller-owned buffers first.
+//
+// Not thread-safe: one arena per execution context, like the rest of the
+// backend scratch state.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace mabfuzz::common {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Raw allocation of `bytes` aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)). Zero-byte requests return a non-null
+  /// pointer without consuming space.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) {
+      return this;  // any non-null pointer; never dereferenced
+    }
+    total_requested_ += bytes;
+    while (active_ < chunks_.size()) {
+      Chunk& chunk = chunks_[active_];
+      const std::size_t aligned = (chunk.used + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= chunk.size) {
+        chunk.used = aligned + bytes;
+        return chunk.data.get() + aligned;
+      }
+      ++active_;
+    }
+    // No retained chunk fits: grow by at least one chunk_bytes_ block
+    // (oversized requests get a dedicated chunk).
+    const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size, bytes});
+    active_ = chunks_.size() - 1;
+    return chunks_.back().data.get();
+  }
+
+  /// Typed contiguous block of `count` value-initialised Ts. T must be
+  /// trivially destructible — reset() never runs destructors.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    if (count == 0) {
+      return {};
+    }
+    void* raw = allocate(count * sizeof(T), alignof(T));
+    T* first = new (raw) T[count]();
+    return {first, count};
+  }
+
+  /// Rewinds the arena: every outstanding allocation is invalidated, all
+  /// chunk storage is retained for reuse.
+  void reset() noexcept {
+    for (Chunk& chunk : chunks_) {
+      chunk.used = 0;
+    }
+    active_ = 0;
+    total_requested_ = 0;
+  }
+
+  /// Frees the chunk storage itself (memory-pressure escape hatch).
+  void release() noexcept {
+    chunks_.clear();
+    active_ = 0;
+    total_requested_ = 0;
+  }
+
+  /// Bytes handed out since the last reset() (excluding alignment padding).
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept {
+    return total_requested_;
+  }
+
+  /// Total bytes of retained chunk storage.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) {
+      total += chunk.size;
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // first chunk allocate() tries
+  std::size_t total_requested_ = 0;
+};
+
+/// std-compatible allocator adapter over an Arena (deallocate is a no-op;
+/// the arena reclaims everything on reset). Containers using this must not
+/// outlive the next reset() of the underlying arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    return static_cast<T*>(arena_->allocate(count * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator<U>& b) noexcept {
+    return a.arena_ == b.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace mabfuzz::common

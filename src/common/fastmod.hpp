@@ -1,0 +1,65 @@
+#pragma once
+// Exact modulo by a runtime-invariant divisor without the hardware divide.
+// The substrate's coverage bucketing (`hash % buckets`) runs several times
+// per simulated instruction with bucket counts fixed at construction; for
+// non-power-of-two counts (CVA6's 12/24, BOOM's 12/24) the idiv dominates
+// the hashing it serves. This precomputes the divisor's reciprocal once
+// and reduces with multiplies instead — Lemire, Kaser & Kurz, "Faster
+// remainder by direct computation" (2019), widened to 128-bit so any
+// 64-bit dividend is exact for divisors below 2^32.
+//
+// Bit-for-bit identical to `%` (tests/test_common.cpp locks this in), so
+// coverage semantics — and therefore campaign artifacts — are unchanged.
+
+#include <bit>
+#include <cstdint>
+
+namespace mabfuzz::common {
+
+class FastMod {
+  __extension__ using Uint128 = unsigned __int128;
+
+ public:
+  /// divisor must be >= 1 and < 2^32 (the exactness bound n*divisor < 2^128
+  /// then holds for every 64-bit dividend). divisor == 0 is tolerated and
+  /// reduces everything to 0 (callers would have UB with `%` anyway).
+  constexpr FastMod() = default;
+  explicit constexpr FastMod(std::uint64_t divisor) : d_(divisor) {
+    if (std::has_single_bit(d_)) {
+      mask_ = d_ - 1;  // includes d == 1 (mask 0)
+    } else if (d_ > 1) {
+      pow2_ = false;
+      // ceil(2^128 / d): exact because a non-power-of-two never divides
+      // 2^128.
+      magic_ = ~Uint128{0} / d_ + 1;
+    }
+  }
+
+  /// n % divisor, without a divide instruction.
+  [[nodiscard]] constexpr std::uint64_t operator()(std::uint64_t n) const noexcept {
+    if (pow2_) {
+      return n & mask_;
+    }
+    // frac holds the fractional part of n/d in 128-bit fixed point;
+    // multiplying it back by d and taking the integer part recovers n % d.
+    const Uint128 frac = magic_ * n;
+    const auto lo = static_cast<std::uint64_t>(frac);
+    const auto hi = static_cast<std::uint64_t>(frac >> 64);
+    // (frac * d) >> 128, composed from 64x64->128 multiplies. Dropping the
+    // low word of lo*d before the shift cannot lose a carry: it only ever
+    // contributes below bit 128.
+    const Uint128 sum =
+        static_cast<Uint128>(hi) * d_ + ((static_cast<Uint128>(lo) * d_) >> 64);
+    return static_cast<std::uint64_t>(sum >> 64);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t divisor() const noexcept { return d_; }
+
+ private:
+  std::uint64_t d_ = 1;
+  std::uint64_t mask_ = 0;
+  Uint128 magic_ = 0;
+  bool pow2_ = true;
+};
+
+}  // namespace mabfuzz::common

@@ -53,6 +53,11 @@ void RunningStats::merge(const RunningStats& other) noexcept {
 namespace {
 
 double percentile_sorted(std::span<const double> sorted, double p) {
+  // Guard before the size()-1 rank math: on an empty span it would wrap to
+  // SIZE_MAX and index out of bounds.
+  if (sorted.empty()) {
+    return 0.0;
+  }
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -23,6 +23,7 @@
 #include "core/reward.hpp"
 #include "fuzz/backend.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "fuzz/spec_block.hpp"
 #include "mab/bandit.hpp"
 
 namespace mabfuzz::fuzz {
@@ -50,6 +51,10 @@ struct MabFuzzConfig {
   /// is offered to it; the corpus's novelty gate decides admission. Null =
   /// no persistence.
   std::shared_ptr<fuzz::Corpus> corpus;
+  /// Execution block size: >1 speculatively runs the selected arm's next
+  /// queued tests through Backend::run_batch, serving cached outcomes on
+  /// later pulls of the same arm. Byte-identical to 1 (fuzz/spec_block.hpp).
+  std::size_t exec_batch = 1;
 };
 
 class MabScheduler final : public fuzz::Fuzzer {
@@ -79,6 +84,7 @@ class MabScheduler final : public fuzz::Fuzzer {
   fuzz::TestCase make_fresh_seed(std::size_t arm_index);
 
   std::vector<Arm> arms_;
+  std::vector<fuzz::SpecBlock> spec_;  // per arm; used when exec_batch > 1
   std::vector<unsigned> pending_seed_length_;  // per arm; 0 = no feedback due
   coverage::Accumulator global_;
   fuzz::TestOutcome outcome_;  // reused across steps (backend scratch swap)

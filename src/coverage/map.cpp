@@ -24,19 +24,6 @@ void Map::resize(std::size_t num_points) {
   words_.assign(words_for(num_points), 0);
 }
 
-void Map::set(PointId id) noexcept {
-  if (id < num_points_) {
-    words_[id / kWordBits] |= 1ULL << (id % kWordBits);
-  }
-}
-
-bool Map::test(PointId id) const noexcept {
-  if (id >= num_points_) {
-    return false;
-  }
-  return (words_[id / kWordBits] >> (id % kWordBits)) & 1ULL;
-}
-
 std::size_t Map::count() const noexcept {
   std::size_t total = 0;
   for (const std::uint64_t w : words_) {
@@ -98,15 +85,6 @@ void Map::assign_words(std::size_t num_points,
   }
   num_points_ = num_points;
   words_.assign(words.begin(), words.end());
-}
-
-bool Map::any() const noexcept {
-  for (const std::uint64_t w : words_) {
-    if (w != 0) {
-      return true;
-    }
-  }
-  return false;
 }
 
 std::size_t Accumulator::absorb(const Map& test_map) {

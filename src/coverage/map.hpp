@@ -22,8 +22,20 @@ class Map {
   void resize(std::size_t num_points);
   [[nodiscard]] std::size_t universe() const noexcept { return num_points_; }
 
-  void set(PointId id) noexcept;
-  [[nodiscard]] bool test(PointId id) const noexcept;
+  // set/test/any are defined inline: set() alone runs hundreds of times
+  // per simulated instruction via Context::hit, so the call must not cross
+  // a translation-unit boundary.
+  void set(PointId id) noexcept {
+    if (id < num_points_) {
+      words_[id / 64] |= 1ULL << (id % 64);
+    }
+  }
+  [[nodiscard]] bool test(PointId id) const noexcept {
+    if (id >= num_points_) {
+      return false;
+    }
+    return (words_[id / 64] >> (id % 64)) & 1ULL;
+  }
 
   /// Population count.
   [[nodiscard]] std::size_t count() const noexcept;
@@ -44,7 +56,14 @@ class Map {
 
   /// True when at least one bit is set; returns at the first nonzero word
   /// instead of popcounting the whole map.
-  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool any() const noexcept {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
   [[nodiscard]] bool empty() const noexcept { return !any(); }
 
   /// Becomes a copy of `other`, reusing this map's existing word storage

@@ -1,5 +1,7 @@
 #include "fuzz/backend.hpp"
 
+#include <algorithm>
+
 namespace mabfuzz::fuzz {
 
 Backend::Backend(const BackendConfig& config)
@@ -18,13 +20,17 @@ TestOutcome Backend::run_test(const TestCase& test) {
   return outcome;
 }
 
-void Backend::run_test(const TestCase& test, TestOutcome& out) {
+void Backend::execute_into_scratch(const TestCase& test) {
   ++tests_executed_;
   // One shared decode cache serves both simulators: the pipeline's fetches
   // warm entries the ISS reuses (and vice versa on trap-handler detours).
   scratch_.decoded.build(test.words);
   dut_.run(test.words, scratch_.decoded, scratch_.dut_out);
   golden_.run(test.words, scratch_.decoded, scratch_.golden_out);
+}
+
+void Backend::run_test(const TestCase& test, TestOutcome& out) {
+  execute_into_scratch(test);
 
   // Swap, don't copy: the outcome takes this test's buffers; the scratch
   // takes the caller's previous ones, recycled on the next run.
@@ -39,6 +45,64 @@ void Backend::run_test(const TestCase& test, TestOutcome& out) {
     out.mismatch = true;
     out.mismatch_description = mismatch->description;
     out.mismatch_commit = mismatch->commit_index;
+  }
+}
+
+void Backend::run_batch(std::span<const TestCase> tests,
+                        std::vector<TestOutcome>& out) {
+  out.resize(tests.size());
+  common::Arena& arena = scratch_.batch_arena;
+  arena.reset();
+
+  // Per-member ledger: everything a batch member produced except its
+  // coverage map stages in the arena until the materialisation pass. The
+  // commit log itself stays in the recycled scratch trace (TestOutcome
+  // carries only its length); firings and the mismatch description are
+  // batch-lifetime arena spans.
+  struct Staged {
+    std::span<soc::BugFiring> firings;
+    std::span<char> description;
+    std::uint64_t dut_cycles = 0;
+    std::size_t commits = 0;
+    std::size_t mismatch_commit = 0;
+    bool mismatch = false;
+  };
+  const std::span<Staged> staged = arena.alloc_span<Staged>(tests.size());
+
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    execute_into_scratch(tests[i]);
+    Staged& s = staged[i];
+
+    // Coverage maps are universe-sized bitmaps, so they swap member-locally
+    // (each out[i] keeps recycling its own buffer across batches) instead
+    // of staging a copy.
+    out[i].coverage.swap(scratch_.dut_out.test_coverage);
+
+    s.firings = arena.alloc_span<soc::BugFiring>(scratch_.dut_out.firings.size());
+    std::copy(scratch_.dut_out.firings.begin(), scratch_.dut_out.firings.end(),
+              s.firings.begin());
+    s.dut_cycles = scratch_.dut_out.cycles;
+    s.commits = scratch_.dut_out.arch.commits.size();
+    if (const auto mismatch =
+            compare(scratch_.dut_out.arch, scratch_.golden_out)) {
+      s.mismatch = true;
+      s.mismatch_commit = mismatch->commit_index;
+      s.description = arena.alloc_span<char>(mismatch->description.size());
+      std::copy(mismatch->description.begin(), mismatch->description.end(),
+                s.description.begin());
+    }
+  }
+
+  // Materialise the ledger into the caller's (recycled) outcome buffers.
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    TestOutcome& o = out[i];
+    const Staged& s = staged[i];
+    o.firings.assign(s.firings.begin(), s.firings.end());
+    o.dut_cycles = s.dut_cycles;
+    o.commits = s.commits;
+    o.mismatch = s.mismatch;
+    o.mismatch_description.assign(s.description.begin(), s.description.end());
+    o.mismatch_commit = s.mismatch_commit;
   }
 }
 

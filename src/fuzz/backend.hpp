@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "coverage/map.hpp"
 #include "fuzz/oracle.hpp"
@@ -57,6 +59,11 @@ struct ExecutionContext {
   isa::DecodedProgram decoded;
   soc::RunOutput dut_out;
   isa::ArchResult golden_out;
+  /// Batch-lifetime staging store for run_batch: firing records, mismatch
+  /// descriptions and the per-member ledger for a whole batch live here
+  /// contiguously, rewound (storage retained) at the start of every batch.
+  /// See common/arena.hpp for the ownership rules.
+  common::Arena batch_arena;
 };
 
 class Backend {
@@ -71,6 +78,17 @@ class Backend {
   /// backend scratch, so a caller that reuses one TestOutcome across steps
   /// allocates nothing per test.
   void run_test(const TestCase& test, TestOutcome& out);
+
+  /// Batched execution: runs every test in `tests` and fills `out` (resized
+  /// to match, one TestOutcome per test, index-aligned). Outcomes are
+  /// bit-identical to sequential run_test calls in the same order — the
+  /// RunBatchEquivalence suite locks this in — but the per-test overhead is
+  /// amortised across the block: one shared decode cache stays warm across
+  /// members, per-member firing records and mismatch descriptions stage in
+  /// the ExecutionContext's batch arena (a single allocation lifetime for
+  /// the whole batch), and a caller that reuses one outcome vector across
+  /// batches recycles every coverage buffer in place.
+  void run_batch(std::span<const TestCase> tests, std::vector<TestOutcome>& out);
 
   /// Fresh random seed test (ids assigned by this backend).
   [[nodiscard]] TestCase make_seed();
@@ -106,6 +124,9 @@ class Backend {
   }
 
  private:
+  /// Shared run_test/run_batch body: simulate on both models into scratch_.
+  void execute_into_scratch(const TestCase& test);
+
   BackendConfig config_;
   soc::Pipeline dut_;
   golden::Iss golden_;

@@ -47,6 +47,11 @@ struct PolicyConfig {
   std::size_t arm_pool_cap = 1024;
   bool feed_operator_rewards = true;
 
+  /// Execution block size shared by every batching-aware policy: >1 routes
+  /// execution through Backend::run_batch (speculating over the FIFO pool
+  /// lookahead; see fuzz/spec_block.hpp), byte-identical to the default 1.
+  std::size_t exec_batch = 1;
+
   /// Baseline parameters (mutants_per_interesting above wins, keeping the
   /// mutant burst identical across policies — the paper's control).
   TheHuzzConfig thehuzz{};

@@ -1,0 +1,78 @@
+#pragma once
+// Speculative execution block: the bridge between a FIFO test pool and
+// Backend::run_batch. Schedulers pull one test per step, but run_test's
+// per-call overhead is amortised best in blocks — so a scheduler *peeks*
+// (never pops) the next few queued tests, runs them through run_batch
+// once, and serves the cached outcome as each test is actually popped.
+//
+// Why this preserves byte-identical campaigns: run_test is a pure
+// function of the test's words (no RNG is consumed by execution), and
+// peeking leaves the pool's push/pop/drop dynamics untouched. Outcomes
+// are keyed by test id; consumption is monotone in staging order because
+// pools are FIFO and the cap drops oldest-first, so a popped test either
+// matches the block (its staged outcome is moved out) or invalidates the
+// remainder (the next take() miss makes the caller restage from the
+// current queue front). Tests that were staged but then dropped by the
+// pool cap are simply skipped over — wasted simulation, no semantic
+// effect. The RunBatchEquivalence and determinism suites lock this in.
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/backend.hpp"
+#include "fuzz/test_case.hpp"
+
+namespace mabfuzz::fuzz {
+
+class SpecBlock {
+ public:
+  /// Starts a new block: clears the previous one and returns the staging
+  /// vector for the caller to fill (member 0 should be the test the
+  /// caller just popped, followed by pool peeks in queue order).
+  std::vector<TestCase>& begin_refill() {
+    staged_.clear();
+    next_ = 0;
+    return staged_;
+  }
+
+  /// Executes the staged tests in one run_batch call.
+  void run(Backend& backend) {
+    backend.run_batch(staged_, outcomes_);
+    next_ = 0;
+  }
+
+  /// Moves the cached outcome for `id` into `out` (swap — `out`'s old
+  /// buffers are recycled into the block). False on miss; a miss means
+  /// the block is stale and the caller must begin_refill() + run().
+  /// Skipped-over entries (pool-cap drops) are discarded permanently.
+  bool take(std::uint64_t id, TestOutcome& out) {
+    while (next_ < staged_.size() && staged_[next_].id != id) {
+      ++next_;  // staged test was dropped by the pool cap; never requested
+    }
+    if (next_ >= staged_.size()) {
+      return false;
+    }
+    std::swap(out, outcomes_[next_]);
+    ++next_;
+    return true;
+  }
+
+  /// Drops all cached outcomes (e.g. when the pool they speculate over is
+  /// replaced wholesale by an arm reset).
+  void clear() noexcept {
+    staged_.clear();
+    next_ = 0;
+  }
+
+  /// Unconsumed outcomes still cached.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return staged_.size() - next_;
+  }
+
+ private:
+  std::vector<TestCase> staged_;       // block members, batch order
+  std::vector<TestOutcome> outcomes_;  // index-aligned with staged_
+  std::size_t next_ = 0;               // first unconsumed entry
+};
+
+}  // namespace mabfuzz::fuzz

@@ -104,11 +104,11 @@ void Iss::load(const std::vector<Word>& program) {
   // Dirty-region reset: only the pages the previous test touched are
   // zeroed (observationally identical to a full clear).
   memory_.reset();
-  memory_.write_words(isa::kHandlerBase, isa::assemble(isa::trap_handler_stub()));
+  memory_.write_words(isa::kHandlerBase, isa::assembled_trap_handler());
   memory_.write_words(isa::kProgramBase, program);
   sentinel_pc_ = isa::kProgramBase + program.size() * 4;
   // End-of-test sentinel: jal x0, 0 (self-loop); the run halts on reaching it.
-  memory_.store(sentinel_pc_, isa::encode_or_die(isa::jal(0, 0)), 4);
+  memory_.store(sentinel_pc_, isa::halt_sentinel_word(), 4);
 }
 
 void Iss::write_reg(isa::RegIndex rd, std::uint64_t value, CommitRecord& record) noexcept {

@@ -20,59 +20,6 @@ Memory::Memory(std::uint64_t base, std::uint64_t size)
                  kPageWordBits,
              0) {}
 
-bool Memory::contains(std::uint64_t addr, unsigned bytes) const noexcept {
-  addr &= isa::kPhysAddrMask;
-  if (addr < base_) {
-    return false;
-  }
-  const std::uint64_t offset = addr - base_;
-  return offset <= bytes_.size() && bytes <= bytes_.size() - offset;
-}
-
-std::optional<std::uint64_t> Memory::load(std::uint64_t addr,
-                                          unsigned bytes) const noexcept {
-  addr &= isa::kPhysAddrMask;
-  if (bytes == 0 || bytes > 8 || !contains(addr, bytes)) {
-    return std::nullopt;
-  }
-  const std::uint64_t offset = addr - base_;
-  std::uint64_t value = 0;
-  for (unsigned i = 0; i < bytes; ++i) {
-    value |= static_cast<std::uint64_t>(bytes_[offset + i]) << (8 * i);
-  }
-  return value;
-}
-
-void Memory::mark_dirty(std::uint64_t first_offset,
-                        std::uint64_t last_offset) noexcept {
-  const std::uint64_t first_page = first_offset / kPageBytes;
-  const std::uint64_t last_page = last_offset / kPageBytes;
-  for (std::uint64_t page = first_page; page <= last_page; ++page) {
-    dirty_[page / kPageWordBits] |= 1ULL << (page % kPageWordBits);
-  }
-}
-
-bool Memory::store(std::uint64_t addr, std::uint64_t value, unsigned bytes) noexcept {
-  addr &= isa::kPhysAddrMask;
-  if (bytes == 0 || bytes > 8 || !contains(addr, bytes)) {
-    return false;
-  }
-  const std::uint64_t offset = addr - base_;
-  for (unsigned i = 0; i < bytes; ++i) {
-    bytes_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
-  }
-  mark_dirty(offset, offset + bytes - 1);
-  return true;
-}
-
-std::optional<isa::Word> Memory::fetch(std::uint64_t addr) const noexcept {
-  const auto value = load(addr, 4);
-  if (!value) {
-    return std::nullopt;
-  }
-  return static_cast<isa::Word>(*value);
-}
-
 bool Memory::write_words(std::uint64_t addr, const std::vector<isa::Word>& words) noexcept {
   const std::uint64_t span = static_cast<std::uint64_t>(words.size()) * 4;
   if (addr < base_ || addr - base_ > bytes_.size() ||

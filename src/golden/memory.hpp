@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "isa/fields.hpp"
+#include "isa/platform.hpp"
 
 namespace mabfuzz::golden {
 
@@ -33,18 +34,57 @@ class Memory {
   [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
   [[nodiscard]] std::uint64_t size() const noexcept { return bytes_.size(); }
 
+  // contains/load/store/fetch are defined inline: both simulators issue
+  // one or more of these per executed instruction, so the calls must not
+  // cross a translation-unit boundary.
+
   /// True when [addr, addr + bytes) lies fully inside the RAM.
-  [[nodiscard]] bool contains(std::uint64_t addr, unsigned bytes) const noexcept;
+  [[nodiscard]] bool contains(std::uint64_t addr, unsigned bytes) const noexcept {
+    addr &= isa::kPhysAddrMask;
+    if (addr < base_) {
+      return false;
+    }
+    const std::uint64_t offset = addr - base_;
+    return offset <= bytes_.size() && bytes <= bytes_.size() - offset;
+  }
 
   /// Little-endian load of 1/2/4/8 bytes; nullopt when out of range.
   [[nodiscard]] std::optional<std::uint64_t> load(std::uint64_t addr,
-                                                  unsigned bytes) const noexcept;
+                                                  unsigned bytes) const noexcept {
+    addr &= isa::kPhysAddrMask;
+    if (bytes == 0 || bytes > 8 || !contains(addr, bytes)) {
+      return std::nullopt;
+    }
+    const std::uint64_t offset = addr - base_;
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+      value |= static_cast<std::uint64_t>(bytes_[offset + i]) << (8 * i);
+    }
+    return value;
+  }
 
   /// Little-endian store; false when out of range (nothing written).
-  bool store(std::uint64_t addr, std::uint64_t value, unsigned bytes) noexcept;
+  bool store(std::uint64_t addr, std::uint64_t value, unsigned bytes) noexcept {
+    addr &= isa::kPhysAddrMask;
+    if (bytes == 0 || bytes > 8 || !contains(addr, bytes)) {
+      return false;
+    }
+    const std::uint64_t offset = addr - base_;
+    for (unsigned i = 0; i < bytes; ++i) {
+      bytes_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    mark_dirty(offset, offset + bytes - 1);
+    return true;
+  }
 
   /// Instruction fetch (4-byte aligned load); nullopt when out of range.
-  [[nodiscard]] std::optional<isa::Word> fetch(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::optional<isa::Word> fetch(std::uint64_t addr) const noexcept {
+    const auto value = load(addr, 4);
+    if (!value) {
+      return std::nullopt;
+    }
+    return static_cast<isa::Word>(*value);
+  }
 
   /// Writes a program image (consecutive words) starting at `addr`;
   /// false when it does not fit.
@@ -62,7 +102,13 @@ class Memory {
   [[nodiscard]] std::size_t dirty_pages() const noexcept;
 
  private:
-  void mark_dirty(std::uint64_t first_offset, std::uint64_t last_offset) noexcept;
+  void mark_dirty(std::uint64_t first_offset, std::uint64_t last_offset) noexcept {
+    const std::uint64_t first_page = first_offset / kPageBytes;
+    const std::uint64_t last_page = last_offset / kPageBytes;
+    for (std::uint64_t page = first_page; page <= last_page; ++page) {
+      dirty_[page / 64] |= 1ULL << (page % 64);
+    }
+  }
 
   std::uint64_t base_;
   std::vector<std::uint8_t> bytes_;

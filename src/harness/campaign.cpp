@@ -174,6 +174,11 @@ constexpr ConfigKey kConfigKeys[] = {
      [](CampaignConfig& c, std::string_view v) {
        c.policy.arm_pool_cap = parse_u64("pool-cap", v);
      }},
+    {"exec-batch", "execution block size for Backend::run_batch; 1 = unbatched",
+     [](CampaignConfig& c, std::string_view v) {
+       const std::uint64_t n = parse_u64("exec-batch", v);
+       c.policy.exec_batch = n == 0 ? 1 : n;
+     }},
     {"initial-seeds", "TheHuzz initial seed count",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.thehuzz.initial_seeds =

@@ -51,16 +51,24 @@ CoverageCurve measure_coverage_multi(CampaignConfig config,
                                " failed: " + trial.error);
     }
   }
-  return result.find_cell(fuzzer)->mean_curve;
+  const CellStats* cell = result.find_cell(fuzzer);
+  if (cell == nullptr) {
+    throw std::runtime_error(
+        "measure_coverage_multi: experiment produced no result cell for "
+        "fuzzer '" +
+        fuzzer + "'");
+  }
+  return cell->mean_curve;
 }
 
-std::uint64_t tests_to_reach(const CoverageCurve& curve, double target) {
+std::optional<std::uint64_t> tests_to_reach(const CoverageCurve& curve,
+                                            double target) {
   for (std::size_t i = 0; i < curve.grid.size(); ++i) {
     if (curve.covered[i] >= target) {
       return curve.grid[i];
     }
   }
-  return 0;
+  return std::nullopt;
 }
 
 double coverage_speedup(const CoverageCurve& baseline,
@@ -70,16 +78,20 @@ double coverage_speedup(const CoverageCurve& baseline,
   }
   const double target = baseline.final_covered;
   const std::uint64_t baseline_tests = baseline.grid.back();
-  const std::uint64_t candidate_tests = tests_to_reach(candidate, target);
-  if (candidate_tests == 0) {
+  const std::optional<std::uint64_t> candidate_tests =
+      tests_to_reach(candidate, target);
+  if (!candidate_tests) {
     // Candidate never reached the baseline's final coverage: speedup < 1,
     // lower-bounded by assuming it would get there right after the run.
     const double candidate_final =
         candidate.final_covered > 0 ? candidate.final_covered : 1.0;
     return candidate_final / (target > 0 ? target : 1.0);
   }
+  // A sample point of 0 tests (target already satisfied before any test)
+  // counts as 1 so the ratio stays finite.
+  const std::uint64_t reached_at = *candidate_tests > 0 ? *candidate_tests : 1;
   return static_cast<double>(baseline_tests) /
-         static_cast<double>(candidate_tests);
+         static_cast<double>(reached_at);
 }
 
 double coverage_increment_percent(const CoverageCurve& baseline,

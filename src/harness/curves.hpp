@@ -10,6 +10,7 @@
 // Curves are built from the Campaign's per-batch snapshots.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "harness/campaign.hpp"
@@ -37,9 +38,12 @@ struct CoverageCurve {
                                                    std::uint64_t sample_every,
                                                    std::uint64_t runs);
 
-/// First test count at which `curve` reaches `target` coverage;
-/// returns 0 when never reached.
-[[nodiscard]] std::uint64_t tests_to_reach(const CoverageCurve& curve, double target);
+/// First test count at which `curve` reaches `target` coverage, or
+/// std::nullopt when the curve never reaches it. (A returned 0 is a real
+/// sample point — e.g. a target of 0 satisfied before any test — not a
+/// "never reached" sentinel.)
+[[nodiscard]] std::optional<std::uint64_t> tests_to_reach(
+    const CoverageCurve& curve, double target);
 
 /// Fig. 4 left axis: speedup of `candidate` over `baseline`.
 [[nodiscard]] double coverage_speedup(const CoverageCurve& baseline,

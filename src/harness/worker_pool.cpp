@@ -7,8 +7,6 @@
 #include <optional>
 #include <thread>
 
-#include "common/log.hpp"
-
 namespace mabfuzz::harness {
 
 namespace {
@@ -67,12 +65,12 @@ PoolReport run_indexed(std::uint64_t tasks, unsigned workers,
           return;
         }
         const std::uint64_t end = std::min(tasks, begin + chunk);
+        // No per-task logging here: this is the pool's hot loop, and a
+        // debug line per task serialises the workers on the logger's lock.
         for (std::uint64_t i = begin; i < end; ++i) {
           if (auto failure = run_one(fn, i)) {
             const std::scoped_lock lock(failures_mutex);
             report.failures.push_back(std::move(*failure));
-          } else {
-            MABFUZZ_DEBUG() << "task " << i << " finished";
           }
         }
       }

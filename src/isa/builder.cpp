@@ -1,5 +1,8 @@
 #include "isa/builder.hpp"
 
+#include "isa/encoder.hpp"
+#include "isa/platform.hpp"
+
 namespace mabfuzz::isa {
 
 namespace {
@@ -133,6 +136,16 @@ std::vector<Word> assemble(const std::vector<Instruction>& program) {
     words.push_back(encode_or_die(instr));
   }
   return words;
+}
+
+const std::vector<Word>& assembled_trap_handler() {
+  static const std::vector<Word> words = assemble(trap_handler_stub());
+  return words;
+}
+
+Word halt_sentinel_word() {
+  static const Word word = encode_or_die(jal(0, 0));
+  return word;
 }
 
 }  // namespace mabfuzz::isa

@@ -83,6 +83,16 @@ inline std::vector<Instruction> trap_handler_stub() {
   };
 }
 
+/// The stub's encoded words, assembled once per process and shared by
+/// every loader (soc::Pipeline::cold_reset and golden::Iss::load install
+/// the handler image at kHandlerBase on every test, so re-encoding it per
+/// test is pure fixed cost on the execution hot path).
+[[nodiscard]] const std::vector<Word>& assembled_trap_handler();
+
+/// The encoded `jal x0, 0` self-loop word the loaders place after the
+/// program image as the halt sentinel.
+[[nodiscard]] Word halt_sentinel_word();
+
 /// Upper bound on executed instructions per test (straight-line programs
 /// plus trap-handler detours; also bounds accidental loops formed by
 /// mutated backward branches).

@@ -1,5 +1,7 @@
 #include "soc/cache.hpp"
 
+#include <bit>
+#include <stdexcept>
 #include <string>
 
 #include "isa/platform.hpp"
@@ -8,12 +10,26 @@ namespace mabfuzz::soc {
 
 namespace {
 constexpr std::uint32_t kLruMax = 0xffffffffu;
+
+unsigned log2_or_throw(unsigned value, const char* what) {
+  if (value == 0 || !std::has_single_bit(value)) {
+    throw std::invalid_argument(std::string("CacheParams::") + what + " = " +
+                                std::to_string(value) +
+                                " must be a power of two");
+  }
+  return static_cast<unsigned>(std::countr_zero(value));
+}
 }  // namespace
 
 // --- InstructionCache -------------------------------------------------------
 
 InstructionCache::InstructionCache(const CacheParams& params, coverage::Context& ctx)
-    : params_(params), lines_(params.sets * params.ways) {
+    : params_(params),
+      line_shift_(log2_or_throw(params.line_bytes, "line_bytes")),
+      set_shift_(log2_or_throw(params.sets, "sets")),
+      set_mask_(params.sets - 1),
+      lines_(params.sets * params.ways) {
+  touched_.reserve(lines_.size());
   auto& reg = ctx.registry();
   cov_hit_ = reg.add_array("icache/hit_set", params_.sets);
   cov_miss_ = reg.add_array("icache/miss_set", params_.sets);
@@ -23,16 +39,19 @@ InstructionCache::InstructionCache(const CacheParams& params, coverage::Context&
 }
 
 void InstructionCache::reset() noexcept {
-  for (Line& line : lines_) {
-    line = Line{};
+  // Only lines filled since the last reset can differ from Line{} in any
+  // observable way (valid gates hits; a fill rewrites tag and lru).
+  for (const std::uint32_t index : touched_) {
+    lines_[index] = Line{};
   }
+  touched_.clear();
   lru_clock_ = 0;
 }
 
 bool InstructionCache::access(std::uint64_t addr, coverage::Context& ctx) {
-  const std::uint64_t line_no = addr / params_.line_bytes;
-  const unsigned set = static_cast<unsigned>(line_no % params_.sets);
-  const std::uint64_t tag = line_no / params_.sets;
+  const std::uint64_t line_no = addr >> line_shift_;
+  const unsigned set = static_cast<unsigned>(line_no & set_mask_);
+  const std::uint64_t tag = line_no >> set_shift_;
   Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
 
   ++lru_clock_;
@@ -61,6 +80,10 @@ bool InstructionCache::access(std::uint64_t addr, coverage::Context& ctx) {
   }
   if (base[victim].valid) {
     ctx.hit(cov_evict_, set);
+  } else {
+    touched_.push_back(
+        static_cast<std::uint32_t>(static_cast<std::size_t>(set) * params_.ways +
+                                   victim));
   }
   base[victim] = Line{true, tag, lru_clock_};
   ctx.hit(cov_fill_, static_cast<std::size_t>(set) * params_.ways + victim);
@@ -68,19 +91,28 @@ bool InstructionCache::access(std::uint64_t addr, coverage::Context& ctx) {
 }
 
 void InstructionCache::invalidate_all(coverage::Context& ctx) noexcept {
-  for (Line& line : lines_) {
-    line.valid = false;
+  // An invalid line's tag/lru are unobservable, so clearing only the valid
+  // bits of touched lines is equivalent to a full sweep. The touched list
+  // empties: a later fill of the same frame re-registers it.
+  for (const std::uint32_t index : touched_) {
+    lines_[index].valid = false;
   }
+  touched_.clear();
   ctx.hit(cov_flush_);
 }
 
 // --- DataCache --------------------------------------------------------------
 
 DataCache::DataCache(const CacheParams& params, coverage::Context& ctx)
-    : params_(params), lines_(params.sets * params.ways) {
-  for (Line& line : lines_) {
-    line.data.resize(params_.line_bytes, 0);
-  }
+    : params_(params),
+      line_shift_(log2_or_throw(params.line_bytes, "line_bytes")),
+      set_shift_(log2_or_throw(params.sets, "sets")),
+      set_mask_(params.sets - 1),
+      offset_mask_(params.line_bytes - 1),
+      lines_(params.sets * params.ways),
+      data_(static_cast<std::size_t>(params.sets) * params.ways * params.line_bytes,
+            0) {
+  touched_.reserve(lines_.size());
   auto& reg = ctx.registry();
   cov_read_hit_ = reg.add_array("dcache/read_hit_set", params_.sets);
   cov_read_miss_ = reg.add_array("dcache/read_miss_set", params_.sets);
@@ -93,46 +125,45 @@ DataCache::DataCache(const CacheParams& params, coverage::Context& ctx)
 }
 
 void DataCache::reset() noexcept {
-  for (Line& line : lines_) {
-    line.valid = false;
-    line.dirty = false;
-    line.tag = 0;
-    line.lru = 0;
+  // Invalid lines are unobservable (valid gates find/snoop; a fill
+  // overwrites the whole line's data before any byte is read), so only
+  // lines filled since the last reset need their state cleared.
+  for (const std::uint32_t index : touched_) {
+    lines_[index] = Line{};
   }
+  touched_.clear();
   lru_clock_ = 0;
   wb_buffer_busy_ = 0;
 }
 
 unsigned DataCache::set_index(std::uint64_t addr) const noexcept {
-  return static_cast<unsigned>((addr / params_.line_bytes) % params_.sets);
+  return static_cast<unsigned>((addr >> line_shift_) & set_mask_);
 }
 
 std::uint64_t DataCache::line_addr(std::uint64_t addr) const noexcept {
-  return addr & ~static_cast<std::uint64_t>(params_.line_bytes - 1);
+  return addr & ~offset_mask_;
 }
 
-DataCache::Line* DataCache::find(std::uint64_t addr) noexcept {
-  const std::uint64_t line_no = addr / params_.line_bytes;
-  const unsigned set = static_cast<unsigned>(line_no % params_.sets);
-  const std::uint64_t tag = line_no / params_.sets;
-  Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+std::size_t DataCache::find_index(std::uint64_t addr) const noexcept {
+  const std::uint64_t line_no = addr >> line_shift_;
+  const unsigned set = static_cast<unsigned>(line_no & set_mask_);
+  const std::uint64_t tag = line_no >> set_shift_;
+  const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
   for (unsigned w = 0; w < params_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      return &base[w];
+    const Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) {
+      return base + w;
     }
   }
-  return nullptr;
+  return kNoLine;
 }
 
-const DataCache::Line* DataCache::find(std::uint64_t addr) const noexcept {
-  return const_cast<DataCache*>(this)->find(addr);
-}
-
-void DataCache::write_line_back(Line& line, unsigned set, golden::Memory& memory,
-                                coverage::Context& ctx, bool allow_drop,
-                                AccessOutcome& outcome) {
+void DataCache::write_line_back(std::size_t line_index, unsigned set,
+                                golden::Memory& memory, coverage::Context& ctx,
+                                bool allow_drop, AccessOutcome& outcome) {
+  Line& line = lines_[line_index];
   const std::uint64_t addr =
-      (line.tag * params_.sets + set) * params_.line_bytes;
+      ((line.tag << set_shift_) + set) << line_shift_;
   outcome.dirty_eviction = true;
   ctx.hit(cov_dirty_evict_, set);
   if (wb_buffer_busy_ > 0) {
@@ -148,51 +179,58 @@ void DataCache::write_line_back(Line& line, unsigned set, golden::Memory& memory
     wb_buffer_busy_ = 3;
     return;
   }
+  const std::uint8_t* data = line_data(line_index);
   for (unsigned i = 0; i < params_.line_bytes; ++i) {
-    memory.store(addr + i, line.data[i], 1);
+    memory.store(addr + i, data[i], 1);
   }
   wb_buffer_busy_ = 3;
 }
 
-unsigned DataCache::evict_and_fill(std::uint64_t addr, golden::Memory& memory,
-                                   coverage::Context& ctx,
-                                   bool drop_writeback_when_busy,
-                                   AccessOutcome& outcome) {
-  const std::uint64_t line_no = addr / params_.line_bytes;
-  const unsigned set = static_cast<unsigned>(line_no % params_.sets);
-  const std::uint64_t tag = line_no / params_.sets;
-  Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+std::size_t DataCache::evict_and_fill(std::uint64_t addr, golden::Memory& memory,
+                                      coverage::Context& ctx,
+                                      bool drop_writeback_when_busy,
+                                      AccessOutcome& outcome) {
+  const std::uint64_t line_no = addr >> line_shift_;
+  const unsigned set = static_cast<unsigned>(line_no & set_mask_);
+  const std::uint64_t tag = line_no >> set_shift_;
+  const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
 
   unsigned victim = 0;
   std::uint32_t oldest = kLruMax;
   for (unsigned w = 0; w < params_.ways; ++w) {
-    if (!base[w].valid) {
+    if (!lines_[base + w].valid) {
       victim = w;
       oldest = 0;
       break;
     }
-    if (base[w].lru < oldest) {
-      oldest = base[w].lru;
+    if (lines_[base + w].lru < oldest) {
+      oldest = lines_[base + w].lru;
       victim = w;
     }
   }
-  Line& line = base[victim];
+  const std::size_t line_index = base + victim;
+  Line& line = lines_[line_index];
   if (line.valid && line.dirty) {
-    write_line_back(line, set, memory, ctx, drop_writeback_when_busy, outcome);
+    write_line_back(line_index, set, memory, ctx, drop_writeback_when_busy,
+                    outcome);
+  }
+  if (!line.valid) {
+    touched_.push_back(static_cast<std::uint32_t>(line_index));
   }
 
   // Fill from DRAM.
   const std::uint64_t fill_addr = line_addr(addr);
+  std::uint8_t* data = line_data(line_index);
   for (unsigned i = 0; i < params_.line_bytes; ++i) {
     const auto byte = memory.load(fill_addr + i, 1);
-    line.data[i] = byte ? static_cast<std::uint8_t>(*byte) : 0;
+    data[i] = byte ? static_cast<std::uint8_t>(*byte) : 0;
   }
   line.valid = true;
   line.dirty = false;
   line.tag = tag;
   line.lru = lru_clock_;
-  ctx.hit(cov_fill_, static_cast<std::size_t>(set) * params_.ways + victim);
-  return victim;
+  ctx.hit(cov_fill_, line_index);
+  return line_index;
 }
 
 DataCache::AccessOutcome DataCache::load(std::uint64_t addr, unsigned bytes,
@@ -211,22 +249,22 @@ DataCache::AccessOutcome DataCache::load(std::uint64_t addr, unsigned bytes,
     --wb_buffer_busy_;
   }
 
-  Line* line = find(addr);
-  if (line != nullptr) {
+  std::size_t line_index = find_index(addr);
+  if (line_index != kNoLine) {
     outcome.hit = true;
-    line->lru = lru_clock_;
+    lines_[line_index].lru = lru_clock_;
     ctx.hit(cov_read_hit_, set);
   } else {
     ctx.hit(cov_read_miss_, set);
-    const unsigned way = evict_and_fill(addr, memory, ctx,
-                                        drop_writeback_when_busy, outcome);
-    line = &lines_[static_cast<std::size_t>(set) * params_.ways + way];
+    line_index = evict_and_fill(addr, memory, ctx, drop_writeback_when_busy,
+                                outcome);
   }
 
-  const unsigned offset = static_cast<unsigned>(addr % params_.line_bytes);
+  const unsigned offset = static_cast<unsigned>(addr & offset_mask_);
+  const std::uint8_t* data = line_data(line_index);
   std::uint64_t value = 0;
   for (unsigned i = 0; i < bytes; ++i) {
-    value |= static_cast<std::uint64_t>(line->data[offset + i]) << (8 * i);
+    value |= static_cast<std::uint64_t>(data[offset + i]) << (8 * i);
   }
   outcome.value = value;
   return outcome;
@@ -248,57 +286,61 @@ DataCache::AccessOutcome DataCache::store(std::uint64_t addr, std::uint64_t valu
     --wb_buffer_busy_;
   }
 
-  Line* line = find(addr);
-  if (line != nullptr) {
+  std::size_t line_index = find_index(addr);
+  if (line_index != kNoLine) {
     outcome.hit = true;
-    line->lru = lru_clock_;
+    lines_[line_index].lru = lru_clock_;
     ctx.hit(cov_write_hit_, set);
   } else {
     ctx.hit(cov_write_miss_, set);
-    const unsigned way = evict_and_fill(addr, memory, ctx,
-                                        drop_writeback_when_busy, outcome);
-    line = &lines_[static_cast<std::size_t>(set) * params_.ways + way];
+    line_index = evict_and_fill(addr, memory, ctx, drop_writeback_when_busy,
+                                outcome);
   }
 
-  const unsigned offset = static_cast<unsigned>(addr % params_.line_bytes);
+  const unsigned offset = static_cast<unsigned>(addr & offset_mask_);
+  std::uint8_t* data = line_data(line_index);
   for (unsigned i = 0; i < bytes; ++i) {
-    line->data[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    data[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
   }
-  line->dirty = true;
+  lines_[line_index].dirty = true;
   return outcome;
 }
 
 std::optional<std::uint64_t> DataCache::snoop(std::uint64_t addr,
                                               unsigned bytes) const noexcept {
   addr &= isa::kPhysAddrMask;
-  const Line* line = find(addr);
-  if (line == nullptr) {
+  const std::size_t line_index = find_index(addr);
+  if (line_index == kNoLine) {
     return std::nullopt;
   }
-  const unsigned offset = static_cast<unsigned>(addr % params_.line_bytes);
+  const unsigned offset = static_cast<unsigned>(addr & offset_mask_);
   if (offset + bytes > params_.line_bytes) {
     return std::nullopt;  // crosses the line; let DRAM serve it
   }
+  const std::uint8_t* data = line_data(line_index);
   std::uint64_t value = 0;
   for (unsigned i = 0; i < bytes; ++i) {
-    value |= static_cast<std::uint64_t>(line->data[offset + i]) << (8 * i);
+    value |= static_cast<std::uint64_t>(data[offset + i]) << (8 * i);
   }
   return value;
 }
 
 void DataCache::flush_all(golden::Memory& memory, coverage::Context& ctx) {
-  for (unsigned set = 0; set < params_.sets; ++set) {
-    for (unsigned w = 0; w < params_.ways; ++w) {
-      Line& line = lines_[static_cast<std::size_t>(set) * params_.ways + w];
-      if (line.valid && line.dirty) {
-        const std::uint64_t addr =
-            (line.tag * params_.sets + set) * params_.line_bytes;
-        for (unsigned i = 0; i < params_.line_bytes; ++i) {
-          memory.store(addr + i, line.data[i], 1);
-        }
-        line.dirty = false;
-        ctx.hit(cov_flush_dirty_);
+  // Every valid line is in the touched list, so scanning it finds every
+  // dirty line without sweeping all sets x ways frames.
+  for (const std::uint32_t index : touched_) {
+    Line& line = lines_[index];
+    if (line.valid && line.dirty) {
+      const unsigned set =
+          static_cast<unsigned>((index / params_.ways) & set_mask_);
+      const std::uint64_t addr =
+          ((line.tag << set_shift_) + set) << line_shift_;
+      const std::uint8_t* data = line_data(index);
+      for (unsigned i = 0; i < params_.line_bytes; ++i) {
+        memory.store(addr + i, data[i], 1);
       }
+      line.dirty = false;
+      ctx.hit(cov_flush_dirty_);
     }
   }
   wb_buffer_busy_ = 0;

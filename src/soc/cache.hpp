@@ -12,6 +12,14 @@
 // Coverage: each set registers hit/miss/eviction points; each (set, way)
 // registers a fill point — the replicated-structure mass that dominates
 // RTL branch coverage.
+//
+// Hot-path geometry: sets and line_bytes must be powers of two (enforced
+// at construction), so set/tag/offset extraction is shift/mask — no
+// integer division on the per-instruction fetch and LSU paths. Resets are
+// O(lines touched since the last reset), not O(sets x ways): a line that
+// was never filled is bit-equivalent to a freshly reset one in every
+// observable way (valid gates all reads; a fill overwrites the whole
+// entry), so cold lines are skipped.
 
 #include <cstdint>
 #include <optional>
@@ -23,7 +31,7 @@
 namespace mabfuzz::soc {
 
 struct CacheParams {
-  unsigned sets = 64;
+  unsigned sets = 64;        // power of two
   unsigned ways = 4;
   unsigned line_bytes = 32;  // power of two, >= 8
 };
@@ -51,7 +59,11 @@ class InstructionCache {
   };
 
   CacheParams params_;
-  std::vector<Line> lines_;  // sets * ways
+  unsigned line_shift_ = 0;   // log2(line_bytes)
+  unsigned set_shift_ = 0;    // log2(sets)
+  std::uint64_t set_mask_ = 0;
+  std::vector<Line> lines_;   // sets * ways
+  std::vector<std::uint32_t> touched_;  // line indices filled since reset
   std::uint32_t lru_clock_ = 0;
 
   coverage::PointId cov_hit_ = 0;        // per set
@@ -97,31 +109,47 @@ class DataCache {
   [[nodiscard]] const CacheParams& params() const noexcept { return params_; }
 
  private:
+  /// Tag/LRU state only; line bytes live in the flat `data_` slab (one
+  /// contiguous allocation for the whole cache instead of one heap vector
+  /// per line).
   struct Line {
     bool valid = false;
     bool dirty = false;
     std::uint64_t tag = 0;
     std::uint32_t lru = 0;
-    std::vector<std::uint8_t> data;
   };
+
+  static constexpr std::size_t kNoLine = static_cast<std::size_t>(-1);
 
   [[nodiscard]] unsigned set_index(std::uint64_t addr) const noexcept;
   [[nodiscard]] std::uint64_t line_addr(std::uint64_t addr) const noexcept;
-  Line* find(std::uint64_t addr) noexcept;
-  [[nodiscard]] const Line* find(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::size_t find_index(std::uint64_t addr) const noexcept;
+
+  [[nodiscard]] std::uint8_t* line_data(std::size_t line_index) noexcept {
+    return data_.data() + line_index * params_.line_bytes;
+  }
+  [[nodiscard]] const std::uint8_t* line_data(std::size_t line_index) const noexcept {
+    return data_.data() + line_index * params_.line_bytes;
+  }
 
   /// Selects a victim way in `set`, writing back its line if dirty.
-  /// Returns the way index; sets flags on the outcome.
-  unsigned evict_and_fill(std::uint64_t addr, golden::Memory& memory,
-                          coverage::Context& ctx, bool drop_writeback_when_busy,
-                          AccessOutcome& outcome);
+  /// Returns the line index; sets flags on the outcome.
+  std::size_t evict_and_fill(std::uint64_t addr, golden::Memory& memory,
+                             coverage::Context& ctx, bool drop_writeback_when_busy,
+                             AccessOutcome& outcome);
 
-  void write_line_back(Line& line, unsigned set, golden::Memory& memory,
-                       coverage::Context& ctx, bool allow_drop,
-                       AccessOutcome& outcome);
+  void write_line_back(std::size_t line_index, unsigned set,
+                       golden::Memory& memory, coverage::Context& ctx,
+                       bool allow_drop, AccessOutcome& outcome);
 
   CacheParams params_;
+  unsigned line_shift_ = 0;
+  unsigned set_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
+  std::uint64_t offset_mask_ = 0;
   std::vector<Line> lines_;
+  std::vector<std::uint8_t> data_;  // sets * ways * line_bytes
+  std::vector<std::uint32_t> touched_;  // line indices filled since reset
   std::uint32_t lru_clock_ = 0;
   unsigned wb_buffer_busy_ = 0;  // accesses until the writeback buffer drains
 

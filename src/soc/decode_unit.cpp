@@ -37,7 +37,9 @@ unsigned illegal_class_index(isa::DecodeStatus status) noexcept {
 
 DecodeUnit::DecodeUnit(const DecodeUnitParams& params, BugSet bugs,
                        coverage::Context& ctx)
-    : params_(params), bugs_(bugs) {
+    : params_(params), bugs_(bugs),
+      toggle_mod_(common::FastMod(params.toggle_buckets)),
+      fpu_mod_(common::FastMod(params.fpu_predecode_points)) {
   auto& reg = ctx.registry();
   const std::size_t mnems = isa::kNumMnemonics;
   cov_mnemonic_ = reg.add_array("decode/mnemonic", params_.lanes * mnems);
@@ -99,9 +101,8 @@ void DecodeUnit::hit_condition_points(const isa::Instruction& instr,
   // encoding exercises (funct fields + low immediate bits).
   const std::uint64_t pattern =
       bits(word, 7, 25);  // everything above the major opcode
-  const std::size_t bucket =
-      static_cast<std::size_t>((pattern ^ (pattern >> 7) ^ (pattern >> 14)) %
-                               params_.toggle_buckets);
+  const std::size_t bucket = static_cast<std::size_t>(
+      toggle_mod_(pattern ^ (pattern >> 7) ^ (pattern >> 14)));
   ctx.hit(cov_toggle_,
           (static_cast<std::size_t>(lane) * isa::kNumMnemonics + m) *
                   params_.toggle_buckets +
@@ -116,14 +117,17 @@ DecodeUnit::Outcome DecodeUnit::decode(isa::Word word, unsigned lane,
 DecodeUnit::Outcome DecodeUnit::decode(isa::Word word,
                                        const isa::DecodeResult& strict,
                                        unsigned lane, coverage::Context& ctx) {
-  lane %= params_.lanes == 0 ? 1 : params_.lanes;
+  if (params_.lanes <= 1) {
+    lane = 0;
+  } else if (lane >= params_.lanes) {
+    lane %= params_.lanes;  // defensive; callers already pass lane < lanes
+  }
   Outcome outcome;
 
   // FP/SIMD pre-decode stub fires on the raw word before legality checks.
   if (params_.fpu_predecode_points > 0 && is_fp_opcode(isa::opcode_field(word))) {
-    const std::size_t index =
-        (bits(word, 25, 7) * 41 + bits(word, 20, 5) * 5 + bits(word, 12, 3)) %
-        params_.fpu_predecode_points;
+    const std::size_t index = static_cast<std::size_t>(fpu_mod_(
+        bits(word, 25, 7) * 41 + bits(word, 20, 5) * 5 + bits(word, 12, 3)));
     ctx.hit(cov_fpu_, index);
   }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/fastmod.hpp"
 #include "coverage/context.hpp"
 #include "isa/decoder.hpp"
 #include "soc/bugs.hpp"
@@ -53,6 +54,10 @@ class DecodeUnit {
 
   DecodeUnitParams params_;
   BugSet bugs_;
+  // Division-free `% toggle_buckets` / `% fpu_predecode_points` for the
+  // per-instruction hash buckets (bit-identical to `%`; common/fastmod.hpp).
+  common::FastMod toggle_mod_;
+  common::FastMod fpu_mod_;
 
   // Per lane * mnemonic.
   coverage::PointId cov_mnemonic_ = 0;

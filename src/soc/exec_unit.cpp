@@ -55,7 +55,7 @@ struct MulDiv {
 }  // namespace
 
 ExecUnit::ExecUnit(const ExecUnitParams& params, coverage::Context& ctx)
-    : params_(params) {
+    : params_(params), toggle_mod_(common::FastMod(params.toggle_buckets)) {
   auto& reg = ctx.registry();
   const std::size_t mnems = isa::kNumMnemonics;
   cov_condition_ = reg.add_array("exec/condition",
@@ -93,7 +93,7 @@ void ExecUnit::hit_result_points(const isa::Instruction& instr, std::uint64_t a,
     ctx.hit(cov_condition_, base + 5);
   }
   const std::size_t bucket =
-      static_cast<std::size_t>(mix_result(result) % params_.toggle_buckets);
+      static_cast<std::size_t>(toggle_mod_(mix_result(result)));
   ctx.hit(cov_toggle_,
           (static_cast<std::size_t>(lane) * isa::kNumMnemonics + m) *
                   params_.toggle_buckets +
@@ -103,7 +103,11 @@ void ExecUnit::hit_result_points(const isa::Instruction& instr, std::uint64_t a,
 ExecUnit::Result ExecUnit::execute(const isa::Instruction& instr, std::uint64_t pc,
                                    std::uint64_t a, std::uint64_t b, unsigned lane,
                                    coverage::Context& ctx) {
-  lane %= params_.lanes == 0 ? 1 : params_.lanes;
+  if (params_.lanes <= 1) {
+    lane = 0;
+  } else if (lane >= params_.lanes) {
+    lane %= params_.lanes;  // defensive; callers already pass lane < lanes
+  }
   const auto imm = static_cast<std::uint64_t>(instr.imm);
   Result res;
 

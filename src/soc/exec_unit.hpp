@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/fastmod.hpp"
 #include "coverage/context.hpp"
 #include "isa/opcode.hpp"
 
@@ -41,6 +42,9 @@ class ExecUnit {
                          coverage::Context& ctx);
 
   ExecUnitParams params_;
+  // Division-free `% toggle_buckets` for the per-instruction result-toggle
+  // hash (bit-identical to `%`; common/fastmod.hpp).
+  common::FastMod toggle_mod_;
 
   coverage::PointId cov_condition_ = 0;  // per lane * mnemonic * 6
   coverage::PointId cov_toggle_ = 0;     // per lane * mnemonic * buckets

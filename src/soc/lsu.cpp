@@ -5,7 +5,8 @@
 namespace mabfuzz::soc {
 
 Lsu::Lsu(const LsuParams& params, BugSet bugs, coverage::Context& ctx)
-    : params_(params), bugs_(bugs) {
+    : params_(params), bugs_(bugs),
+      region_mod_(common::FastMod(params.addr_regions)) {
   auto& reg = ctx.registry();
   cov_access_ = reg.add_array("lsu/access_size_kind", 4 * 2);
   cov_misaligned_ = reg.add_array("lsu/misaligned_size_kind", 4 * 2);
@@ -30,8 +31,7 @@ void Lsu::hit_region(std::uint64_t addr, bool is_store,
     return;
   }
   const std::uint64_t offset = addr - isa::kDramBase;
-  const std::size_t region =
-      static_cast<std::size_t>((offset >> 12) % params_.addr_regions);
+  const std::size_t region = static_cast<std::size_t>(region_mod_(offset >> 12));
   ctx.hit(cov_region_, region * 2 + (is_store ? 1 : 0));
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "common/fastmod.hpp"
 #include "coverage/context.hpp"
 #include "golden/memory.hpp"
 #include "isa/opcode.hpp"
@@ -45,6 +46,9 @@ class Lsu {
 
   LsuParams params_;
   BugSet bugs_;
+  // Division-free `% addr_regions` for the region-toggle points
+  // (bit-identical to `%`; common/fastmod.hpp).
+  common::FastMod region_mod_;
 
   coverage::PointId cov_access_ = 0;      // size(4) * kind(2)
   coverage::PointId cov_misaligned_ = 0;  // size(4) * kind(2)

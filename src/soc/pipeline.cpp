@@ -1,5 +1,7 @@
 #include "soc/pipeline.hpp"
 
+#include <bit>
+
 #include "isa/encoder.hpp"
 
 namespace mabfuzz::soc {
@@ -34,6 +36,8 @@ Pipeline::Pipeline(PipelineParams params)
   if (fetch_regions_ == 0) {
     fetch_regions_ = 1;
   }
+  fetch_region_pow2_ = std::has_single_bit(fetch_regions_);
+  fetch_region_mask_ = fetch_regions_ - 1;
   cov_fetch_region_ = reg.add_array("pipeline/fetch_region", fetch_regions_);
   cov_fetch_handler_ = reg.add("pipeline/fetch_in_handler");
   cov_fetch_selfmod_ = reg.add("pipeline/fetch_from_dirty_line");
@@ -59,10 +63,10 @@ void Pipeline::cold_reset(const std::vector<Word>& program) {
   // Dirty-region reset: only the pages the previous test touched (program
   // image, handler, store targets, cache writebacks) are zeroed.
   memory_.reset();
-  memory_.write_words(isa::kHandlerBase, isa::assemble(isa::trap_handler_stub()));
+  memory_.write_words(isa::kHandlerBase, isa::assembled_trap_handler());
   memory_.write_words(isa::kProgramBase, program);
   sentinel_pc_ = isa::kProgramBase + program.size() * 4;
-  memory_.store(sentinel_pc_, isa::encode_or_die(isa::jal(0, 0)), 4);
+  memory_.store(sentinel_pc_, isa::halt_sentinel_word(), 4);
 
   icache_.reset();
   dcache_.reset();
@@ -85,9 +89,11 @@ std::optional<Word> Pipeline::fetch_word(std::uint64_t addr,
     return std::nullopt;
   }
   if (addr >= isa::kDramBase) {
-    const std::uint64_t offset = addr - isa::kDramBase;
+    const std::uint64_t region = (addr - isa::kDramBase) >> 12;
     ctx.hit(cov_fetch_region_,
-            static_cast<std::size_t>((offset >> 12) % fetch_regions_));
+            static_cast<std::size_t>(fetch_region_pow2_
+                                         ? region & fetch_region_mask_
+                                         : region % fetch_regions_));
   }
   if (addr >= isa::kHandlerBase && addr < isa::kProgramBase) {
     ctx.hit(cov_fetch_handler_);
@@ -219,10 +225,16 @@ void Pipeline::run_impl(const std::vector<Word>& program,
       break;
     }
     const Word word = *fetched;
+    // Round-robin lane assignment; mask when the width is a power of two
+    // (it always is in practice) so the per-instruction path has no divide.
     const unsigned lane =
-        params_.lanes == 0
+        params_.lanes <= 1
             ? 0
-            : static_cast<unsigned>(out.arch.commits.size() % params_.lanes);
+            : (std::has_single_bit(params_.lanes)
+                   ? static_cast<unsigned>(out.arch.commits.size() &
+                                           (params_.lanes - 1))
+                   : static_cast<unsigned>(out.arch.commits.size() %
+                                           params_.lanes));
 
     StepState step;
     step.record.pc = pc_;
@@ -311,7 +323,7 @@ void Pipeline::run_impl(const std::vector<Word>& program,
   out.arch.mtvec = csrs_.mtvec();
   out.arch.mscratch = csrs_.mscratch();
   out.cycles = cycle_;
-  out.test_coverage.assign_from(ctx_.test_map());
+  ctx_.take_test_map(out.test_coverage);
 }
 
 void Pipeline::execute_instruction(const DecodeUnit::Outcome& decoded, Word word,

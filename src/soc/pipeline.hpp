@@ -163,6 +163,8 @@ class Pipeline {
   coverage::PointId cov_seq_pair_ = 0;       // mnemonic x mnemonic sequences
 
   unsigned fetch_regions_ = 0;
+  unsigned fetch_region_mask_ = 0;  // fetch_regions_ - 1 when a power of two
+  bool fetch_region_pow2_ = false;
 };
 
 }  // namespace mabfuzz::soc

@@ -5,6 +5,7 @@ namespace mabfuzz::soc {
 BranchPredictor::BranchPredictor(const PredictorParams& params,
                                  coverage::Context& ctx)
     : params_(params), entries_(params.btb_entries) {
+  touched_.reserve(params_.btb_entries);
   auto& reg = ctx.registry();
   cov_hit_ = reg.add_array("btb/hit", params_.btb_entries);
   cov_alloc_ = reg.add_array("btb/alloc", params_.btb_entries);
@@ -16,9 +17,13 @@ BranchPredictor::BranchPredictor(const PredictorParams& params,
 }
 
 void BranchPredictor::reset() noexcept {
-  for (Entry& e : entries_) {
-    e = Entry{};
+  // Only allocated entries can differ from Entry{} observably: predict()
+  // and the training path gate on valid, and allocation rewrites the tag
+  // and counter. Clearing just those keeps reset O(branches seen).
+  for (const std::uint32_t index : touched_) {
+    entries_[index] = Entry{};
   }
+  touched_.clear();
 }
 
 unsigned BranchPredictor::index_of(std::uint64_t pc) const noexcept {
@@ -51,6 +56,8 @@ void BranchPredictor::update(std::uint64_t pc, bool taken, bool mispredicted,
   if (!e.valid || e.tag != tag) {
     if (e.valid) {
       ctx.hit(cov_conflict_, index);
+    } else {
+      touched_.push_back(index);
     }
     e.valid = true;
     e.tag = tag;

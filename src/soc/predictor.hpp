@@ -48,6 +48,7 @@ class BranchPredictor {
 
   PredictorParams params_;
   std::vector<Entry> entries_;
+  std::vector<std::uint32_t> touched_;  // entries allocated since reset
 
   coverage::PointId cov_hit_ = 0;        // per entry
   coverage::PointId cov_alloc_ = 0;      // per entry

@@ -31,7 +31,9 @@ void ReorderBuffer::allocate(coverage::Context& ctx) noexcept {
     retire(ctx);
   }
   ctx.hit(cov_alloc_, tail_);
-  tail_ = (tail_ + 1) % slots_;
+  // Increment-and-wrap instead of `% slots_`: same values, no divide on
+  // the per-instruction path (slots_ is rarely a power of two).
+  tail_ = tail_ + 1 == slots_ ? 0 : tail_ + 1;
   ++occupancy_;
 }
 
@@ -40,7 +42,7 @@ void ReorderBuffer::retire(coverage::Context& ctx) noexcept {
     return;
   }
   ctx.hit(cov_retire_, head_);
-  head_ = (head_ + 1) % slots_;
+  head_ = head_ + 1 == slots_ ? 0 : head_ + 1;
   --occupancy_;
 }
 
@@ -50,7 +52,7 @@ void ReorderBuffer::flush(coverage::Context& ctx) noexcept {
   }
   while (occupancy_ > 0) {
     ctx.hit(cov_flush_, head_);
-    head_ = (head_ + 1) % slots_;
+    head_ = head_ + 1 == slots_ ? 0 : head_ + 1;
     --occupancy_;
   }
   head_ = 0;

@@ -9,7 +9,9 @@
 #include <set>
 #include <sstream>
 
+#include "common/arena.hpp"
 #include "common/bitops.hpp"
+#include "common/fastmod.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
@@ -235,6 +237,16 @@ TEST(Stats, PercentileInterpolation) {
   EXPECT_DOUBLE_EQ(percentile(v, 75), 3.25);
 }
 
+TEST(Stats, PercentileEmptyAllRanks) {
+  // Regression: the internal percentile_sorted helper computed
+  // size() - 1 before checking for emptiness, wrapping to SIZE_MAX.
+  // Every rank on an empty sample set must return 0, not crash.
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 100.0, -5.0, 300.0}) {
+    EXPECT_DOUBLE_EQ(percentile({}, p), 0.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
 TEST(Stats, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);  // empty
   const std::vector<double> one = {7.0};
@@ -402,6 +414,130 @@ TEST(Cli, BooleanSpellings) {
   const CliArgs args(5, argv);
   EXPECT_TRUE(args.get_bool("a", false));
   EXPECT_FALSE(args.get_bool("b", true));
+}
+
+// --- arena ------------------------------------------------------------------------
+
+TEST(Arena, SpansAreValueInitializedAndWritable) {
+  Arena arena;
+  const std::span<std::uint64_t> a = arena.alloc_span<std::uint64_t>(100);
+  ASSERT_EQ(a.size(), 100u);
+  for (const std::uint64_t x : a) {
+    EXPECT_EQ(x, 0u);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = i;
+  }
+  // A second span must not alias the first.
+  const std::span<std::uint64_t> b = arena.alloc_span<std::uint64_t>(100);
+  for (const std::uint64_t x : b) {
+    EXPECT_EQ(x, 0u);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], i);
+  }
+  EXPECT_EQ(arena.bytes_allocated(), 200 * sizeof(std::uint64_t));
+}
+
+TEST(Arena, ResetRetainsChunkStorage) {
+  Arena arena(1024);
+  (void)arena.alloc_span<std::byte>(4000);  // spills into multiple chunks
+  const std::size_t capacity = arena.capacity();
+  const std::size_t chunks = arena.chunk_count();
+  EXPECT_GE(capacity, 4000u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.capacity(), capacity);  // storage retained, not freed
+  // A same-shaped second round fits in the retained chunks.
+  (void)arena.alloc_span<std::byte>(4000);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  const std::span<std::uint32_t> big = arena.alloc_span<std::uint32_t>(1000);
+  ASSERT_EQ(big.size(), 1000u);
+  big.front() = 1;
+  big.back() = 2;
+  EXPECT_EQ(big.front(), 1u);
+  EXPECT_EQ(big.back(), 2u);
+  // Small allocations still work after the oversized one.
+  const std::span<std::uint8_t> small = arena.alloc_span<std::uint8_t>(8);
+  EXPECT_EQ(small.size(), 8u);
+}
+
+TEST(Arena, ZeroCountAndAlignment) {
+  Arena arena;
+  EXPECT_TRUE(arena.alloc_span<int>(0).empty());
+  EXPECT_NE(arena.allocate(0, 1), nullptr);
+  // Mixed-alignment sequence: every pointer respects its type's alignment.
+  (void)arena.alloc_span<char>(3);
+  const std::span<double> d = arena.alloc_span<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+  (void)arena.alloc_span<char>(1);
+  const std::span<std::uint64_t> q = arena.alloc_span<std::uint64_t>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q.data()) % alignof(std::uint64_t),
+            0u);
+}
+
+TEST(Arena, ReleaseFreesStorage) {
+  Arena arena;
+  (void)arena.alloc_span<int>(100);
+  arena.release();
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  // Still usable after release.
+  EXPECT_EQ(arena.alloc_span<int>(4).size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// FastMod — must be bit-for-bit identical to `%` (the substrate's coverage
+// bucketing depends on it; a single differing result would shift campaign
+// artifacts).
+
+TEST(FastMod, MatchesOperatorPercentExhaustivelyForSmallOperands) {
+  const std::uint64_t divisors[] = {1,  2,  3,  5,  7,  8,  11, 12,
+                                    16, 24, 31, 48, 64, 96, 97, 128};
+  for (const std::uint64_t d : divisors) {
+    const FastMod mod(d);
+    EXPECT_EQ(mod.divisor(), d);
+    for (std::uint64_t n = 0; n < 4096; ++n) {
+      ASSERT_EQ(mod(n), n % d) << "d=" << d << " n=" << n;
+    }
+  }
+}
+
+TEST(FastMod, MatchesOperatorPercentAtExtremesAndRandomly) {
+  const std::uint64_t divisors[] = {
+      1, 3, 12, 24, 48, 96, 1000, 4093, 65535, 65536, 1u << 20, 0x7fffffffu,
+      0xffffffffu /* largest supported divisor, 2^32 - 1 */};
+  const std::uint64_t edges[] = {0,
+                                 1,
+                                 2,
+                                 0xffffffffull,
+                                 0x100000000ull,
+                                 0x123456789abcdefull,
+                                 std::numeric_limits<std::uint64_t>::max() - 1,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  SplitMix64 rng(0x5eedf00dULL);
+  for (const std::uint64_t d : divisors) {
+    const FastMod mod(d);
+    for (const std::uint64_t n : edges) {
+      ASSERT_EQ(mod(n), n % d) << "d=" << d << " n=" << n;
+    }
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t n = rng.next();
+      ASSERT_EQ(mod(n), n % d) << "d=" << d << " n=" << n;
+    }
+  }
+}
+
+TEST(FastMod, DefaultAndZeroDivisorReduceToZero) {
+  const FastMod def;  // divisor 1: everything reduces to 0
+  EXPECT_EQ(def(0), 0u);
+  EXPECT_EQ(def(std::numeric_limits<std::uint64_t>::max()), 0u);
+  const FastMod zero(0);  // tolerated (callers would have UB with `%`)
+  EXPECT_EQ(zero(12345), 0u);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -126,9 +128,42 @@ TEST(Curves, TestsToReach) {
   curve.grid = {10, 20, 30};
   curve.covered = {5, 15, 20};
   curve.final_covered = 20;
-  EXPECT_EQ(tests_to_reach(curve, 5), 10u);
-  EXPECT_EQ(tests_to_reach(curve, 6), 20u);
-  EXPECT_EQ(tests_to_reach(curve, 21), 0u);  // never reached
+  EXPECT_EQ(tests_to_reach(curve, 5), std::optional<std::uint64_t>{10});
+  EXPECT_EQ(tests_to_reach(curve, 6), std::optional<std::uint64_t>{20});
+  EXPECT_EQ(tests_to_reach(curve, 21), std::nullopt);  // never reached
+}
+
+TEST(Curves, TestsToReachBoundaries) {
+  // A grid point of 0 is a real answer, not a "never reached" sentinel.
+  CoverageCurve curve;
+  curve.grid = {0, 10};
+  curve.covered = {3, 8};
+  curve.final_covered = 8;
+  EXPECT_EQ(tests_to_reach(curve, 0), std::optional<std::uint64_t>{0});
+  EXPECT_EQ(tests_to_reach(curve, 3), std::optional<std::uint64_t>{0});
+  EXPECT_EQ(tests_to_reach(curve, 8), std::optional<std::uint64_t>{10});
+  EXPECT_EQ(tests_to_reach(curve, 8.1), std::nullopt);
+  // Empty curve never reaches anything, even a zero target.
+  EXPECT_EQ(tests_to_reach(CoverageCurve{}, 0), std::nullopt);
+  // Exact equality at the last sample still counts as reached.
+  EXPECT_EQ(tests_to_reach(curve, curve.final_covered),
+            std::optional<std::uint64_t>{10});
+}
+
+TEST(Curves, SpeedupReachedAtZeroTestsIsFinite) {
+  CoverageCurve base;
+  base.grid = {100, 200};
+  base.covered = {0, 0};
+  base.final_covered = 0;
+  CoverageCurve cand;
+  cand.grid = {0, 100};
+  cand.covered = {0, 5};
+  cand.final_covered = 5;
+  // Candidate satisfies the (degenerate) target at grid point 0; the old
+  // 0-as-sentinel contract misclassified this as "never reached".
+  const double speedup = coverage_speedup(base, cand);
+  EXPECT_TRUE(std::isfinite(speedup));
+  EXPECT_DOUBLE_EQ(speedup, 200.0);  // divisor clamped to 1 test
 }
 
 TEST(Curves, SpeedupMath) {

@@ -1,0 +1,267 @@
+// RunBatchEquivalence: Backend::run_batch must be observationally
+// identical to the same sequence of run_test calls — coverage bitmaps,
+// firing logs, commit counts, cycles and every mismatch field — on every
+// core and bug universe, at every block size. The campaign-level tests
+// then lock in that routing a scheduler's execution through speculative
+// blocks (exec_batch > 1, fuzz/spec_block.hpp) replays the exact same
+// campaign as the unbatched default.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "fuzz/backend.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/reuse_fuzzer.hpp"
+#include "fuzz/thehuzz.hpp"
+#include "mab/registry.hpp"
+#include "soc/bugs.hpp"
+#include "soc/cores.hpp"
+
+namespace mabfuzz {
+namespace {
+
+struct Universe {
+  soc::CoreKind core;
+  const char* bugs;  // "none" | "default" | "all"
+};
+
+soc::BugSet bugs_of(const Universe& u) {
+  const std::string name = u.bugs;
+  if (name == "none") {
+    return {};
+  }
+  if (name == "all") {
+    return soc::BugSet::all();
+  }
+  return soc::default_bugs(u.core);
+}
+
+fuzz::BackendConfig backend_config_of(const Universe& u) {
+  fuzz::BackendConfig config;
+  config.core = u.core;
+  config.bugs = bugs_of(u);
+  config.rng_seed = 99;
+  return config;
+}
+
+/// The same test battery on two identically configured backends: seeds
+/// plus a mutation chain, so programs exercise both generators.
+std::vector<fuzz::TestCase> make_battery(fuzz::Backend& backend,
+                                         std::size_t count) {
+  std::vector<fuzz::TestCase> tests;
+  tests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 2 == 0 || tests.empty()) {
+      tests.push_back(backend.make_seed());
+    } else {
+      tests.push_back(backend.make_mutant(tests.back()));
+    }
+  }
+  return tests;
+}
+
+void expect_outcome_eq(const fuzz::TestOutcome& a, const fuzz::TestOutcome& b,
+                       std::size_t index) {
+  EXPECT_EQ(a.coverage, b.coverage) << "coverage diverged at test " << index;
+  EXPECT_EQ(a.firings, b.firings) << "firings diverged at test " << index;
+  EXPECT_EQ(a.dut_cycles, b.dut_cycles) << "cycles diverged at test " << index;
+  EXPECT_EQ(a.commits, b.commits) << "commits diverged at test " << index;
+  EXPECT_EQ(a.mismatch, b.mismatch) << "mismatch flag diverged at " << index;
+  EXPECT_EQ(a.mismatch_description, b.mismatch_description)
+      << "mismatch description diverged at test " << index;
+  EXPECT_EQ(a.mismatch_commit, b.mismatch_commit)
+      << "mismatch commit diverged at test " << index;
+}
+
+class RunBatchEquivalence : public ::testing::TestWithParam<Universe> {};
+
+TEST_P(RunBatchEquivalence, BatchedMatchesSequential) {
+  constexpr std::size_t kTests = 64;
+  fuzz::Backend sequential(backend_config_of(GetParam()));
+  fuzz::Backend batched(backend_config_of(GetParam()));
+
+  const std::vector<fuzz::TestCase> tests = make_battery(sequential, kTests);
+  ASSERT_EQ(make_battery(batched, kTests).size(), kTests);  // same RNG draw
+
+  std::vector<fuzz::TestOutcome> expected(kTests);
+  for (std::size_t i = 0; i < kTests; ++i) {
+    sequential.run_test(tests[i], expected[i]);
+  }
+
+  std::vector<fuzz::TestOutcome> actual;
+  batched.run_batch(tests, actual);
+  ASSERT_EQ(actual.size(), kTests);
+  for (std::size_t i = 0; i < kTests; ++i) {
+    expect_outcome_eq(expected[i], actual[i], i);
+  }
+  EXPECT_EQ(sequential.tests_executed(), batched.tests_executed());
+}
+
+TEST_P(RunBatchEquivalence, BlockSizeInvariant) {
+  constexpr std::size_t kTests = 40;
+  fuzz::Backend whole(backend_config_of(GetParam()));
+  fuzz::Backend split(backend_config_of(GetParam()));
+
+  const std::vector<fuzz::TestCase> tests = make_battery(whole, kTests);
+  ASSERT_EQ(make_battery(split, kTests).size(), kTests);
+
+  std::vector<fuzz::TestOutcome> expected;
+  whole.run_batch(tests, expected);
+
+  // Uneven block sizes, including a singleton, reusing one outcome vector
+  // across blocks (the recycling path).
+  std::vector<fuzz::TestOutcome> block;
+  std::size_t offset = 0;
+  for (const std::size_t size : {std::size_t{1}, std::size_t{7},
+                                 std::size_t{16}, std::size_t{16}}) {
+    split.run_batch(std::span(tests).subspan(offset, size), block);
+    for (std::size_t i = 0; i < size; ++i) {
+      expect_outcome_eq(expected[offset + i], block[i], offset + i);
+    }
+    offset += size;
+  }
+  ASSERT_EQ(offset, kTests);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoresAndBugUniverses, RunBatchEquivalence,
+    ::testing::Values(Universe{soc::CoreKind::kCva6, "none"},
+                      Universe{soc::CoreKind::kCva6, "default"},
+                      Universe{soc::CoreKind::kCva6, "all"},
+                      Universe{soc::CoreKind::kRocket, "none"},
+                      Universe{soc::CoreKind::kRocket, "default"},
+                      Universe{soc::CoreKind::kRocket, "all"},
+                      Universe{soc::CoreKind::kBoom, "none"},
+                      Universe{soc::CoreKind::kBoom, "default"},
+                      Universe{soc::CoreKind::kBoom, "all"}),
+    [](const auto& info) {
+      return std::string(soc::core_name(info.param.core)) + "_" +
+             info.param.bugs;
+    });
+
+TEST(RunBatch, EmptyBatchIsANoOp) {
+  fuzz::BackendConfig config;
+  config.core = soc::CoreKind::kCva6;
+  fuzz::Backend backend(config);
+  std::vector<fuzz::TestOutcome> out(3);
+  backend.run_batch({}, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(backend.tests_executed(), 0u);
+}
+
+// --- speculative scheduling equivalence ------------------------------------------
+//
+// exec_batch > 1 must replay the exact same campaign as exec_batch = 1:
+// same arm selections, same rewards, same coverage totals, same resets.
+
+struct Trace {
+  std::vector<std::size_t> arms;
+  std::vector<std::size_t> new_points;
+  std::vector<bool> mismatches;
+  std::size_t covered = 0;
+  std::uint64_t resets = 0;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+template <typename Fuzzer>
+Trace trace_of(Fuzzer& fuzzer, int steps, std::uint64_t resets) {
+  Trace trace;
+  for (int t = 0; t < steps; ++t) {
+    const fuzz::StepResult result = fuzzer.step();
+    trace.arms.push_back(result.arm.value_or(0));
+    trace.new_points.push_back(result.new_global_points);
+    trace.mismatches.push_back(result.mismatch);
+  }
+  trace.covered = fuzzer.accumulated().covered();
+  trace.resets = resets;
+  return trace;
+}
+
+fuzz::BackendConfig rocket_config() {
+  fuzz::BackendConfig config;
+  config.core = soc::CoreKind::kRocket;
+  config.bugs = soc::default_bugs(soc::CoreKind::kRocket);
+  config.rng_seed = 7;
+  return config;
+}
+
+Trace thehuzz_trace(std::size_t exec_batch, int steps) {
+  fuzz::Backend backend(rocket_config());
+  fuzz::TheHuzzConfig config;
+  config.exec_batch = exec_batch;
+  // A tight pool cap forces drop-oldest churn through the spec window.
+  config.pool_cap = 24;
+  fuzz::TheHuzz fuzzer(backend, config);
+  return trace_of(fuzzer, steps, 0);
+}
+
+TEST(SpeculativeEquivalence, TheHuzzBatchedReplaysUnbatched) {
+  const Trace unbatched = thehuzz_trace(1, 300);
+  EXPECT_EQ(thehuzz_trace(64, 300), unbatched);
+  EXPECT_EQ(thehuzz_trace(5, 300), unbatched);
+  EXPECT_GT(unbatched.covered, 0u);
+}
+
+Trace mab_trace(std::size_t exec_batch, int steps) {
+  fuzz::Backend backend(rocket_config());
+  core::MabFuzzConfig config;
+  config.num_arms = 4;
+  config.exec_batch = exec_batch;
+  config.arm_pool_cap = 16;  // force drops through the spec window
+  mab::BanditConfig bandit_config;
+  bandit_config.num_arms = config.num_arms;
+  bandit_config.rng_seed = 7;
+  core::MabScheduler fuzzer(backend, mab::make_bandit("ucb", bandit_config),
+                            config);
+  Trace trace = trace_of(fuzzer, steps, 0);
+  trace.resets = fuzzer.total_resets();
+  return trace;
+}
+
+TEST(SpeculativeEquivalence, MabSchedulerBatchedReplaysUnbatched) {
+  const Trace unbatched = mab_trace(1, 300);
+  const Trace batched = mab_trace(64, 300);
+  EXPECT_EQ(batched, unbatched);
+  EXPECT_GT(unbatched.covered, 0u);
+  EXPECT_GT(unbatched.resets, 0u);  // arm resets crossed the spec blocks
+}
+
+Trace reuse_trace(std::size_t exec_batch, int steps) {
+  fuzz::Backend backend(rocket_config());
+  auto corpus = std::make_shared<fuzz::Corpus>(
+      std::string(soc::core_name(backend.config().core)),
+      backend.coverage_universe(), 64);
+  // Pre-populate the store so several arms start as corpus replays — the
+  // path the prefetch batches.
+  for (int i = 0; i < 6; ++i) {
+    const fuzz::TestCase seed = backend.make_seed();
+    corpus->offer(seed, backend.run_test(seed).coverage);
+  }
+  fuzz::ReuseConfig config;
+  config.exec_batch = exec_batch;
+  mab::BanditConfig bandit_config;
+  bandit_config.num_arms = 4;
+  bandit_config.rng_seed = 7;
+  fuzz::ReuseFuzzer fuzzer(backend, corpus,
+                           mab::make_bandit("thompson", bandit_config), config);
+  Trace trace = trace_of(fuzzer, steps, 0);
+  trace.resets = fuzzer.total_resets();
+  return trace;
+}
+
+TEST(SpeculativeEquivalence, ReuseFuzzerBatchedReplaysUnbatched) {
+  const Trace unbatched = reuse_trace(1, 200);
+  const Trace batched = reuse_trace(64, 200);
+  EXPECT_EQ(batched, unbatched);
+  EXPECT_GT(unbatched.covered, 0u);
+}
+
+}  // namespace
+}  // namespace mabfuzz
