@@ -93,9 +93,10 @@ std::string disassemble_word(Word w) {
   if (d.ok()) {
     return disassemble(d.instr);
   }
+  const std::string_view status = decode_status_name(d.status);
   char buf[64];
-  std::snprintf(buf, sizeof buf, ".word 0x%08x <%s>", w,
-                std::string(decode_status_name(d.status)).c_str());
+  std::snprintf(buf, sizeof buf, ".word 0x%08x <%.*s>", w,
+                static_cast<int>(status.size()), status.data());
   return buf;
 }
 

@@ -1,0 +1,14 @@
+// detlint-path: src/core/scheduler.cpp
+// Fixture: execution_context() is a tests/bench introspection hook. After
+// run_test the scratch holds the caller's *previous* buffers, so library
+// code reading it is reading garbage — results come from the TestOutcome.
+namespace mabfuzz::core {
+
+template <typename Backend, typename Outcome>
+unsigned long long bad_read(Backend& backend, const Outcome& outcome) {
+  auto& scratch = backend.execution_context();  // detlint-expect: context-read
+  (void)outcome;
+  return scratch.decoded.lookups();
+}
+
+}  // namespace mabfuzz::core

@@ -1,0 +1,25 @@
+// detlint-path: src/harness/experiment.cpp
+// Fixture: every wall-clock/environment read in an artifact-path file is a
+// nondet-source finding. `detlint-expect:` markers name the rule each
+// flagged line must produce (tools/detlint_test.py compares exactly).
+#include <chrono>
+#include <cstdlib>
+
+namespace mabfuzz::harness {
+
+double stamp_trial() {
+  const auto now = std::chrono::steady_clock::now();  // detlint-expect: nondet-source
+  const auto wall = std::chrono::system_clock::now();  // detlint-expect: nondet-source
+  const long t = time(nullptr);  // detlint-expect: nondet-source
+  const char* home = getenv("HOME");  // detlint-expect: nondet-source
+  (void)now;
+  (void)wall;
+  (void)home;
+  return static_cast<double>(t);
+}
+
+// Identifiers merely *containing* the banned names stay legal.
+double elapsed_time(double base) { return base; }
+double use_member(double base) { return elapsed_time(base); }
+
+}  // namespace mabfuzz::harness

@@ -1,0 +1,30 @@
+// detlint-path: src/fuzz/thehuzz.cpp
+// Fixture: a TestOutcome constructed inside a loop body allocates per test
+// and defeats the backend scratch-swap reuse pattern. The hoisted
+// declaration before the loop is the correct form and must not flag.
+namespace mabfuzz::fuzz {
+
+struct TestOutcome {
+  int covered = 0;
+};
+
+template <typename Backend, typename Tests>
+int drain(Backend& backend, const Tests& tests) {
+  int total = 0;
+  TestOutcome reused;  // hoisted: correct, reused across every run_test
+  for (const auto& test : tests) {
+    TestOutcome outcome;  // detlint-expect: outcome-in-loop
+    backend.run_test(test, outcome);
+    total += outcome.covered;
+  }
+  unsigned i = 0;
+  while (i < 4) {
+    fuzz::TestOutcome scratch{};  // detlint-expect: outcome-in-loop
+    (void)scratch;
+    ++i;
+  }
+  backend.run_test(tests[0], reused);
+  return total + reused.covered;
+}
+
+}  // namespace mabfuzz::fuzz

@@ -1,0 +1,13 @@
+// detlint-path: src/common/widget.hpp
+// Fixture: headers must open with #pragma once as the first code line; an
+// include guard (or any other code) first is a finding.
+#ifndef MABFUZZ_COMMON_WIDGET_HPP  // detlint-expect: pragma-once
+#define MABFUZZ_COMMON_WIDGET_HPP
+
+#pragma once
+
+namespace mabfuzz::common {
+struct Widget {};
+}  // namespace mabfuzz::common
+
+#endif

@@ -1,0 +1,18 @@
+// detlint-path: src/mutation/operators.cpp
+// Fixture: rng-discipline applies repo-wide (not just artifact paths) —
+// every source of randomness must be a common/rng per-trial stream, and
+// <random> distributions are implementation-defined.
+#include <cstdlib>
+#include <random>  // detlint-expect: rng-discipline
+
+namespace mabfuzz::mutation {
+
+int roll() {
+  std::mt19937 gen(42);  // detlint-expect: rng-discipline
+  std::random_device rd;  // detlint-expect: rng-discipline
+  std::uniform_int_distribution<int> dist(0, 5);  // detlint-expect: rng-discipline
+  (void)rd;
+  return dist(gen) + rand();  // detlint-expect: rng-discipline
+}
+
+}  // namespace mabfuzz::mutation

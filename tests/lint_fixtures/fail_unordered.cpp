@@ -1,0 +1,16 @@
+// detlint-path: src/fuzz/corpus.cpp
+// Fixture: unordered containers anywhere in an artifact-path file are
+// findings — iterating one into the serializer is exactly the bug class
+// that breaks save->load->save byte identity.
+#include <string>
+#include <unordered_map>  // detlint-expect: unordered-container
+#include <unordered_set>  // detlint-expect: unordered-container
+
+namespace mabfuzz::fuzz {
+
+struct Manifest {
+  std::unordered_map<std::string, int> entries;  // detlint-expect: unordered-container
+  std::unordered_multiset<int> hashes;  // detlint-expect: unordered-container
+};
+
+}  // namespace mabfuzz::fuzz

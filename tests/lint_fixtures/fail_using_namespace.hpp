@@ -1,0 +1,17 @@
+// detlint-path: src/harness/helpers.hpp
+// Fixture: `using namespace` at any scope in a header leaks into every
+// includer; both the std and project forms are findings.
+#pragma once
+
+#include <vector>
+
+using namespace std;  // detlint-expect: using-namespace-header
+
+namespace mabfuzz::harness {
+
+inline vector<int> helper() {
+  using namespace mabfuzz;  // detlint-expect: using-namespace-header
+  return {};
+}
+
+}  // namespace mabfuzz::harness

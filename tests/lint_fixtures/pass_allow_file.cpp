@@ -1,0 +1,12 @@
+// detlint-path: src/harness/curves.cpp
+// Fixture: a file-level waiver silences every finding of the named rule in
+// the file, wherever the directive appears.
+// detlint:allow-file(nondet-source)
+#include <chrono>
+
+namespace mabfuzz::harness {
+
+double first() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+double second() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+
+}  // namespace mabfuzz::harness

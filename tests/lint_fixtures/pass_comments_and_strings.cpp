@@ -1,0 +1,18 @@
+// detlint-path: src/common/json.cpp
+// Fixture: banned tokens inside comments and string literals are not code
+// and must not flag. This file mentions steady_clock, getenv and
+// std::mt19937 — in prose only.
+#include <string>
+
+namespace mabfuzz::common {
+
+/* Migration note: the old writer keyed timing off steady_clock and seeded
+   a std::mt19937 from random_device; both are banned in artifact paths
+   now. */
+std::string describe() {
+  return "no getenv(\"TZ\") or time() calls survive in this module";
+}
+
+const char* kBanner = "steady_clock readings feed elapsed_seconds only";
+
+}  // namespace mabfuzz::common

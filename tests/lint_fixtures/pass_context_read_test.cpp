@@ -1,0 +1,12 @@
+// detlint-path: tests/test_differential.cpp
+// Fixture: tests and benches may inspect the execution context freely —
+// that is what the decode-cache hit/miss counters are for.
+namespace mabfuzz {
+
+template <typename Backend>
+bool cache_was_warm(Backend& backend) {
+  return backend.execution_context().decoded.lookups() >
+         backend.execution_context().decoded.misses();
+}
+
+}  // namespace mabfuzz

@@ -1,0 +1,16 @@
+// detlint-path: src/harness/campaign.cpp
+// Fixture: the inline suppression syntax. Both placements must silence the
+// rule — trailing on the offending line, and alone on the line above it.
+#include <chrono>
+
+namespace mabfuzz::harness {
+
+double elapsed_now() {
+  // elapsed_seconds is the documented nondeterministic artifact field.
+  const auto t0 = std::chrono::steady_clock::now();  // detlint:allow(nondet-source)
+  // detlint:allow(nondet-source)
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace mabfuzz::harness

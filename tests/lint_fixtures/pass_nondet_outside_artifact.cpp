@@ -1,0 +1,17 @@
+// detlint-path: src/soc/pipeline.cpp
+// Fixture: nondet-source and unordered-container are scoped to the
+// artifact-path file set; a DUT model may time itself freely.
+#include <chrono>
+#include <unordered_map>
+
+namespace mabfuzz::soc {
+
+double profile_step() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unordered_map<int, int> scratch;
+  scratch[1] = 2;
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace mabfuzz::soc

@@ -1,0 +1,15 @@
+// detlint-path: src/common/widget.hpp
+// Fixture: leading comments (like this banner) and blank lines may precede
+// #pragma once; it must only be the first *code* line.
+
+/* A block comment is fine too. */
+
+#pragma once
+
+#include <cstdint>
+
+namespace mabfuzz::common {
+struct Widget {
+  std::uint32_t id = 0;
+};
+}  // namespace mabfuzz::common

@@ -455,9 +455,9 @@ TEST_P(BatchedDriverDeterminism, RunUntilMatchesManualStepLoop) {
 
 INSTANTIATE_TEST_SUITE_P(Policies, BatchedDriverDeterminism,
                          ::testing::Values("thehuzz", "ucb", "exp3"),
-                         [](const ::testing::TestParamInfo<std::string_view>& info) {
+                         [](const ::testing::TestParamInfo<std::string_view>& param_info) {
                            std::string out;
-                           for (const char c : info.param) {
+                           for (const char c : param_info.param) {
                              if (c != '-') {
                                out += c;
                              }

@@ -198,8 +198,8 @@ std::vector<Mnemonic> all_mnemonics() {
 
 INSTANTIATE_TEST_SUITE_P(AllInstructions, DatapathEquivalence,
                          ::testing::ValuesIn(all_mnemonics()),
-                         [](const ::testing::TestParamInfo<Mnemonic>& info) {
-                           std::string name(spec(info.param).name);
+                         [](const ::testing::TestParamInfo<Mnemonic>& param_info) {
+                           std::string name(spec(param_info.param).name);
                            for (char& c : name) {
                              if (c == '.') {
                                c = '_';

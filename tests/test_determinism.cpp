@@ -85,10 +85,10 @@ TEST_P(DeterminismTest, RunMakesProgress) {
 INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismTest,
                          ::testing::Values("ucb", "epsilon-greedy", "exp3",
                                            "thompson"),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            // gtest parameter names must be alphanumeric
                            // ("epsilon-greedy" has a hyphen).
-                           std::string name(info.param);
+                           std::string name(param_info.param);
                            std::erase_if(name, [](char c) {
                              return !std::isalnum(static_cast<unsigned char>(c));
                            });

@@ -169,8 +169,8 @@ TEST_P(DirectedPrograms, CsrInstrumentedLoop) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCores, DirectedPrograms, ::testing::ValuesIn(kAllCores),
-                         [](const ::testing::TestParamInfo<CoreKind>& info) {
-                           return std::string(core_name(info.param));
+                         [](const ::testing::TestParamInfo<CoreKind>& param_info) {
+                           return std::string(core_name(param_info.param));
                          });
 
 }  // namespace

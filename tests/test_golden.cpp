@@ -512,8 +512,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllImplemented, CsrWarl,
     ::testing::ValuesIn(std::vector<isa::CsrAddr>(
         isa::implemented_csrs().begin(), isa::implemented_csrs().end())),
-    [](const ::testing::TestParamInfo<isa::CsrAddr>& info) {
-      return std::string(*isa::csr_name(info.param));
+    [](const ::testing::TestParamInfo<isa::CsrAddr>& param_info) {
+      return std::string(*isa::csr_name(param_info.param));
     });
 
 // --- ISS whole-program invariants (property style) --------------------------------

@@ -55,8 +55,8 @@ TEST_P(CampaignBuild, ConstructsAndSteps) {
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, CampaignBuild,
                          ::testing::ValuesIn(kAllPolicies),
-                         [](const ::testing::TestParamInfo<std::string_view>& info) {
-                           return sanitized(info.param);
+                         [](const ::testing::TestParamInfo<std::string_view>& param_info) {
+                           return sanitized(param_info.param);
                          });
 
 TEST(PolicyLists, CoverThePaperSweeps) {

@@ -103,9 +103,9 @@ TEST_P(CampaignDeterminism, DifferentRunsDiffer) {
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, CampaignDeterminism,
                          ::testing::ValuesIn(kAllPolicies),
-                         [](const ::testing::TestParamInfo<std::string_view>& info) {
+                         [](const ::testing::TestParamInfo<std::string_view>& param_info) {
                            std::string out;
-                           for (const char c : info.param) {
+                           for (const char c : param_info.param) {
                              if (std::isalnum(static_cast<unsigned char>(c))) {
                                out += c;
                              }

@@ -89,8 +89,8 @@ TEST_P(Convergence, AllArmsExplored) {
 INSTANTIATE_TEST_SUITE_P(
     Algorithms, Convergence,
     ::testing::Values("epsilon-greedy", "ucb", "exp3", "thompson"),
-    [](const ::testing::TestParamInfo<std::string_view>& info) {
-      std::string name(info.param);
+    [](const ::testing::TestParamInfo<std::string_view>& param_info) {
+      std::string name(param_info.param);
       for (char& c : name) {
         if (c == '-') {
           c = '_';

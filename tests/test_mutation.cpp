@@ -66,8 +66,8 @@ std::vector<Op> all_ops() {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOperators, OperatorTest, ::testing::ValuesIn(all_ops()),
-                         [](const ::testing::TestParamInfo<Op>& info) {
-                           return std::string(op_name(info.param));
+                         [](const ::testing::TestParamInfo<Op>& param_info) {
+                           return std::string(op_name(param_info.param));
                          });
 
 // --- specific operator semantics ---------------------------------------------------

@@ -140,9 +140,9 @@ INSTANTIATE_TEST_SUITE_P(
                       Universe{soc::CoreKind::kBoom, "none"},
                       Universe{soc::CoreKind::kBoom, "default"},
                       Universe{soc::CoreKind::kBoom, "all"}),
-    [](const auto& info) {
-      return std::string(soc::core_name(info.param.core)) + "_" +
-             info.param.bugs;
+    [](const auto& param_info) {
+      return std::string(soc::core_name(param_info.param.core)) + "_" +
+             param_info.param.bugs;
     });
 
 TEST(RunBatch, EmptyBatchIsANoOp) {

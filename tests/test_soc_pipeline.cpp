@@ -161,8 +161,8 @@ TEST_P(CoreEquivalence, DeterministicRuns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCores, CoreEquivalence, ::testing::ValuesIn(kAllCores),
-                         [](const ::testing::TestParamInfo<CoreKind>& info) {
-                           return std::string(core_name(info.param));
+                         [](const ::testing::TestParamInfo<CoreKind>& param_info) {
+                           return std::string(core_name(param_info.param));
                          });
 
 // --- structural properties -------------------------------------------------------
