@@ -2,7 +2,7 @@
 // warmed-up campaign find a bug than campaigns starting from nothing?
 //
 // Protocol (ReFuzz-style cross-campaign reuse):
-//   1. Warm-up: one clean-core reuse campaign builds a mabfuzz-corpus-v1
+//   1. Warm-up: one clean-core reuse campaign builds a mabfuzz-corpus-v2
 //      store (no bugs enabled — the corpus captures *coverage* knowledge,
 //      not bug knowledge; carrying detections over would be cheating).
 //   2. Detection matrix on the bugged core, Table I protocol (each trial

@@ -20,11 +20,13 @@
 //   --tests N  --seed S  --run R
 //   --arms N --alpha A --gamma G --epsilon E --eta H
 //   --adaptive-ops --adaptive-length     (Sec. V extensions)
-//   --corpus-in PATH --corpus-out PATH   (persistent mabfuzz-corpus-v1
+//   --corpus-in PATH --corpus-out PATH   (persistent mabfuzz-corpus-v2
 //                        store; pair with --fuzzer reuse for ReFuzz-style
 //                        cross-campaign seed scheduling — --reuse-bandit
 //                        and --corpus-cap tune it; docs/ARTIFACTS.md has
-//                        the format)
+//                        the format. In matrix mode each trial writes a
+//                        private <PATH>.shard-<trial> store and the engine
+//                        merges the shards into PATH after the run)
 //   --progress N   (status line every N tests; 0 = quiet)
 //   --csv          (emit the per-sample coverage CSV at the end;
 //                   in matrix mode: the per-trial CSV)
@@ -38,6 +40,11 @@
 //   --workers W    worker threads (0 = hardware concurrency)
 //   --target-bug V stop each trial at V's detection (Table I protocol)
 //   --json PATH    write the mabfuzz-experiment-v1 artifact ("-" = stdout)
+//
+// Corpus toolbox (first positional argument "corpus"):
+//   corpus info PATH...              print store summaries
+//   corpus merge --out OUT IN IN...  fold stores (argument order) into OUT
+//   corpus distill IN [--out OUT]    greedy set-cover; in place without --out
 
 #include <algorithm>
 #include <fstream>
@@ -84,19 +91,82 @@ int print_help(const std::string& program) {
   std::cout << "\ndriver flags: --progress N, --csv, --ranking N, "
                "--list-fuzzers, --help\n"
                "matrix flags: --trials N, --matrix A,B,.., --workers W, "
-               "--target-bug Vn, --json PATH\n";
+               "--target-bug Vn, --json PATH\n"
+               "corpus verbs: corpus info PATH..., "
+               "corpus merge --out OUT IN IN..., "
+               "corpus distill IN [--out OUT]\n";
   return 0;
 }
 
-int run_matrix(const common::CliArgs& args, harness::CampaignConfig config) {
-  if (!config.corpus_out.empty()) {
-    // TrialMatrix::expand rejects this too; catching it here gives the
-    // flag-level message instead of an exception trace.
-    std::cerr << "error: --corpus-out is a single-campaign flag "
-                 "(matrix trials share one output path; use --corpus-in "
-                 "to warm-start trials from a saved store)\n";
-    return 1;
+int corpus_usage(const std::string& program) {
+  std::cerr << "usage: " << program << " corpus info PATH...\n"
+            << "       " << program << " corpus merge --out OUT IN IN [IN...]\n"
+            << "       " << program << " corpus distill IN [--out OUT]\n";
+  return 1;
+}
+
+void print_corpus_summary(const std::string& path, const fuzz::Corpus& corpus) {
+  std::cout << path << ": core " << corpus.core() << ", " << corpus.size()
+            << "/" << corpus.max_entries() << " entries, " << corpus.covered()
+            << "/" << corpus.universe() << " points accumulated, "
+            << corpus.admitted() << " admitted / " << corpus.rejected()
+            << " rejected / " << corpus.evicted() << " evicted\n";
+}
+
+int run_corpus_tool(const common::CliArgs& args) {
+  const std::vector<std::string>& pos = args.positional();  // [0] == "corpus"
+  if (pos.size() < 2) {
+    return corpus_usage(args.program());
   }
+  const std::string& verb = pos[1];
+  const std::vector<std::string> paths(pos.begin() + 2, pos.end());
+
+  if (verb == "info") {
+    if (paths.empty()) {
+      return corpus_usage(args.program());
+    }
+    for (const std::string& path : paths) {
+      print_corpus_summary(path, fuzz::Corpus::load(path));
+    }
+    return 0;
+  }
+  if (verb == "merge") {
+    const std::string out = args.get_string("out", "");
+    if (out.empty() || paths.size() < 2) {
+      return corpus_usage(args.program());
+    }
+    // Fold in argument order — with novelty recomputed per merge, the fold
+    // order is part of the result's identity, so callers reproduce a store
+    // byte-for-byte by passing the inputs in the same order.
+    fuzz::Corpus merged = fuzz::Corpus::load(paths.front());
+    for (std::size_t i = 1; i < paths.size(); ++i) {
+      merged.merge(fuzz::Corpus::load(paths[i]));
+    }
+    merged.save(out);
+    std::cout << "merged " << paths.size() << " stores (argument order)\n";
+    print_corpus_summary(out, merged);
+    return 0;
+  }
+  if (verb == "distill") {
+    if (paths.size() != 1) {
+      return corpus_usage(args.program());
+    }
+    // Without --out the store is distilled in place (the manifest sidecar
+    // is rewritten with it).
+    const std::string out = args.get_string("out", paths.front());
+    fuzz::Corpus corpus = fuzz::Corpus::load(paths.front());
+    const std::size_t removed = corpus.distill();
+    corpus.save(out);
+    std::cout << "distilled " << paths.front() << ": removed " << removed
+              << " entries\n";
+    print_corpus_summary(out, corpus);
+    return 0;
+  }
+  std::cerr << "error: unknown corpus verb '" << verb << "'\n";
+  return corpus_usage(args.program());
+}
+
+int run_matrix(const common::CliArgs& args, harness::CampaignConfig config) {
   harness::TrialMatrix matrix;
   matrix.base = std::move(config);
   matrix.trials = std::max<std::uint64_t>(1, args.get_uint("trials", 1));
@@ -157,6 +227,23 @@ int run_matrix(const common::CliArgs& args, harness::CampaignConfig config) {
     harness::report_failures(std::cout, result);
   }
 
+  // Sharded corpus federation: the engine already merged every successful
+  // trial's shard into the requested store(s); name them for the user.
+  std::vector<std::string> merged_corpora;
+  for (const harness::TrialSpec& spec : experiment.specs()) {
+    if (spec.corpus_merge_out.empty() ||
+        result.trials[spec.index].failed ||
+        std::find(merged_corpora.begin(), merged_corpora.end(),
+                  spec.corpus_merge_out) != merged_corpora.end()) {
+      continue;
+    }
+    merged_corpora.push_back(spec.corpus_merge_out);
+  }
+  for (const std::string& path : merged_corpora) {
+    std::cout << "\nwrote merged corpus " << path << " (+ manifest " << path
+              << ".json)\n";
+  }
+
   if (args.get_bool("csv", false)) {
     std::cout << "\n--- per-trial CSV ---\n";
     harness::write_trials_csv(std::cout, result);
@@ -188,6 +275,9 @@ int run_matrix(const common::CliArgs& args, harness::CampaignConfig config) {
 int main(int argc, char** argv) {
   try {
     const common::CliArgs args(argc, argv);
+    if (!args.positional().empty() && args.positional().front() == "corpus") {
+      return run_corpus_tool(args);
+    }
     if (args.has("list-fuzzers")) {
       return list_fuzzers();
     }

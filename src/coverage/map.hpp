@@ -74,7 +74,7 @@ class Map {
 
   /// The raw 64-bit backing words, lowest point id in bit 0 of word 0.
   /// Bits at or above universe() are always zero — the serialization
-  /// surface of the mabfuzz-corpus-v1 artifact (docs/ARTIFACTS.md).
+  /// surface of the mabfuzz-corpus-v2 artifact (docs/ARTIFACTS.md).
   [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
     return words_;
   }

@@ -1,11 +1,14 @@
 #include "fuzz/corpus.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "common/json.hpp"
 
@@ -54,6 +57,15 @@ void put_bytes(std::ostream& os, const std::vector<std::uint8_t>& bytes) {
   throw std::runtime_error("corpus load: " + std::string(what));
 }
 
+/// File-level I/O failure with the OS reason attached, so a full disk is
+/// distinguishable from a misspelled path. errno is captured before the
+/// message strings allocate (allocation may clobber it).
+[[noreturn]] void fail_io(std::string_view action, const std::string& path) {
+  const int saved_errno = errno;
+  throw std::runtime_error(std::string(action) + " '" + path +
+                           "': " + std::strerror(saved_errno));
+}
+
 std::uint32_t get_u32(std::istream& is) {
   char bytes[4];
   if (!is.read(bytes, 4)) {
@@ -89,6 +101,74 @@ std::uint64_t get_length(std::istream& is, std::string_view what) {
   return n;
 }
 
+/// Reads one u64-counted coverage-word block (per-entry maps and the
+/// accumulated map share the layout) into `map`, validating the length
+/// against both the sanity bound and the declared universe.
+void get_map(std::istream& is, std::string_view what, std::uint64_t universe,
+             coverage::Map& map) {
+  const std::uint64_t word_count = get_u64(is);
+  if (word_count > kMaxFieldLength) {
+    fail(std::string(what) + " length exceeds the sanity bound");
+  }
+  std::vector<std::uint64_t> words;
+  words.reserve(static_cast<std::size_t>(word_count));
+  for (std::uint64_t w = 0; w < word_count; ++w) {
+    words.push_back(get_u64(is));
+  }
+  try {
+    map.assign_words(static_cast<std::size_t>(universe), words);
+  } catch (const std::invalid_argument& e) {
+    fail(std::string(what) + ": " + e.what());
+  }
+}
+
+/// The canonical federation order merge() re-offers candidates in:
+/// novelty descending (the highest-yield tests re-enter the gate first,
+/// mirroring the eviction policy's preference), then admission order,
+/// then full test content so the ordering never depends on which store a
+/// candidate came from, then source rank — reachable only for entries
+/// identical in every field, where the admission gate rejects the
+/// duplicate regardless of order. This makes the pairwise merge
+/// commutative: merge(A,B) and merge(B,A) serialize byte-identically.
+bool merge_precedes(const std::pair<const CorpusEntry*, int>& a,
+                    const std::pair<const CorpusEntry*, int>& b) {
+  const CorpusEntry& ea = *a.first;
+  const CorpusEntry& eb = *b.first;
+  if (ea.novelty != eb.novelty) {
+    return ea.novelty > eb.novelty;
+  }
+  if (ea.order != eb.order) {
+    return ea.order < eb.order;
+  }
+  const TestCase& ta = ea.test;
+  const TestCase& tb = eb.test;
+  if (ta.id != tb.id) {
+    return ta.id < tb.id;
+  }
+  if (ta.seed_id != tb.seed_id) {
+    return ta.seed_id < tb.seed_id;
+  }
+  if (ta.parent_id != tb.parent_id) {
+    return ta.parent_id < tb.parent_id;
+  }
+  if (ta.generation != tb.generation) {
+    return ta.generation < tb.generation;
+  }
+  if (ta.words != tb.words) {
+    return ta.words < tb.words;
+  }
+  if (ta.mutation_ops != tb.mutation_ops) {
+    return ta.mutation_ops < tb.mutation_ops;
+  }
+  const auto wa = ea.map.words();
+  const auto wb = eb.map.words();
+  if (!std::equal(wa.begin(), wa.end(), wb.begin(), wb.end())) {
+    return std::lexicographical_compare(wa.begin(), wa.end(), wb.begin(),
+                                        wb.end());
+  }
+  return a.second < b.second;
+}
+
 }  // namespace
 
 Corpus::Corpus(std::string core, std::size_t coverage_universe,
@@ -117,12 +197,95 @@ bool Corpus::offer(const TestCase& test, const coverage::Map& test_coverage) {
   }
   CorpusEntry entry;
   entry.test = test;
+  entry.map = test_coverage;
   entry.novelty = fresh;
   entry.order = next_order_++;
   entries_.push_back(std::move(entry));
   accumulated_.merge(test_coverage);
   ++admitted_;
   return true;
+}
+
+// --- federation -----------------------------------------------------------------
+
+void Corpus::merge(const Corpus& other) {
+  if (other.core_ != core_) {
+    throw std::invalid_argument("corpus merge: core mismatch ('" + core_ +
+                                "' vs '" + other.core_ + "')");
+  }
+  if (other.universe() != universe()) {
+    throw std::invalid_argument(
+        "corpus merge: coverage universe mismatch (" +
+        std::to_string(universe()) + " vs " +
+        std::to_string(other.universe()) + ")");
+  }
+  std::vector<std::pair<const CorpusEntry*, int>> candidates;
+  candidates.reserve(entries_.size() + other.entries_.size());
+  for (const CorpusEntry& entry : entries_) {
+    candidates.emplace_back(&entry, 0);
+  }
+  for (const CorpusEntry& entry : other.entries_) {
+    candidates.emplace_back(&entry, 1);
+  }
+  std::sort(candidates.begin(), candidates.end(), merge_precedes);
+
+  // Re-offer the union into a fresh store: novelty and admission order are
+  // recomputed against the merged gate, so the result equals what a single
+  // campaign would have built from these tests in canonical order.
+  Corpus merged(core_, universe(), std::max(max_entries_, other.max_entries_));
+  for (const auto& candidate : candidates) {
+    merged.offer(candidate.first->test, candidate.first->map);
+  }
+  // The ratchet survives federation: points contributed by entries evicted
+  // before the merge keep gating admissions afterwards.
+  merged.accumulated_.merge(accumulated_);
+  merged.accumulated_.merge(other.accumulated_);
+  *this = std::move(merged);
+}
+
+std::size_t Corpus::distill() {
+  if (entries_.empty()) {
+    return 0;
+  }
+  // The cover target is the union of the current entries' maps, not the
+  // accumulated ratchet: the ratchet may hold points only evicted entries
+  // ever covered, which no subset of the survivors can reproduce. The
+  // ratchet itself is left untouched.
+  coverage::Map covered_so_far(universe());
+  std::vector<bool> keep(entries_.size(), false);
+  for (;;) {
+    std::size_t best = entries_.size();
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (keep[i]) {
+        continue;
+      }
+      const std::size_t gain = entries_[i].map.count_new(covered_so_far);
+      // Strict > keeps ties on the earliest entry; entries_ is stored in
+      // admission order, so that is the oldest — matching the eviction
+      // policy's tie-break, mirrored.
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best_gain == 0) {
+      break;
+    }
+    keep[best] = true;
+    covered_so_far.merge(entries_[best].map);
+  }
+  std::vector<CorpusEntry> kept;
+  kept.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (keep[i]) {
+      kept.push_back(std::move(entries_[i]));
+    }
+  }
+  const std::size_t removed = entries_.size() - kept.size();
+  entries_ = std::move(kept);
+  evicted_ += removed;
+  return removed;
 }
 
 // --- serialization --------------------------------------------------------------
@@ -151,6 +314,11 @@ void Corpus::save(std::ostream& os) const {
     for (const isa::Word word : entry.test.words) {
       put_u32(os, word);
     }
+    const auto map_words = entry.map.words();
+    put_u64(os, map_words.size());
+    for (const std::uint64_t word : map_words) {
+      put_u64(os, word);
+    }
   }
   const auto words = accumulated_.words();
   put_u64(os, words.size());
@@ -167,7 +335,7 @@ void Corpus::save(const std::string& path) const {
       os.flush();
     }
     if (!os) {
-      throw std::runtime_error("corpus save: cannot write '" + path + "'");
+      fail_io("corpus save: cannot write", path);
     }
   }
   const std::string manifest_path = path + ".json";
@@ -177,8 +345,7 @@ void Corpus::save(const std::string& path) const {
     manifest.flush();
   }
   if (!manifest) {
-    throw std::runtime_error("corpus save: cannot write '" + manifest_path +
-                             "'");
+    fail_io("corpus save: cannot write", manifest_path);
   }
 }
 
@@ -205,6 +372,7 @@ void Corpus::write_manifest(std::ostream& os) const {
     json.key("novelty").value(entry.novelty);
     json.key("order").value(entry.order);
     json.key("words").value(static_cast<std::uint64_t>(entry.test.words.size()));
+    json.key("coverage").value(static_cast<std::uint64_t>(entry.map.count()));
     json.end_object();
   }
   json.end_array();
@@ -232,11 +400,16 @@ Corpus Corpus::load(std::istream& is) {
   if (universe > kMaxUniverse) {
     fail("universe " + std::to_string(universe) + " exceeds the sanity bound");
   }
-  const std::uint64_t max_entries = get_u64(is);
-  if (max_entries > kMaxEntries) {
-    fail("entry cap " + std::to_string(max_entries) +
+  const std::uint64_t stored_max_entries = get_u64(is);
+  if (stored_max_entries > kMaxEntries) {
+    fail("entry cap " + std::to_string(stored_max_entries) +
          " exceeds the sanity bound");
   }
+  // Clamp explicitly rather than through the constructor: a hand-edited or
+  // foreign-tool file with max_entries=0 describes a corpus this class
+  // forbids, and the load-side contract is "honor the stored cap, floored
+  // at 1" — not "whatever the constructor happens to do".
+  const std::uint64_t max_entries = std::max<std::uint64_t>(1, stored_max_entries);
 
   Corpus corpus(std::move(core), static_cast<std::size_t>(universe),
                 static_cast<std::size_t>(max_entries));
@@ -274,30 +447,18 @@ Corpus Corpus::load(std::istream& is) {
     for (std::uint64_t w = 0; w < words; ++w) {
       entry.test.words.push_back(get_u32(is));
     }
+    get_map(is, "entry coverage map", universe, entry.map);
     corpus.entries_.push_back(std::move(entry));
   }
 
-  const std::uint64_t map_words = get_u64(is);
-  if (map_words > kMaxFieldLength) {
-    fail("coverage map length exceeds the sanity bound");
-  }
-  std::vector<std::uint64_t> words;
-  words.reserve(static_cast<std::size_t>(map_words));
-  for (std::uint64_t w = 0; w < map_words; ++w) {
-    words.push_back(get_u64(is));
-  }
-  try {
-    corpus.accumulated_.assign_words(static_cast<std::size_t>(universe), words);
-  } catch (const std::invalid_argument& e) {
-    fail(e.what());
-  }
+  get_map(is, "accumulated coverage map", universe, corpus.accumulated_);
   return corpus;
 }
 
 Corpus Corpus::load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
-    throw std::runtime_error("corpus load: cannot open '" + path + "'");
+    fail_io("corpus load: cannot open", path);
   }
   return load(is);
 }

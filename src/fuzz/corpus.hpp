@@ -7,12 +7,20 @@
 // the entry with the lowest novelty score (the points it contributed at
 // admission), never by age.
 //
-// The store serializes deterministically as the mabfuzz-corpus-v1 artifact
-// (docs/ARTIFACTS.md): a little-endian binary file carrying the tests, the
-// admission scores and the accumulated coverage map, plus a JSON manifest
-// sidecar (`<path>.json`, emitted through common/json) for external
-// tooling and CI validators. Equal corpora serialize byte-identically, so
-// a save → load → save round trip reproduces the file exactly.
+// The store serializes deterministically as the mabfuzz-corpus-v2 artifact
+// (docs/ARTIFACTS.md): a little-endian binary file carrying the tests,
+// their full coverage maps, the admission scores and the accumulated
+// coverage map, plus a JSON manifest sidecar (`<path>.json`, emitted
+// through common/json) for external tooling and CI validators. Equal
+// corpora serialize byte-identically, so a save → load → save round trip
+// reproduces the file exactly.
+//
+// Federation: merge() folds another store into this one by re-offering the
+// union of both entry sets in a canonical content-based order, so the
+// result is independent of which shard arrived first; distill() shrinks
+// the store to a greedy set-cover of its entries' combined coverage.
+// Both exist so sharded matrix runs (harness::Experiment) and the
+// `mabfuzz_cli corpus` verbs can build one corpus from many writers.
 
 #include <cstddef>
 #include <cstdint>
@@ -29,6 +37,9 @@ namespace mabfuzz::fuzz {
 /// One admitted test with its admission-time score and sequence number.
 struct CorpusEntry {
   TestCase test;
+  /// The test's full coverage map as executed — what merge() re-gates with
+  /// and distill() set-covers over. Same universe as the owning corpus.
+  coverage::Map map;
   /// Coverage points this test added over the accumulated map when it was
   /// admitted — the eviction score (lower = evicted first).
   std::uint64_t novelty = 0;
@@ -42,8 +53,8 @@ struct CorpusEntry {
 
 class Corpus {
  public:
-  static constexpr std::string_view kSchema = "mabfuzz-corpus-v1";
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::string_view kSchema = "mabfuzz-corpus-v2";
+  static constexpr std::uint32_t kVersion = 2;
 
   /// An empty corpus bound to one DUT configuration: `core` is the
   /// soc::core_name the tests were executed on and `coverage_universe` the
@@ -53,11 +64,32 @@ class Corpus {
   Corpus(std::string core, std::size_t coverage_universe,
          std::size_t max_entries = 256);
 
-  /// Offers one executed test. Admitted (and copied in) only when
-  /// `test_coverage` sets at least one point the accumulated map does not;
-  /// an admission into a full corpus first evicts the lowest-novelty entry
-  /// (ties evict the oldest). Returns whether the test was admitted.
+  /// Offers one executed test. Admitted (and copied in, along with its
+  /// coverage map) only when `test_coverage` sets at least one point the
+  /// accumulated map does not; an admission into a full corpus first
+  /// evicts the lowest-novelty entry (ties evict the oldest). Returns
+  /// whether the test was admitted.
   bool offer(const TestCase& test, const coverage::Map& test_coverage);
+
+  /// Folds `other` into this store deterministically: the union of both
+  /// entry sets is re-offered into a fresh store in canonical order —
+  /// novelty descending, then admission order, then full test content,
+  /// then source rank (this before other, reachable only for identical
+  /// entries, which the admission gate dedups anyway) — so merge(A,B) and
+  /// merge(B,A) produce byte-identical stores no matter which shard
+  /// finished first. The accumulated map becomes the union of both inputs'
+  /// maps (the ratchet keeps evicted entries' contributions); the entry
+  /// cap becomes the larger of the two. Throws std::invalid_argument on a
+  /// core or universe mismatch, exactly like load-time validation.
+  void merge(const Corpus& other);
+
+  /// Greedy set-cover distillation: keeps the minimal (greedy) subset of
+  /// entries whose combined coverage equals the combined coverage of all
+  /// current entries, preferring high-gain then older entries, and drops
+  /// the rest (counted as evictions). The accumulated map is untouched —
+  /// distillation shrinks the store, never the admission ratchet. Returns
+  /// the number of entries removed.
+  std::size_t distill();
 
   [[nodiscard]] const std::vector<CorpusEntry>& entries() const noexcept {
     return entries_;
@@ -84,14 +116,14 @@ class Corpus {
   [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
   [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
 
-  // --- serialization (mabfuzz-corpus-v1; format in docs/ARTIFACTS.md) ---
+  // --- serialization (mabfuzz-corpus-v2; format in docs/ARTIFACTS.md) ---
 
   /// Writes the deterministic little-endian binary image.
   void save(std::ostream& os) const;
 
   /// Writes the binary image to `path` and the JSON manifest to
-  /// `<path>.json`. Throws std::runtime_error when either file cannot be
-  /// written.
+  /// `<path>.json`. Throws std::runtime_error (with the OS reason
+  /// appended) when either file cannot be written.
   void save(const std::string& path) const;
 
   /// The JSON manifest (schema, provenance, per-entry metadata — no test

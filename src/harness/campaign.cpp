@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <charconv>
 #include <exception>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
+
+#include <unistd.h>
 
 #include "common/log.hpp"
 #include "core/adaptive.hpp"
@@ -204,7 +207,7 @@ constexpr ConfigKey kConfigKeys[] = {
      [](CampaignConfig& c, std::string_view v) {
        c.policy.length_choices = parse_lengths("length-choices", v);
      }},
-    {"corpus-in", "load a mabfuzz-corpus-v1 store before the run",
+    {"corpus-in", "load a mabfuzz-corpus-v2 store before the run",
      [](CampaignConfig& c, std::string_view v) { c.corpus_in = std::string(v); }},
     {"corpus-out", "save the campaign's corpus here after the run",
      [](CampaignConfig& c, std::string_view v) {
@@ -276,6 +279,24 @@ CampaignConfig CampaignConfig::from_args(const common::CliArgs& args,
 
 CampaignConfig CampaignConfig::from_args(const common::CliArgs& args) {
   return from_args(args, CampaignConfig{});
+}
+
+void validate_output_directory(const std::string& path, std::string_view what) {
+  namespace fs = std::filesystem;
+  const fs::path parent = fs::path(path).parent_path();
+  // A bare filename writes to the working directory.
+  const fs::path dir = parent.empty() ? fs::path(".") : parent;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::invalid_argument(std::string(what) + " '" + path +
+                                "': parent directory '" + dir.string() +
+                                "' does not exist or is not a directory");
+  }
+  if (::access(dir.c_str(), W_OK) != 0) {
+    throw std::invalid_argument(std::string(what) + " '" + path +
+                                "': parent directory '" + dir.string() +
+                                "' is not writable");
+  }
 }
 
 std::vector<std::pair<std::string, std::string>> CampaignConfig::known_keys() {
@@ -397,6 +418,11 @@ Campaign::Campaign(const CampaignConfig& config) : config_(config) {
   // selected policy feeds; corpus_in additionally validates that the
   // stored tests were produced on this campaign's DUT configuration —
   // replaying a CVA6 corpus on Rocket would silently measure nothing.
+  // corpus_out is validated up front: save_corpus() runs at end-of-run,
+  // and a misspelled path must not cost an entire campaign to discover.
+  if (!config_.corpus_out.empty()) {
+    validate_output_directory(config_.corpus_out, "corpus-out");
+  }
   if (!config_.corpus_in.empty()) {
     fuzz::Corpus loaded = fuzz::Corpus::load(config_.corpus_in);
     if (loaded.core() != soc::core_name(config_.core)) {

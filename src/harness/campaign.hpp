@@ -59,7 +59,7 @@ struct CampaignConfig {
   /// at least 1).
   std::uint64_t snapshot_every = 0;
   /// Cross-campaign corpus persistence (fuzz/corpus.hpp). `corpus_in`
-  /// loads a mabfuzz-corpus-v1 store before the run (validated against
+  /// loads a mabfuzz-corpus-v2 store before the run (validated against
   /// this campaign's core and coverage universe); `corpus_out` is where
   /// save_corpus() writes the store afterwards. Either key makes the
   /// campaign materialise one shared store in `policy.corpus`, which every
@@ -103,6 +103,13 @@ struct CampaignConfig {
     return max_tests / 100 == 0 ? 1 : max_tests / 100;
   }
 };
+
+/// Fail-fast guard for end-of-run output paths (corpus-out, sharded matrix
+/// merge targets): throws std::invalid_argument naming `what` when the
+/// parent directory of `path` does not exist, is not a directory, or is
+/// not writable. Called at config-validation time so a misspelled path
+/// fails before the campaign burns its test budget, not after.
+void validate_output_directory(const std::string& path, std::string_view what);
 
 class Campaign;
 

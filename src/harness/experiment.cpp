@@ -1,12 +1,15 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "fuzz/corpus.hpp"
 #include "harness/worker_pool.hpp"
 
 namespace mabfuzz::harness {
@@ -21,6 +24,11 @@ std::vector<TrialSpec> TrialMatrix::expand() const {
 
   std::vector<TrialSpec> specs;
   specs.reserve(fuzzer_axis.size() * variant_axis.size() * trials);
+  // Cells sharing a corpus_out target feed one post-barrier merge; every
+  // contributor must run the same core, or the fold would reject (or,
+  // worse, silently mix) incompatible coverage universes. A plain vector:
+  // artifact-path code bans unordered containers, and targets are few.
+  std::vector<std::pair<std::string, soc::CoreKind>> merge_targets;
   for (const std::string& fuzzer : fuzzer_axis) {
     for (const TrialVariant& variant : variant_axis) {
       CampaignConfig cell_base = base;
@@ -30,15 +38,26 @@ std::vector<TrialSpec> TrialMatrix::expand() const {
       // malformed override throws here, before any trial runs.
       const CampaignConfig cell_config =
           CampaignConfig::from_pairs(variant.overrides, cell_base);
-      // corpus_out is a single-campaign facility: nothing in the matrix
-      // path saves a corpus, and auto-saving would race every trial on
-      // one file. Reject at expansion, before any trial runs, so every
-      // driver inherits the restriction (corpus_in — read-only — is fine).
+      // corpus_out in a matrix means sharded federation: each trial writes
+      // its own `<target>.shard-<index>` store (no two trials share a
+      // file) and Experiment::run() merges the shards into `target` after
+      // the pool drains. Validate the destination and the cross-cell core
+      // agreement here, before any trial burns its budget.
       if (!cell_config.corpus_out.empty()) {
-        throw std::invalid_argument(
-            "TrialMatrix: corpus_out ('" + cell_config.corpus_out +
-            "') is not supported in trial matrices; save a corpus from a "
-            "single Campaign and pass it to trials via corpus_in");
+        validate_output_directory(cell_config.corpus_out, "matrix corpus_out");
+        const auto known = std::find_if(
+            merge_targets.begin(), merge_targets.end(),
+            [&](const auto& t) { return t.first == cell_config.corpus_out; });
+        if (known == merge_targets.end()) {
+          merge_targets.emplace_back(cell_config.corpus_out, cell_config.core);
+        } else if (known->second != cell_config.core) {
+          throw std::invalid_argument(
+              "TrialMatrix: corpus_out '" + cell_config.corpus_out +
+              "' is shared by cells targeting different cores ('" +
+              std::string(soc::core_name(known->second)) + "' vs '" +
+              std::string(soc::core_name(cell_config.core)) +
+              "'); per-core stores cannot merge");
+        }
       }
       for (std::uint64_t r = 0; r < trials; ++r) {
         TrialSpec spec;
@@ -51,6 +70,14 @@ std::vector<TrialSpec> TrialMatrix::expand() const {
         spec.run_index = first_run + r;
         spec.config = cell_config;
         spec.config.run_index = spec.run_index;
+        if (!cell_config.corpus_out.empty()) {
+          // Suffix on the matrix-wide trial index, not run_index: two
+          // cells sharing a target also share the run_index range, and
+          // shard paths must never collide.
+          spec.corpus_merge_out = cell_config.corpus_out;
+          spec.config.corpus_out =
+              cell_config.corpus_out + ".shard-" + std::to_string(spec.index);
+        }
         specs.push_back(std::move(spec));
       }
     }
@@ -148,12 +175,18 @@ TrialResult Experiment::run_trial(const TrialSpec& spec) const {
   result.variant = spec.variant;
   result.run_index = spec.run_index;
   // Provenance is config, not outcome: a failed warm-start trial must
-  // still be recorded as warm-started in the artifacts.
+  // still be recorded as warm-started (and shard-assigned) in the
+  // artifacts.
   result.corpus_in = spec.config.corpus_in;
+  result.corpus_out = spec.config.corpus_out;
   try {
     Campaign campaign(spec.config);
     result.corpus_entries = campaign.corpus_loaded_entries();
     const RunResult run = campaign.run_until(stop_condition(spec));
+    if (campaign.corpus() != nullptr && !spec.config.corpus_out.empty()) {
+      result.corpus_out_entries = campaign.corpus()->size();
+      campaign.save_corpus();
+    }
     result.stop = run.reason;
     result.tests_executed = run.tests_executed;
     result.covered = campaign.covered();
@@ -247,6 +280,8 @@ ExperimentResult Experiment::run() const {
     trial.error = failure.message;
   }
 
+  merge_corpus_shards(result);
+
   // Cells in fuzzer-major expansion order.
   for (const TrialSpec& spec : specs_) {
     if (result.find_cell(spec.fuzzer, spec.variant) != nullptr) {
@@ -287,6 +322,53 @@ ExperimentResult Experiment::run() const {
   return result;
 }
 
+void Experiment::merge_corpus_shards(const ExperimentResult& result) const {
+  // Targets in first-appearance spec order; within a target the fold runs
+  // in spec-index order. Both orders depend only on the matrix, never on
+  // which worker finished first — and Corpus::merge is itself canonical —
+  // so the merged file is byte-identical for any worker count.
+  std::vector<std::string> targets;
+  for (const TrialSpec& spec : specs_) {
+    if (spec.corpus_merge_out.empty() ||
+        std::find(targets.begin(), targets.end(), spec.corpus_merge_out) !=
+            targets.end()) {
+      continue;
+    }
+    targets.push_back(spec.corpus_merge_out);
+  }
+  for (const std::string& target : targets) {
+    std::optional<fuzz::Corpus> merged;
+    std::vector<std::string> shard_paths;
+    for (const TrialSpec& spec : specs_) {
+      if (spec.corpus_merge_out != target ||
+          result.trials[spec.index].failed) {
+        // A failed trial saved no shard (and a partially written one is
+        // left on disk for the post-mortem, never folded in).
+        continue;
+      }
+      fuzz::Corpus shard = fuzz::Corpus::load(spec.config.corpus_out);
+      if (merged.has_value()) {
+        merged->merge(shard);
+      } else {
+        merged.emplace(std::move(shard));
+      }
+      shard_paths.push_back(spec.config.corpus_out);
+    }
+    if (!merged.has_value()) {
+      MABFUZZ_WARN() << "corpus merge target '" << target
+                     << "': every contributing trial failed; nothing to write";
+      continue;
+    }
+    merged->save(target);
+    // Shards are scaffolding: only the merged store (+ manifest) is the
+    // experiment's corpus artifact.
+    for (const std::string& shard_path : shard_paths) {
+      std::remove(shard_path.c_str());
+      std::remove((shard_path + ".json").c_str());
+    }
+  }
+}
+
 std::uint64_t report_failures(std::ostream& os, const ExperimentResult& result) {
   for (const TrialResult& trial : result.trials) {
     if (trial.failed) {
@@ -308,7 +390,8 @@ void write_trials_csv(std::ostream& os, const ExperimentResult& result,
       "trial",      "fuzzer",        "variant",         "run",
       "status",     "stop",          "tests",           "covered",
       "universe",   "mismatches",    "detected_bugs",   "target_detected",
-      "detection_tests", "corpus_in", "corpus_entries"};
+      "detection_tests", "corpus_in", "corpus_entries", "corpus_out",
+      "corpus_out_entries"};
   if (options.include_timing) {
     header.emplace_back("elapsed_seconds");
   }
@@ -331,7 +414,9 @@ void write_trials_csv(std::ostream& os, const ExperimentResult& result,
         trial.target_detected ? "1" : "0",
         std::to_string(trial.detection_tests),
         trial.corpus_in,
-        std::to_string(trial.corpus_entries)};
+        std::to_string(trial.corpus_entries),
+        trial.corpus_out,
+        std::to_string(trial.corpus_out_entries)};
     if (options.include_timing) {
       row.push_back(common::format_double(trial.elapsed_seconds, 4));
     }
@@ -394,6 +479,10 @@ void write_experiment_json(std::ostream& os, const ExperimentResult& result,
     if (!trial.corpus_in.empty()) {
       json.key("corpus_in").value(trial.corpus_in);
       json.key("corpus_entries").value(trial.corpus_entries);
+    }
+    if (!trial.corpus_out.empty()) {
+      json.key("corpus_out").value(trial.corpus_out);
+      json.key("corpus_out_entries").value(trial.corpus_out_entries);
     }
     if (trial.failed) {
       json.key("error").value(trial.error);

@@ -15,7 +15,10 @@
 //    trial's Campaign owns one Backend whose ExecutionContext (decode
 //    cache, DUT/ISS run buffers, dirty-region DRAM) is recycled across
 //    every test of the trial — the per-worker hot path allocates nothing
-//    per executed test.
+//    per executed test. A cell with corpus_out makes each trial write a
+//    private `<path>.shard-<index>` store; after the pool drains the
+//    engine folds the shards (Corpus::merge, spec-index order) into the
+//    one requested store + manifest and deletes the shards.
 //  - ExperimentResult: per-trial results (failures included — a throwing
 //    trial is counted and surfaced, not dropped), per-cell aggregate
 //    statistics (mean/median/stddev/percentiles via common/stats), and
@@ -54,6 +57,10 @@ struct TrialSpec {
   std::string variant;  // TrialVariant label; "" for the default variant
   std::uint64_t run_index = 0;
   CampaignConfig config;
+  /// When the cell requested corpus_out, the merge target the engine folds
+  /// this trial's shard into post-barrier; config.corpus_out then holds
+  /// the private shard path (`<target>.shard-<index>`). Empty otherwise.
+  std::string corpus_merge_out;
 };
 
 /// Declarative experiment matrix. Expansion order is fuzzer-major, then
@@ -101,10 +108,15 @@ struct TrialResult {
   /// artifacts when ArtifactOptions::include_timing is false.
   double elapsed_seconds = 0.0;
 
-  /// Corpus provenance: the mabfuzz-corpus-v1 store this trial warmed up
+  /// Corpus provenance: the mabfuzz-corpus-v2 store this trial warmed up
   /// from (empty = cold start) and how many entries it held at load.
   std::string corpus_in;
   std::uint64_t corpus_entries = 0;
+  /// Shard provenance: the store this trial wrote (the per-trial shard
+  /// path in a matrix with corpus_out; empty = no corpus written) and how
+  /// many entries it held at save.
+  std::string corpus_out;
+  std::uint64_t corpus_out_entries = 0;
 
   CoverageCurve curve;  // per-batch coverage samples
 };
@@ -188,6 +200,11 @@ class Experiment {
  private:
   [[nodiscard]] TrialResult run_trial(const TrialSpec& spec) const;
   [[nodiscard]] StopCondition stop_condition(const TrialSpec& spec) const;
+  /// Post-barrier federation: folds every successful trial's corpus shard
+  /// into its merge target (spec-index order, so the result is independent
+  /// of worker count and completion order), writes the merged store +
+  /// manifest, and removes the shard files.
+  void merge_corpus_shards(const ExperimentResult& result) const;
 
   ExperimentOptions options_;
   std::vector<TrialSpec> specs_;  // the expanded matrix (all it needs kept)

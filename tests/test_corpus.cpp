@@ -1,18 +1,23 @@
 // Corpus subsystem tests: novelty-gated admission, lowest-novelty
-// eviction, deterministic mabfuzz-corpus-v1 serialization (save → load →
-// byte-identical re-save), campaign-level corpus plumbing (corpus-in
-// validation, corpus-out, byte-identical warm-campaign continuation) and
-// the corpus-reuse fuzzer built on top of it.
+// eviction, deterministic mabfuzz-corpus-v2 serialization (save → load →
+// byte-identical re-save), federation (order-invariant merge, set-cover
+// distillation, sharded trial-matrix corpus_out), campaign-level corpus
+// plumbing (corpus-in validation, fail-fast corpus-out, byte-identical
+// warm-campaign continuation) and the corpus-reuse fuzzer built on top.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <initializer_list>
 #include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "fuzz/backend.hpp"
 #include "fuzz/corpus.hpp"
@@ -108,11 +113,14 @@ TEST(Corpus, ZeroCapClampsToOne) {
 // --- serialization --------------------------------------------------------------
 
 /// A corpus populated with real backend-executed tests (realistic word
-/// payloads, mutation_ops, coverage maps).
-Corpus executed_corpus(std::size_t tests = 40, std::size_t cap = 16) {
+/// payloads, mutation_ops, coverage maps). Different seeds grow different
+/// stores — the raw material for the federation tests.
+Corpus executed_corpus(std::size_t tests = 40, std::size_t cap = 16,
+                       std::uint64_t seed = 1) {
   fuzz::BackendConfig config;
   config.core = soc::CoreKind::kRocket;
   config.bugs = soc::BugSet::none();
+  config.rng_seed = seed;
   fuzz::Backend backend(config);
   Corpus corpus(std::string(soc::core_name(config.core)),
                 backend.coverage_universe(), cap);
@@ -184,7 +192,7 @@ TEST(CorpusSerialization, ManifestListsEntries) {
   std::ostringstream os;
   corpus.write_manifest(os);
   const std::string manifest = os.str();
-  EXPECT_NE(manifest.find("\"schema\": \"mabfuzz-corpus-v1\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"schema\": \"mabfuzz-corpus-v2\""), std::string::npos);
   EXPECT_NE(manifest.find("\"core\": \"rocket\""), std::string::npos);
   EXPECT_NE(manifest.find("\"novelty\""), std::string::npos);
 }
@@ -238,6 +246,184 @@ TEST(CorpusSerialization, FileSaveWritesBinaryAndManifest) {
   std::remove(path.c_str());
   std::remove((path + ".json").c_str());
   EXPECT_THROW((void)Corpus::load(path), std::runtime_error);
+}
+
+TEST(CorpusSerialization, LoadClampsStoredZeroCap) {
+  // A hand-edited (or foreign-tool) file carrying max_entries=0 describes
+  // a corpus the constructor forbids; load clamps the stored cap to 1
+  // instead of failing or trusting the constructor's incidental clamp.
+  Corpus corpus("rocket", 128, 8);
+  ASSERT_TRUE(corpus.offer(make_test(1), map_with(128, {0})));
+  std::stringstream buffer;
+  corpus.save(buffer);
+  std::string image = buffer.str();
+  // The u64 cap follows the magic, version, length-prefixed core name and
+  // u64 universe.
+  const std::size_t cap_offset = 8 + 4 + 4 + std::string("rocket").size() + 8;
+  for (std::size_t i = 0; i < 8; ++i) {
+    image[cap_offset + i] = '\0';
+  }
+  std::stringstream patched(image);
+  const Corpus reloaded = Corpus::load(patched);
+  EXPECT_EQ(reloaded.max_entries(), 1u);
+  ASSERT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.entries()[0].test.id, 1u);
+}
+
+TEST(CorpusSerialization, FileErrorsIncludeOsReason) {
+  // "cannot write/open '<path>'" alone cannot distinguish a full disk from
+  // a misspelled directory; the OS reason must ride along.
+  const Corpus corpus = executed_corpus(/*tests=*/10, /*cap=*/8);
+  const std::string bad = testing::TempDir() + "no_such_dir_xyz/corpus.bin";
+  try {
+    corpus.save(bad);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(bad), std::string::npos);
+    EXPECT_NE(message.find(std::strerror(ENOENT)), std::string::npos) << message;
+  }
+  try {
+    (void)Corpus::load(bad);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(bad), std::string::npos);
+    EXPECT_NE(message.find(std::strerror(ENOENT)), std::string::npos) << message;
+  }
+}
+
+// --- federation: merge + distill ------------------------------------------------
+
+TEST(CorpusMerge, MatchesCanonicalReOffer) {
+  // merge(A,B) is *defined* as re-offering the union in canonical order
+  // (novelty desc, then order, then content) into a fresh store; verify
+  // the definition byte-for-byte against a hand-rolled re-offer.
+  Corpus a("rocket", 128, 16);
+  ASSERT_TRUE(a.offer(make_test(1), map_with(128, {0, 1, 2})));   // novelty 3
+  ASSERT_TRUE(a.offer(make_test(2), map_with(128, {3})));         // novelty 1
+  Corpus b("rocket", 128, 16);
+  ASSERT_TRUE(b.offer(make_test(10), map_with(128, {1, 2, 4, 5})));  // novelty 4
+  ASSERT_TRUE(b.offer(make_test(11), map_with(128, {6})));           // novelty 1
+
+  std::vector<const CorpusEntry*> canonical;
+  for (const CorpusEntry& entry : a.entries()) {
+    canonical.push_back(&entry);
+  }
+  for (const CorpusEntry& entry : b.entries()) {
+    canonical.push_back(&entry);
+  }
+  std::sort(canonical.begin(), canonical.end(),
+            [](const CorpusEntry* x, const CorpusEntry* y) {
+              if (x->novelty != y->novelty) {
+                return x->novelty > y->novelty;
+              }
+              if (x->order != y->order) {
+                return x->order < y->order;
+              }
+              return x->test.id < y->test.id;
+            });
+  Corpus expected("rocket", 128, 16);
+  for (const CorpusEntry* entry : canonical) {
+    expected.offer(entry->test, entry->map);
+  }
+
+  Corpus merged = a;
+  merged.merge(b);
+  std::stringstream merged_image;
+  merged.save(merged_image);
+  std::stringstream expected_image;
+  expected.save(expected_image);
+  EXPECT_EQ(merged_image.str(), expected_image.str());
+}
+
+TEST(CorpusMerge, ArrivalOrderInvariantOnExecutedStores) {
+  // Byte-identity of merge(A,B) vs merge(B,A) on realistic stores (full
+  // coverage maps, evictions in play) — the property the sharded matrix
+  // path relies on for worker-count independence.
+  const Corpus a = executed_corpus(/*tests=*/40, /*cap=*/16, /*seed=*/1);
+  const Corpus b = executed_corpus(/*tests=*/40, /*cap=*/16, /*seed=*/2);
+  Corpus ab = a;
+  ab.merge(b);
+  Corpus ba = b;
+  ba.merge(a);
+  std::stringstream ab_image;
+  ab.save(ab_image);
+  std::stringstream ba_image;
+  ba.save(ba_image);
+  ASSERT_GT(ab.size(), 0u);
+  EXPECT_EQ(ab_image.str(), ba_image.str());
+}
+
+TEST(CorpusMerge, RejectsCoreAndUniverseMismatch) {
+  Corpus a("rocket", 128, 4);
+  const Corpus wrong_core("cva6", 128, 4);
+  const Corpus wrong_universe("rocket", 64, 4);
+  EXPECT_THROW(a.merge(wrong_core), std::invalid_argument);
+  EXPECT_THROW(a.merge(wrong_universe), std::invalid_argument);
+}
+
+TEST(CorpusMerge, PreservesRatchetAndWidensCap) {
+  Corpus a("rocket", 128, 1);
+  ASSERT_TRUE(a.offer(make_test(1), map_with(128, {0})));
+  ASSERT_TRUE(a.offer(make_test(2), map_with(128, {1})));  // evicts test 1
+  ASSERT_EQ(a.evicted(), 1u);
+  Corpus b("rocket", 128, 4);
+  ASSERT_TRUE(b.offer(make_test(3), map_with(128, {2})));
+
+  a.merge(b);
+  EXPECT_EQ(a.max_entries(), 4u);  // the larger of the two caps
+  EXPECT_EQ(a.size(), 2u);         // tests 2 and 3; test 1 was gone pre-merge
+  // The ratchet survives: point 0 (contributed by the evicted test 1)
+  // still gates admission, and stays counted as covered.
+  EXPECT_FALSE(a.offer(make_test(9), map_with(128, {0})));
+  EXPECT_EQ(a.covered(), 3u);
+}
+
+TEST(CorpusMerge, SelfMergeRegatesWithoutCoverageLoss) {
+  const Corpus a = executed_corpus(/*tests=*/30, /*cap=*/32);
+  Corpus merged = a;
+  merged.merge(a);  // every candidate arrives twice
+  // Re-offering the union in canonical (novelty-desc) order re-gates it:
+  // exact duplicates are rejected outright, and an entry whose map is
+  // subsumed by higher-novelty survivors drops out even though it was
+  // novel in its original chronological order. The store can only shrink;
+  // the accumulated ratchet keeps every point.
+  EXPECT_GT(merged.size(), 0u);
+  EXPECT_LE(merged.size(), a.size());
+  EXPECT_EQ(merged.covered(), a.covered());
+  EXPECT_TRUE(merged.accumulated() == a.accumulated());
+}
+
+TEST(CorpusDistill, DropsDominatedEntriesDeterministically) {
+  Corpus corpus("rocket", 128, 16);
+  ASSERT_TRUE(corpus.offer(make_test(1), map_with(128, {0, 1})));
+  ASSERT_TRUE(corpus.offer(make_test(2), map_with(128, {2, 3})));
+  // Covers everything the first two did plus one point: the greedy cover
+  // picks it alone.
+  ASSERT_TRUE(corpus.offer(make_test(3), map_with(128, {0, 1, 2, 3, 4})));
+  EXPECT_EQ(corpus.distill(), 2u);
+  ASSERT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus.entries()[0].test.id, 3u);
+  EXPECT_EQ(corpus.evicted(), 2u);
+}
+
+TEST(CorpusDistill, PreservesAccumulatedMapExactly) {
+  // cap > tests: no eviction, so the accumulated map equals the union of
+  // the entry maps and the distilled survivors must reproduce it exactly.
+  Corpus corpus = executed_corpus(/*tests=*/60, /*cap=*/64);
+  const coverage::Map before = corpus.accumulated();
+  const std::size_t before_size = corpus.size();
+  const std::size_t removed = corpus.distill();
+  EXPECT_TRUE(corpus.accumulated() == before);
+  EXPECT_EQ(corpus.size() + removed, before_size);
+  coverage::Map survivors(corpus.universe());
+  for (const CorpusEntry& entry : corpus.entries()) {
+    survivors.merge(entry.map);
+  }
+  EXPECT_TRUE(survivors == before);
+  // Idempotent: a distilled store has no dominated entries left.
+  EXPECT_EQ(corpus.distill(), 0u);
 }
 
 // --- campaign plumbing ----------------------------------------------------------
@@ -308,19 +494,84 @@ TEST(CorpusCampaign, CorpusInRejectsCoreMismatch) {
   std::remove((path + ".json").c_str());
 }
 
-TEST(CorpusCampaign, TrialMatrixRejectsCorpusOutAtExpansion) {
-  // corpus_out is single-campaign only; the engine rejects it before any
-  // trial runs so every driver (not just the CLI guard) inherits the rule.
+TEST(CorpusCampaign, MisspelledCorpusOutFailsAtConstruction) {
+  // The write happens at end-of-run; a bad path must not cost a whole
+  // campaign to discover.
+  auto config = reuse_config(/*tests=*/10);
+  config.corpus_out = testing::TempDir() + "no_such_dir_xyz/corpus.bin";
+  EXPECT_THROW(harness::Campaign campaign(config), std::invalid_argument);
+
+  // And the valid-path side: construction passes, the save lands.
+  auto ok = reuse_config(/*tests=*/10);
+  ok.corpus_out = testing::TempDir() + "fail_fast_ok_corpus.bin";
+  harness::Campaign campaign(ok);
+  campaign.run();
+  ASSERT_TRUE(campaign.save_corpus());
+  std::remove(ok.corpus_out.c_str());
+  std::remove((ok.corpus_out + ".json").c_str());
+}
+
+TEST(CorpusCampaign, TrialMatrixShardsAndMergesCorpusOut) {
+  // corpus_out in a matrix: each trial writes `<target>.shard-<index>`,
+  // the engine folds the shards into `target` post-barrier, deletes them,
+  // and the artifacts carry the shard provenance.
+  const std::string path = testing::TempDir() + "matrix_federated_corpus.bin";
   harness::TrialMatrix matrix;
-  matrix.base = reuse_config(10);
-  matrix.base.corpus_out = "never-written.bin";
-  matrix.trials = 2;
-  EXPECT_THROW((void)matrix.expand(), std::invalid_argument);
-  // Via an override too — and read-only corpus_in stays allowed.
-  harness::TrialMatrix override_matrix;
-  override_matrix.base = reuse_config(10);
-  override_matrix.variants = {{"bad", {"corpus-out=x.bin"}}};
-  EXPECT_THROW((void)override_matrix.expand(), std::invalid_argument);
+  matrix.base = reuse_config(/*tests=*/60);
+  matrix.base.snapshot_every = 30;
+  matrix.base.corpus_out = path;
+  matrix.trials = 3;
+  harness::ExperimentOptions options;
+  options.workers = 2;
+  const harness::Experiment experiment(matrix, options);
+  for (const harness::TrialSpec& spec : experiment.specs()) {
+    EXPECT_EQ(spec.corpus_merge_out, path);
+    EXPECT_EQ(spec.config.corpus_out,
+              path + ".shard-" + std::to_string(spec.index));
+  }
+
+  const harness::ExperimentResult result = experiment.run();
+  ASSERT_EQ(result.failed_trials, 0u);
+  EXPECT_EQ(result.trials[0].corpus_out, path + ".shard-0");
+  EXPECT_GT(result.trials[0].corpus_out_entries, 0u);
+  std::ostringstream csv;
+  harness::write_trials_csv(csv, result);
+  EXPECT_NE(csv.str().find("corpus_out"), std::string::npos);
+  EXPECT_NE(csv.str().find(".shard-1"), std::string::npos);
+
+  // The merged store is the one artifact; the shards are gone.
+  const Corpus merged = Corpus::load(path);
+  EXPECT_GT(merged.size(), 0u);
+  EXPECT_EQ(merged.core(), "rocket");
+  for (const harness::TrialSpec& spec : experiment.specs()) {
+    std::ifstream shard(spec.config.corpus_out);
+    EXPECT_FALSE(shard.good()) << spec.config.corpus_out << " not cleaned up";
+  }
+
+  // And it warm-starts a reuse campaign like any single-writer store.
+  auto warm = reuse_config(/*tests=*/30);
+  warm.corpus_in = path;
+  harness::Campaign campaign(warm);
+  EXPECT_EQ(campaign.corpus_loaded_entries(), merged.size());
+  campaign.run();
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
+}
+
+TEST(CorpusCampaign, TrialMatrixValidatesCorpusOutAtExpansion) {
+  // Misspelled merge target: rejected before any trial burns its budget.
+  harness::TrialMatrix bad;
+  bad.base = reuse_config(/*tests=*/10);
+  bad.base.corpus_out = testing::TempDir() + "no_such_dir_xyz/out.bin";
+  EXPECT_THROW((void)bad.expand(), std::invalid_argument);
+
+  // Cells sharing a merge target must agree on the core — per-core stores
+  // cannot fold together.
+  harness::TrialMatrix mixed;
+  mixed.base = reuse_config(/*tests=*/10);
+  mixed.base.corpus_out = testing::TempDir() + "mixed_core_corpus.bin";
+  mixed.variants = {{"rocket", {}}, {"cva6", {"core=cva6", "bugs=none"}}};
+  EXPECT_THROW((void)mixed.expand(), std::invalid_argument);
 }
 
 TEST(CorpusCampaign, MissingCorpusInFailsLoudly) {

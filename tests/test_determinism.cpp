@@ -9,8 +9,10 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fuzz/corpus.hpp"
@@ -133,7 +135,7 @@ TEST(ExperimentDeterminism, AggregateStatsByteIdenticalAcrossWorkerCounts) {
 }
 
 // A corpus round trip is part of the same contract: campaigns reloading a
-// saved mabfuzz-corpus-v1 store must replay byte-identically for the same
+// saved mabfuzz-corpus-v2 store must replay byte-identically for the same
 // seeds no matter how many workers execute the matrix (the corpus is
 // read-only shared input; every trial re-materialises its own copy).
 TEST(ExperimentDeterminism, ReloadedCorpusCampaignByteIdenticalAcrossWorkers) {
@@ -183,6 +185,57 @@ TEST(ExperimentDeterminism, ReloadedCorpusCampaignByteIdenticalAcrossWorkers) {
   EXPECT_EQ(serial, artifact(8)) << "8-worker warm run diverged from serial";
   std::remove(path.c_str());
   std::remove((path + ".json").c_str());
+}
+
+// Sharded corpus federation closes the loop: a matrix with corpus_out has
+// every trial write its own `<target>.shard-<index>` store, merged
+// post-barrier in spec-index order with Corpus::merge's canonical
+// re-offer. Both the experiment artifacts (shard provenance included) and
+// the merged corpus file must be byte-identical for 1, 2 and 8 workers —
+// shard *completion* order varies with scheduling, but nothing of it may
+// reach the merged bytes.
+TEST(ExperimentDeterminism, ShardedCorpusMergeByteIdenticalAcrossWorkers) {
+  const std::string path = testing::TempDir() + "determinism_federated.bin";
+  auto run_with = [&](unsigned workers) {
+    harness::TrialMatrix matrix;
+    matrix.base.fuzzer = "reuse";
+    matrix.base.core = soc::CoreKind::kRocket;
+    matrix.base.bugs = soc::BugSet::none();
+    matrix.base.max_tests = 60;
+    matrix.base.snapshot_every = 30;
+    matrix.base.rng_seed = 1234;
+    matrix.base.corpus_out = path;
+    matrix.fuzzers = {"reuse", "thehuzz"};
+    matrix.trials = 4;
+    harness::ExperimentOptions options;
+    options.workers = workers;
+    const harness::ExperimentResult result =
+        harness::Experiment(matrix, options).run();
+    EXPECT_EQ(result.failed_trials, 0u);
+    harness::ArtifactOptions artifact_options;
+    artifact_options.include_timing = false;
+    std::ostringstream os;
+    harness::write_experiment_json(os, result, artifact_options);
+    harness::write_trials_csv(os, result, artifact_options);
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "merged corpus was not written";
+    std::ostringstream corpus_bytes;
+    corpus_bytes << in.rdbuf();
+    std::remove(path.c_str());
+    std::remove((path + ".json").c_str());
+    return std::pair<std::string, std::string>(os.str(), corpus_bytes.str());
+  };
+
+  const auto serial = run_with(1);
+  EXPECT_NE(serial.first.find("corpus_out"), std::string::npos)
+      << "artifact lost the shard provenance fields";
+  EXPECT_FALSE(serial.second.empty());
+  const auto two = run_with(2);
+  EXPECT_EQ(serial.first, two.first) << "2-worker artifacts diverged";
+  EXPECT_EQ(serial.second, two.second) << "2-worker merged corpus diverged";
+  const auto eight = run_with(8);
+  EXPECT_EQ(serial.first, eight.first) << "8-worker artifacts diverged";
+  EXPECT_EQ(serial.second, eight.second) << "8-worker merged corpus diverged";
 }
 
 }  // namespace
