@@ -8,6 +8,11 @@
 //     run_test loop that produced the PR 4 BENCH_baseline.json numbers
 //     (cva6 2393 / rocket 3271 / boom 4496 ns). A mutant-chain battery
 //     would not be comparable: deep mutants run ~5x more cycles.
+//   - The sequential reference loop writes one outcome per battery slot
+//     (not one reused outcome), because that is what run_batch produces:
+//     both paths fill `batch` self-contained TestOutcomes whose buffers
+//     recycle across windows, so the comparison is like-for-like and the
+//     batched-cost-never-above-sequential property is measurable.
 //   - Estimator: minimum time/test over `reps` short windows (one batch,
 //     or `batch` back-to-back run_test calls). On shared/noisy machines
 //     the minimum of many short windows is the robust estimate of the
@@ -69,11 +74,11 @@ CoreResult measure_core(soc::CoreKind kind, std::size_t batch, int reps) {
     tests.push_back(std::move(test));
   }
 
-  fuzz::TestOutcome one;
+  std::vector<fuzz::TestOutcome> singles(batch);
   std::vector<fuzz::TestOutcome> outcomes;
   // Warm every buffer (decode cache, scratch, arena, outcome vectors).
   for (std::size_t i = 0; i < batch; ++i) {
-    backend.run_test(seed, one);
+    backend.run_test(tests[i], singles[i]);
   }
   backend.run_batch(tests, outcomes);
 
@@ -82,7 +87,7 @@ CoreResult measure_core(soc::CoreKind kind, std::size_t batch, int reps) {
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = Clock::now();
     for (std::size_t i = 0; i < batch; ++i) {
-      backend.run_test(seed, one);
+      backend.run_test(tests[i], singles[i]);
     }
     const auto t1 = Clock::now();
     backend.run_batch(tests, outcomes);

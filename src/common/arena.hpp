@@ -14,14 +14,25 @@
 //    data must be materialised into caller-owned buffers first.
 //
 // Not thread-safe: one arena per execution context, like the rest of the
-// backend scratch state.
+// backend scratch state. That rule is *enforced*, not just documented:
+// the first allocate() after construction / reset() binds the arena to
+// the calling thread, and an allocation from any other thread before the
+// next reset() throws std::logic_error (and is flagged statically by the
+// detlint `context-per-thread` rule). reset() is the ownership handoff
+// point — Backend::run_batch's worker lanes each reset their private
+// arena at shard start, so a lane re-parked onto a different thread
+// rebinds cleanly while a genuinely shared arena faults immediately.
 
 #include <cstddef>
 #include <cstdint>
+#include <atomic>
 #include <memory>
 #include <new>
 #include <span>
+#include <stdexcept>
+#include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace mabfuzz::common {
@@ -35,16 +46,38 @@ class Arena {
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
-  Arena(Arena&&) noexcept = default;
-  Arena& operator=(Arena&&) noexcept = default;
+  Arena(Arena&& other) noexcept
+      : chunk_bytes_(other.chunk_bytes_),
+        chunks_(std::move(other.chunks_)),
+        active_(std::exchange(other.active_, 0)),
+        total_requested_(std::exchange(other.total_requested_, 0)),
+        owner_(other.owner_.load(std::memory_order_relaxed)) {
+    other.owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      chunk_bytes_ = other.chunk_bytes_;
+      chunks_ = std::move(other.chunks_);
+      active_ = std::exchange(other.active_, 0);
+      total_requested_ = std::exchange(other.total_requested_, 0);
+      owner_.store(other.owner_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      other.owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   /// Raw allocation of `bytes` aligned to `align` (a power of two, at most
   /// alignof(std::max_align_t)). Zero-byte requests return a non-null
-  /// pointer without consuming space.
+  /// pointer without consuming space (and don't bind thread ownership —
+  /// no storage crosses any boundary). Throws std::logic_error when
+  /// called from a second thread before the next reset() (header comment,
+  /// ownership rules).
   void* allocate(std::size_t bytes, std::size_t align) {
     if (bytes == 0) {
       return this;  // any non-null pointer; never dereferenced
     }
+    bind_owner();
     total_requested_ += bytes;
     while (active_ < chunks_.size()) {
       Chunk& chunk = chunks_[active_];
@@ -79,13 +112,15 @@ class Arena {
   }
 
   /// Rewinds the arena: every outstanding allocation is invalidated, all
-  /// chunk storage is retained for reuse.
+  /// chunk storage is retained for reuse. Also the thread-ownership
+  /// handoff point: the next allocate() may come from any one thread.
   void reset() noexcept {
     for (Chunk& chunk : chunks_) {
       chunk.used = 0;
     }
     active_ = 0;
     total_requested_ = 0;
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
   }
 
   /// Frees the chunk storage itself (memory-pressure escape hatch).
@@ -93,6 +128,7 @@ class Arena {
     chunks_.clear();
     active_ = 0;
     total_requested_ = 0;
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
   }
 
   /// Bytes handed out since the last reset() (excluding alignment padding).
@@ -111,6 +147,13 @@ class Arena {
 
   [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_.size(); }
 
+  /// True when the calling thread may allocate: the arena is unbound
+  /// (fresh / just reset) or already bound to this thread.
+  [[nodiscard]] bool owned_by_this_thread() const noexcept {
+    const std::thread::id owner = owner_.load(std::memory_order_relaxed);
+    return owner == std::thread::id{} || owner == std::this_thread::get_id();
+  }
+
  private:
   struct Chunk {
     std::unique_ptr<std::byte[]> data;
@@ -118,10 +161,27 @@ class Arena {
     std::size_t used = 0;
   };
 
+  /// Binds the arena to the first allocating thread since the last
+  /// reset(); faults on a cross-thread allocation instead of racing.
+  void bind_owner() {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed) ||
+        expected == self) {
+      return;
+    }
+    throw std::logic_error(
+        "common::Arena: allocation from a second thread without an "
+        "intervening reset(); one arena is owned by one execution thread "
+        "(docs/ARCHITECTURE.md, batched-execution ownership rules)");
+  }
+
   std::size_t chunk_bytes_;
   std::vector<Chunk> chunks_;
   std::size_t active_ = 0;  // first chunk allocate() tries
   std::size_t total_requested_ = 0;
+  std::atomic<std::thread::id> owner_{};
 };
 
 /// std-compatible allocator adapter over an Arena (deallocate is a no-op;

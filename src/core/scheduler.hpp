@@ -53,7 +53,9 @@ struct MabFuzzConfig {
   std::shared_ptr<fuzz::Corpus> corpus;
   /// Execution block size: >1 speculatively runs the selected arm's next
   /// queued tests through Backend::run_batch, serving cached outcomes on
-  /// later pulls of the same arm. Byte-identical to 1 (fuzz/spec_block.hpp).
+  /// later pulls of the same arm. Byte-identical to 1 (fuzz/spec_block.hpp),
+  /// and — like every scheduler — blind to the backend's exec_workers:
+  /// parallel sharding happens entirely inside run_batch.
   std::size_t exec_batch = 1;
 };
 

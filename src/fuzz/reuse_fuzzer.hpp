@@ -42,7 +42,9 @@ struct ReuseConfig {
   /// one Backend::run_batch at the first step, serving cached outcomes as
   /// the bandit reaches each arm. Only the replays batch — mutant pulls
   /// consume mutation RNG at selection time in bandit-dependent order, so
-  /// they cannot be speculated without diverging. Byte-identical to 1.
+  /// they cannot be speculated without diverging. Byte-identical to 1, and
+  /// byte-identical for any backend exec_workers (sharding is run_batch's
+  /// internal affair).
   std::size_t exec_batch = 1;
 };
 

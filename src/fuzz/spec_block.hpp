@@ -15,6 +15,12 @@
 // current queue front). Tests that were staged but then dropped by the
 // pool cap are simply skipped over — wasted simulation, no semantic
 // effect. The RunBatchEquivalence and determinism suites lock this in.
+//
+// SpecBlock is also where intra-trial parallelism attaches: when the
+// campaign sets exec-workers > 1, run_batch shards the staged block
+// across the Backend's thread team. That is invisible here and to every
+// scheduler — outcomes come back in slot order either way — so the block
+// size (exec-batch) doubles as the parallel shard width.
 
 #include <cstdint>
 #include <vector>

@@ -29,7 +29,9 @@ struct TheHuzzConfig {
   /// Execution block size: >1 speculatively runs the next queued tests
   /// through Backend::run_batch and serves cached outcomes as they are
   /// popped. Byte-identical to 1 (see fuzz/spec_block.hpp); 1 = the
-  /// original one-run_test-per-step behaviour.
+  /// original one-run_test-per-step behaviour. When the backend also has
+  /// exec_workers > 1 the block is the unit run_batch shards across its
+  /// thread team — equally invisible here.
   std::size_t exec_batch = 1;
   /// Optional cross-campaign store: every executed test is offered to it
   /// (the corpus's novelty gate decides admission). Null = no persistence,

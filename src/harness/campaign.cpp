@@ -182,6 +182,12 @@ constexpr ConfigKey kConfigKeys[] = {
        const std::uint64_t n = parse_u64("exec-batch", v);
        c.policy.exec_batch = n == 0 ? 1 : n;
      }},
+    {"exec-workers", "intra-trial execution threads for Backend::run_batch; "
+                     "1 = sequential (results are identical for any value)",
+     [](CampaignConfig& c, std::string_view v) {
+       const std::uint64_t n = parse_u64("exec-workers", v);
+       c.policy.exec_workers = n == 0 ? 1 : n;
+     }},
     {"initial-seeds", "TheHuzz initial seed count",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.thehuzz.initial_seeds =
@@ -403,6 +409,8 @@ Campaign::Campaign(const CampaignConfig& config) : config_(config) {
   backend_config.bugs = config_.bugs;
   backend_config.rng_seed = config_.rng_seed;
   backend_config.rng_run = config_.run_index;
+  backend_config.exec_workers =
+      static_cast<unsigned>(config_.policy.exec_workers);
   if (config_.policy.adaptive_operators) {
     mab::BanditConfig op_bandit;
     op_bandit.num_arms = mutation::kNumOps;

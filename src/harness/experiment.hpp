@@ -107,6 +107,12 @@ struct TrialResult {
   /// Wall-clock seconds; inherently non-deterministic, excluded from
   /// artifacts when ArtifactOptions::include_timing is false.
   double elapsed_seconds = 0.0;
+  /// Intra-trial exec-worker count (PolicyConfig::exec_workers) the trial
+  /// ran with. Environment provenance, not a result: it never affects any
+  /// other field, so it is emitted with the timing fields and excluded
+  /// from artifacts when include_timing is false (keeping byte-identity
+  /// across worker counts checkable).
+  unsigned exec_workers = 1;
 
   /// Corpus provenance: the mabfuzz-corpus-v2 store this trial warmed up
   /// from (empty = cold start) and how many entries it held at load.

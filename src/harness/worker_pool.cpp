@@ -5,7 +5,6 @@
 #include <exception>
 #include <mutex>
 #include <optional>
-#include <thread>
 
 namespace mabfuzz::harness {
 
@@ -25,21 +24,21 @@ std::optional<TaskFailure> run_one(const std::function<void(std::uint64_t)>& fn,
 
 }  // namespace
 
-PoolReport run_indexed(std::uint64_t tasks, unsigned workers,
-                       const std::function<void(std::uint64_t)>& fn) {
+WorkerPool::WorkerPool(unsigned workers)
+    : team_(workers == 0 ? common::hardware_parallelism() : workers) {}
+
+PoolReport WorkerPool::run(std::uint64_t tasks,
+                           const std::function<void(std::uint64_t)>& fn) {
   PoolReport report;
   report.tasks = tasks;
   if (tasks == 0) {
     return report;
   }
-  if (workers == 0) {
-    workers = std::max(1u, std::thread::hardware_concurrency());
-  }
-  workers = std::min<unsigned>(
-      workers, static_cast<unsigned>(std::min<std::uint64_t>(tasks, ~0u)));
-  report.workers = workers;
+  const unsigned lanes = static_cast<unsigned>(
+      std::min<std::uint64_t>(concurrency(), tasks));
+  report.workers = lanes;
 
-  if (workers <= 1) {
+  if (lanes <= 1) {
     for (std::uint64_t i = 0; i < tasks; ++i) {
       if (auto failure = run_one(fn, i)) {
         report.failures.push_back(std::move(*failure));
@@ -48,42 +47,52 @@ PoolReport run_indexed(std::uint64_t tasks, unsigned workers,
     return report;
   }
 
-  // Chunked claiming: each worker grabs a small contiguous range per
+  // Chunked claiming: each lane grabs a small contiguous range per
   // fetch_add, amortising counter contention while keeping enough slack
   // for load balancing across uneven task durations.
   const std::uint64_t chunk =
-      std::max<std::uint64_t>(1, tasks / (static_cast<std::uint64_t>(workers) * 8));
+      std::max<std::uint64_t>(1, tasks / (static_cast<std::uint64_t>(lanes) * 8));
   std::atomic<std::uint64_t> next{0};
   std::mutex failures_mutex;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      for (;;) {
-        const std::uint64_t begin = next.fetch_add(chunk);
-        if (begin >= tasks) {
-          return;
-        }
-        const std::uint64_t end = std::min(tasks, begin + chunk);
-        // No per-task logging here: this is the pool's hot loop, and a
-        // debug line per task serialises the workers on the logger's lock.
-        for (std::uint64_t i = begin; i < end; ++i) {
-          if (auto failure = run_one(fn, i)) {
-            const std::scoped_lock lock(failures_mutex);
-            report.failures.push_back(std::move(*failure));
-          }
+  team_.run([&](unsigned lane) {
+    if (lane >= lanes) {
+      return;  // team wider than the task count
+    }
+    for (;;) {
+      const std::uint64_t begin = next.fetch_add(chunk);
+      if (begin >= tasks) {
+        return;
+      }
+      const std::uint64_t end = std::min(tasks, begin + chunk);
+      // No per-task logging here: this is the pool's hot loop, and a
+      // debug line per task serialises the lanes on the logger's lock.
+      for (std::uint64_t i = begin; i < end; ++i) {
+        if (auto failure = run_one(fn, i)) {
+          const std::scoped_lock lock(failures_mutex);
+          report.failures.push_back(std::move(*failure));
         }
       }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+    }
+  });
   std::sort(report.failures.begin(), report.failures.end(),
             [](const TaskFailure& a, const TaskFailure& b) {
               return a.index < b.index;
             });
   return report;
+}
+
+PoolReport run_indexed(std::uint64_t tasks, unsigned workers,
+                       const std::function<void(std::uint64_t)>& fn) {
+  if (tasks == 0) {
+    return PoolReport{};  // nothing to do; don't spawn a team
+  }
+  if (workers == 0) {
+    workers = common::hardware_parallelism();
+  }
+  workers = static_cast<unsigned>(
+      std::min<std::uint64_t>(workers, std::min<std::uint64_t>(tasks, ~0u)));
+  WorkerPool pool(workers);
+  return pool.run(tasks, fn);
 }
 
 }  // namespace mabfuzz::harness

@@ -28,8 +28,10 @@ InstructionCache::InstructionCache(const CacheParams& params, coverage::Context&
       line_shift_(log2_or_throw(params.line_bytes, "line_bytes")),
       set_shift_(log2_or_throw(params.sets, "sets")),
       set_mask_(params.sets - 1),
-      lines_(params.sets * params.ways) {
-  touched_.reserve(lines_.size());
+      valid_(static_cast<std::size_t>(params.sets) * params.ways, 0),
+      tags_(valid_.size(), 0),
+      lru_(valid_.size(), 0) {
+  touched_.reserve(valid_.size());
   auto& reg = ctx.registry();
   cov_hit_ = reg.add_array("icache/hit_set", params_.sets);
   cov_miss_ = reg.add_array("icache/miss_set", params_.sets);
@@ -39,10 +41,11 @@ InstructionCache::InstructionCache(const CacheParams& params, coverage::Context&
 }
 
 void InstructionCache::reset() noexcept {
-  // Only lines filled since the last reset can differ from Line{} in any
-  // observable way (valid gates hits; a fill rewrites tag and lru).
+  // Only lines filled since the last reset can differ from a cold frame in
+  // any observable way, and every reader checks valid_ before tag/lru, so
+  // clearing valid_ alone is equivalent to zeroing the whole frame.
   for (const std::uint32_t index : touched_) {
-    lines_[index] = Line{};
+    valid_[index] = 0;
   }
   touched_.clear();
   lru_clock_ = 0;
@@ -52,12 +55,12 @@ bool InstructionCache::access(std::uint64_t addr, coverage::Context& ctx) {
   const std::uint64_t line_no = addr >> line_shift_;
   const unsigned set = static_cast<unsigned>(line_no & set_mask_);
   const std::uint64_t tag = line_no >> set_shift_;
-  Line* base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+  const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
 
   ++lru_clock_;
   for (unsigned w = 0; w < params_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      base[w].lru = lru_clock_;
+    if (valid_[base + w] && tags_[base + w] == tag) {
+      lru_[base + w] = lru_clock_;
       ctx.hit(cov_hit_, set);
       return true;
     }
@@ -68,25 +71,26 @@ bool InstructionCache::access(std::uint64_t addr, coverage::Context& ctx) {
   unsigned victim = 0;
   std::uint32_t oldest = kLruMax;
   for (unsigned w = 0; w < params_.ways; ++w) {
-    if (!base[w].valid) {
+    if (!valid_[base + w]) {
       victim = w;
       oldest = 0;
       break;
     }
-    if (base[w].lru < oldest) {
-      oldest = base[w].lru;
+    if (lru_[base + w] < oldest) {
+      oldest = lru_[base + w];
       victim = w;
     }
   }
-  if (base[victim].valid) {
+  const std::size_t line_index = base + victim;
+  if (valid_[line_index]) {
     ctx.hit(cov_evict_, set);
   } else {
-    touched_.push_back(
-        static_cast<std::uint32_t>(static_cast<std::size_t>(set) * params_.ways +
-                                   victim));
+    touched_.push_back(static_cast<std::uint32_t>(line_index));
   }
-  base[victim] = Line{true, tag, lru_clock_};
-  ctx.hit(cov_fill_, static_cast<std::size_t>(set) * params_.ways + victim);
+  valid_[line_index] = 1;
+  tags_[line_index] = tag;
+  lru_[line_index] = lru_clock_;
+  ctx.hit(cov_fill_, line_index);
   return false;
 }
 
@@ -95,7 +99,7 @@ void InstructionCache::invalidate_all(coverage::Context& ctx) noexcept {
   // bits of touched lines is equivalent to a full sweep. The touched list
   // empties: a later fill of the same frame re-registers it.
   for (const std::uint32_t index : touched_) {
-    lines_[index].valid = false;
+    valid_[index] = 0;
   }
   touched_.clear();
   ctx.hit(cov_flush_);
@@ -109,10 +113,13 @@ DataCache::DataCache(const CacheParams& params, coverage::Context& ctx)
       set_shift_(log2_or_throw(params.sets, "sets")),
       set_mask_(params.sets - 1),
       offset_mask_(params.line_bytes - 1),
-      lines_(params.sets * params.ways),
+      valid_(static_cast<std::size_t>(params.sets) * params.ways, 0),
+      dirty_(valid_.size(), 0),
+      tags_(valid_.size(), 0),
+      lru_(valid_.size(), 0),
       data_(static_cast<std::size_t>(params.sets) * params.ways * params.line_bytes,
             0) {
-  touched_.reserve(lines_.size());
+  touched_.reserve(valid_.size());
   auto& reg = ctx.registry();
   cov_read_hit_ = reg.add_array("dcache/read_hit_set", params_.sets);
   cov_read_miss_ = reg.add_array("dcache/read_miss_set", params_.sets);
@@ -126,10 +133,11 @@ DataCache::DataCache(const CacheParams& params, coverage::Context& ctx)
 
 void DataCache::reset() noexcept {
   // Invalid lines are unobservable (valid gates find/snoop; a fill
-  // overwrites the whole line's data before any byte is read), so only
-  // lines filled since the last reset need their state cleared.
+  // overwrites the whole line's data and flags before any byte is read),
+  // so only lines filled since the last reset need their valid bit
+  // cleared.
   for (const std::uint32_t index : touched_) {
-    lines_[index] = Line{};
+    valid_[index] = 0;
   }
   touched_.clear();
   lru_clock_ = 0;
@@ -150,8 +158,7 @@ std::size_t DataCache::find_index(std::uint64_t addr) const noexcept {
   const std::uint64_t tag = line_no >> set_shift_;
   const std::size_t base = static_cast<std::size_t>(set) * params_.ways;
   for (unsigned w = 0; w < params_.ways; ++w) {
-    const Line& line = lines_[base + w];
-    if (line.valid && line.tag == tag) {
+    if (valid_[base + w] && tags_[base + w] == tag) {
       return base + w;
     }
   }
@@ -161,9 +168,8 @@ std::size_t DataCache::find_index(std::uint64_t addr) const noexcept {
 void DataCache::write_line_back(std::size_t line_index, unsigned set,
                                 golden::Memory& memory, coverage::Context& ctx,
                                 bool allow_drop, AccessOutcome& outcome) {
-  Line& line = lines_[line_index];
   const std::uint64_t addr =
-      ((line.tag << set_shift_) + set) << line_shift_;
+      ((tags_[line_index] << set_shift_) + set) << line_shift_;
   outcome.dirty_eviction = true;
   ctx.hit(cov_dirty_evict_, set);
   if (wb_buffer_busy_ > 0) {
@@ -198,23 +204,22 @@ std::size_t DataCache::evict_and_fill(std::uint64_t addr, golden::Memory& memory
   unsigned victim = 0;
   std::uint32_t oldest = kLruMax;
   for (unsigned w = 0; w < params_.ways; ++w) {
-    if (!lines_[base + w].valid) {
+    if (!valid_[base + w]) {
       victim = w;
       oldest = 0;
       break;
     }
-    if (lines_[base + w].lru < oldest) {
-      oldest = lines_[base + w].lru;
+    if (lru_[base + w] < oldest) {
+      oldest = lru_[base + w];
       victim = w;
     }
   }
   const std::size_t line_index = base + victim;
-  Line& line = lines_[line_index];
-  if (line.valid && line.dirty) {
+  if (valid_[line_index] && dirty_[line_index]) {
     write_line_back(line_index, set, memory, ctx, drop_writeback_when_busy,
                     outcome);
   }
-  if (!line.valid) {
+  if (!valid_[line_index]) {
     touched_.push_back(static_cast<std::uint32_t>(line_index));
   }
 
@@ -225,10 +230,10 @@ std::size_t DataCache::evict_and_fill(std::uint64_t addr, golden::Memory& memory
     const auto byte = memory.load(fill_addr + i, 1);
     data[i] = byte ? static_cast<std::uint8_t>(*byte) : 0;
   }
-  line.valid = true;
-  line.dirty = false;
-  line.tag = tag;
-  line.lru = lru_clock_;
+  valid_[line_index] = 1;
+  dirty_[line_index] = 0;
+  tags_[line_index] = tag;
+  lru_[line_index] = lru_clock_;
   ctx.hit(cov_fill_, line_index);
   return line_index;
 }
@@ -252,7 +257,7 @@ DataCache::AccessOutcome DataCache::load(std::uint64_t addr, unsigned bytes,
   std::size_t line_index = find_index(addr);
   if (line_index != kNoLine) {
     outcome.hit = true;
-    lines_[line_index].lru = lru_clock_;
+    lru_[line_index] = lru_clock_;
     ctx.hit(cov_read_hit_, set);
   } else {
     ctx.hit(cov_read_miss_, set);
@@ -289,7 +294,7 @@ DataCache::AccessOutcome DataCache::store(std::uint64_t addr, std::uint64_t valu
   std::size_t line_index = find_index(addr);
   if (line_index != kNoLine) {
     outcome.hit = true;
-    lines_[line_index].lru = lru_clock_;
+    lru_[line_index] = lru_clock_;
     ctx.hit(cov_write_hit_, set);
   } else {
     ctx.hit(cov_write_miss_, set);
@@ -302,7 +307,7 @@ DataCache::AccessOutcome DataCache::store(std::uint64_t addr, std::uint64_t valu
   for (unsigned i = 0; i < bytes; ++i) {
     data[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
   }
-  lines_[line_index].dirty = true;
+  dirty_[line_index] = 1;
   return outcome;
 }
 
@@ -329,17 +334,16 @@ void DataCache::flush_all(golden::Memory& memory, coverage::Context& ctx) {
   // Every valid line is in the touched list, so scanning it finds every
   // dirty line without sweeping all sets x ways frames.
   for (const std::uint32_t index : touched_) {
-    Line& line = lines_[index];
-    if (line.valid && line.dirty) {
+    if (valid_[index] && dirty_[index]) {
       const unsigned set =
           static_cast<unsigned>((index / params_.ways) & set_mask_);
       const std::uint64_t addr =
-          ((line.tag << set_shift_) + set) << line_shift_;
+          ((tags_[index] << set_shift_) + set) << line_shift_;
       const std::uint8_t* data = line_data(index);
       for (unsigned i = 0; i < params_.line_bytes; ++i) {
         memory.store(addr + i, data[i], 1);
       }
-      line.dirty = false;
+      dirty_[index] = 0;
       ctx.hit(cov_flush_dirty_);
     }
   }

@@ -20,6 +20,17 @@
 // was never filled is bit-equivalent to a freshly reset one in every
 // observable way (valid gates all reads; a fill overwrites the whole
 // entry), so cold lines are skipped.
+//
+// Layout: structure-of-arrays. The tag probe that runs on every fetch
+// (I$ access + D$ snoop) and every LSU access walks the ways of one set;
+// with per-line structs each probe strides over tag+lru+flag padding,
+// while the split valid_/tags_/lru_/dirty_ arrays keep the compared tags
+// adjacent and the flag bytes dense. The split also shrinks each
+// fuzz::Backend exec-lane replica's per-Pipeline footprint, which is what
+// the parallel run_batch path multiplies by the worker count. All four
+// arrays are indexed by line index = set * ways + way; a frame's fields
+// are only meaningful while valid_[index] is set (every reader checks
+// valid first, so reset/invalidate may leave tag/lru/dirty stale).
 
 #include <cstdint>
 #include <optional>
@@ -52,17 +63,14 @@ class InstructionCache {
   [[nodiscard]] const CacheParams& params() const noexcept { return params_; }
 
  private:
-  struct Line {
-    bool valid = false;
-    std::uint64_t tag = 0;
-    std::uint32_t lru = 0;
-  };
-
   CacheParams params_;
   unsigned line_shift_ = 0;   // log2(line_bytes)
   unsigned set_shift_ = 0;    // log2(sets)
   std::uint64_t set_mask_ = 0;
-  std::vector<Line> lines_;   // sets * ways
+  // SoA line state, indexed by set * ways + way (see header comment).
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint32_t> lru_;
   std::vector<std::uint32_t> touched_;  // line indices filled since reset
   std::uint32_t lru_clock_ = 0;
 
@@ -109,16 +117,6 @@ class DataCache {
   [[nodiscard]] const CacheParams& params() const noexcept { return params_; }
 
  private:
-  /// Tag/LRU state only; line bytes live in the flat `data_` slab (one
-  /// contiguous allocation for the whole cache instead of one heap vector
-  /// per line).
-  struct Line {
-    bool valid = false;
-    bool dirty = false;
-    std::uint64_t tag = 0;
-    std::uint32_t lru = 0;
-  };
-
   static constexpr std::size_t kNoLine = static_cast<std::size_t>(-1);
 
   [[nodiscard]] unsigned set_index(std::uint64_t addr) const noexcept;
@@ -147,7 +145,12 @@ class DataCache {
   unsigned set_shift_ = 0;
   std::uint64_t set_mask_ = 0;
   std::uint64_t offset_mask_ = 0;
-  std::vector<Line> lines_;
+  // SoA line state, indexed by set * ways + way; line bytes live in the
+  // flat `data_` slab (one contiguous allocation for the whole cache).
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint32_t> lru_;
   std::vector<std::uint8_t> data_;  // sets * ways * line_bytes
   std::vector<std::uint32_t> touched_;  // line indices filled since reset
   std::uint32_t lru_clock_ = 0;

@@ -303,8 +303,7 @@ void Pipeline::run_impl(const std::vector<Word>& program,
       pc_ = csrs_.mtvec();
       cycle_ += 4;
     } else {
-      rob_.allocate(ctx_);
-      rob_.retire(ctx_);
+      rob_.dispatch_retire(ctx_);
       pc_ = step.next_pc;
       cycle_ += step.latency;
     }

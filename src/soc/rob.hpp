@@ -22,6 +22,12 @@ class ReorderBuffer {
   /// Retires the oldest instruction.
   void retire(coverage::Context& ctx) noexcept;
 
+  /// Fused allocate-then-retire for the pipeline's commit path, which
+  /// dispatches and retires one instruction per step. Hits the exact same
+  /// coverage points in the exact same order as `allocate(ctx); retire(ctx)`
+  /// but with one call and no re-checks of the enable/occupancy guards.
+  void dispatch_retire(coverage::Context& ctx) noexcept;
+
   /// Trap: every occupied slot is flushed.
   void flush(coverage::Context& ctx) noexcept;
 

@@ -10,7 +10,7 @@ Scoreboard::Scoreboard(coverage::Context& ctx) {
   cov_read_ = reg.add_array("scoreboard/read_reg", isa::kNumRegs);
 }
 
-void Scoreboard::reset() noexcept { ready_cycle_.fill(0); }
+void Scoreboard::reset() noexcept { busy_ = 0; }
 
 void Scoreboard::mark_write(isa::RegIndex rd, std::uint64_t ready_cycle,
                             coverage::Context& ctx) {
@@ -18,6 +18,7 @@ void Scoreboard::mark_write(isa::RegIndex rd, std::uint64_t ready_cycle,
   if (rd == 0) {
     return;
   }
+  busy_ |= 1u << rd;
   ready_cycle_[rd] = ready_cycle;
   ctx.hit(cov_write_, rd);
 }
@@ -26,11 +27,12 @@ std::uint64_t Scoreboard::check_read(isa::RegIndex rs, std::uint64_t now,
                                      coverage::Context& ctx) {
   rs &= 0x1f;
   ctx.hit(cov_read_, rs);
-  if (rs == 0) {
-    return 0;
+  if (((busy_ >> rs) & 1u) == 0) {
+    return 0;  // covers rs == 0: x0's busy bit is never set
   }
   const std::uint64_t ready = ready_cycle_[rs];
   if (ready <= now) {
+    busy_ &= ~(1u << rs);  // writer completed; retire the entry
     return 0;
   }
   if (ready == now + 1) {
@@ -42,6 +44,6 @@ std::uint64_t Scoreboard::check_read(isa::RegIndex rs, std::uint64_t now,
   return ready - now;
 }
 
-void Scoreboard::flush() noexcept { ready_cycle_.fill(0); }
+void Scoreboard::flush() noexcept { busy_ = 0; }
 
 }  // namespace mabfuzz::soc

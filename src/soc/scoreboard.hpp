@@ -1,6 +1,14 @@
 #pragma once
 // Register scoreboard: tracks in-flight writers per architectural register
 // for hazard detection (RAW stalls, bypass hits) and per-register coverage.
+//
+// Layout: a 32-bit busy mask split from the per-register ready-cycle array.
+// The common case on the per-source read path is "no in-flight writer",
+// which the mask answers with one bit test before the 8-byte ready_cycle_
+// entry is ever loaded; flush/reset clear the mask in O(1) instead of
+// sweeping the array (a ready_cycle_ entry is only meaningful while its
+// busy bit is set, so stale entries are unobservable — the same trick the
+// caches use for cold lines).
 
 #include <array>
 #include <cstdint>
@@ -29,6 +37,9 @@ class Scoreboard {
   void flush() noexcept;
 
  private:
+  static_assert(isa::kNumRegs <= 32, "busy_ mask is one bit per register");
+
+  std::uint32_t busy_ = 0;  // bit r set => ready_cycle_[r] is live
   std::array<std::uint64_t, isa::kNumRegs> ready_cycle_{};
 
   coverage::PointId cov_write_ = 0;      // per register

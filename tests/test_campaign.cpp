@@ -142,6 +142,15 @@ TEST(CampaignConfigTest, ParsesKeyValuePairs) {
   EXPECT_TRUE(config.policy.adaptive_operators);
 }
 
+TEST(CampaignConfigTest, ExecWorkersKeyParsesAndClampsToOne) {
+  CampaignConfig config;
+  config.set("exec-workers", "8");
+  EXPECT_EQ(config.policy.exec_workers, 8u);
+  config.set("exec-workers", "0");  // 0 means "no parallelism", i.e. 1
+  EXPECT_EQ(config.policy.exec_workers, 1u);
+  EXPECT_THROW(config.set("exec-workers", "lots"), std::invalid_argument);
+}
+
 TEST(CampaignConfigTest, DefaultBugSetResolvesAgainstFinalCore) {
   // "bugs=default" is core-relative: from_pairs applies it last so it
   // resolves against the requested core regardless of key order, and

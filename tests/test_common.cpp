@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "common/arena.hpp"
 #include "common/bitops.hpp"
@@ -488,6 +491,135 @@ TEST(Arena, ReleaseFreesStorage) {
   EXPECT_EQ(arena.chunk_count(), 0u);
   // Still usable after release.
   EXPECT_EQ(arena.alloc_span<int>(4).size(), 4u);
+}
+
+TEST(Arena, ChunkBoundaryGrowth) {
+  // A chunk that fills *exactly* must not leak a byte into the next
+  // allocation, and each spill opens exactly one new chunk.
+  Arena arena(64);
+  (void)arena.alloc_span<std::uint8_t>(64);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.capacity(), 64u);
+
+  const std::span<std::uint8_t> second = arena.alloc_span<std::uint8_t>(1);
+  EXPECT_EQ(arena.chunk_count(), 2u);
+  second[0] = 0xAB;
+
+  // A request one byte over the remaining space of the active chunk
+  // spills; the skipped tail is padding, not an accounting leak.
+  (void)arena.alloc_span<std::uint8_t>(63);  // fills chunk 2 exactly
+  EXPECT_EQ(arena.chunk_count(), 2u);
+  (void)arena.alloc_span<std::uint8_t>(2);
+  EXPECT_EQ(arena.chunk_count(), 3u);
+  EXPECT_EQ(arena.bytes_allocated(), 64u + 1u + 63u + 2u);
+  EXPECT_EQ(arena.capacity(), 3 * 64u);
+}
+
+TEST(Arena, SteadyStateResetCycleNeverGrows) {
+  // The run_batch staging pattern: identical allocation shape every
+  // cycle. After the first (warmup) cycle, reset() + refill must touch
+  // the heap zero times — chunk count and capacity stay frozen.
+  Arena arena(256);
+  const auto fill = [&arena] {
+    for (int i = 0; i < 10; ++i) {
+      (void)arena.alloc_span<std::uint64_t>(17);
+      (void)arena.alloc_span<char>(5);
+    }
+  };
+  fill();
+  const std::size_t warm_chunks = arena.chunk_count();
+  const std::size_t warm_capacity = arena.capacity();
+  EXPECT_GT(warm_chunks, 1u);  // the shape genuinely spans chunks
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    EXPECT_EQ(arena.chunk_count(), warm_chunks);
+    EXPECT_EQ(arena.capacity(), warm_capacity);
+    fill();
+    EXPECT_EQ(arena.chunk_count(), warm_chunks);
+    EXPECT_EQ(arena.capacity(), warm_capacity);
+  }
+}
+
+TEST(Arena, OverAlignedPayloads) {
+  // Max-aligned requests after deliberately odd offsets, across chunk
+  // spills: every returned pointer must honour the requested alignment
+  // and bytes_allocated counts requests, never alignment padding.
+  constexpr std::size_t kMaxAlign = alignof(std::max_align_t);
+  Arena arena(128);
+  std::size_t requested = 0;
+  for (int i = 1; i <= 9; ++i) {
+    (void)arena.alloc_span<char>(static_cast<std::size_t>(i));  // odd offset
+    requested += static_cast<std::size_t>(i);
+    void* p = arena.allocate(kMaxAlign * 2, kMaxAlign);
+    requested += kMaxAlign * 2;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kMaxAlign, 0u)
+        << "misaligned max_align_t payload at round " << i;
+  }
+  EXPECT_EQ(arena.bytes_allocated(), requested);
+}
+
+// --- arena thread ownership ------------------------------------------------------
+//
+// One arena belongs to one execution thread between resets — the
+// invariant the parallel Backend::run_batch path leans on (each lane
+// resets its private batch arena at shard start). A violation must fault
+// loudly, not corrupt staging memory. (The detlint `context-per-thread`
+// rule flags the static patterns; these tests pin the dynamic guard.)
+
+TEST(Arena, SecondThreadAllocationThrows) {
+  Arena arena;
+  (void)arena.alloc_span<int>(1);  // bind to this thread
+  EXPECT_TRUE(arena.owned_by_this_thread());
+
+  bool threw = false;
+  bool other_saw_ownership = true;
+  std::thread other([&] {
+    other_saw_ownership = arena.owned_by_this_thread();
+    try {
+      (void)arena.alloc_span<int>(1);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_FALSE(other_saw_ownership);
+  EXPECT_TRUE(threw);
+  // The faulting thread must not have corrupted the owner: the binding
+  // thread still allocates freely.
+  EXPECT_EQ(arena.alloc_span<int>(2).size(), 2u);
+}
+
+TEST(Arena, ResetIsTheOwnershipHandoffPoint) {
+  Arena arena;
+  (void)arena.alloc_span<int>(1);
+  arena.reset();
+
+  // After reset, any one thread may claim the arena...
+  std::thread other([&] { (void)arena.alloc_span<int>(8); });
+  other.join();
+
+  // ...and the original thread is now the foreign one.
+  EXPECT_FALSE(arena.owned_by_this_thread());
+  EXPECT_THROW((void)arena.alloc_span<int>(1), std::logic_error);
+  arena.reset();
+  EXPECT_TRUE(arena.owned_by_this_thread());
+  EXPECT_EQ(arena.alloc_span<int>(3).size(), 3u);
+}
+
+TEST(Arena, ZeroByteAllocationsNeverBind) {
+  Arena arena;
+  EXPECT_NE(arena.allocate(0, 1), nullptr);
+  EXPECT_TRUE(arena.alloc_span<int>(0).empty());
+
+  // No storage was handed out, so another thread can still claim it.
+  bool ok = false;
+  std::thread other([&] {
+    (void)arena.alloc_span<int>(1);
+    ok = arena.owned_by_this_thread();
+  });
+  other.join();
+  EXPECT_TRUE(ok);
 }
 
 // ---------------------------------------------------------------------------

@@ -145,6 +145,95 @@ INSTANTIATE_TEST_SUITE_P(
              param_info.param.bugs;
     });
 
+// --- parallel execution equivalence ----------------------------------------------
+//
+// exec_workers > 1 shards a batch across the Backend's private thread
+// team (per-lane Pipeline/Iss/ExecutionContext replicas). Every outcome
+// must be byte-identical to the sequential path for any worker count, any
+// batch size, every core and every bug universe — parallelism may change
+// wall-clock only, never a result byte.
+
+class ParallelExecEquivalence : public ::testing::TestWithParam<Universe> {};
+
+TEST_P(ParallelExecEquivalence, WorkerCountInvariant) {
+  constexpr std::size_t kTests = 48;
+  const fuzz::BackendConfig base = backend_config_of(GetParam());
+  fuzz::Backend sequential(base);
+  const std::vector<fuzz::TestCase> tests = make_battery(sequential, kTests);
+  std::vector<fuzz::TestOutcome> expected;
+  sequential.run_batch(tests, expected);
+
+  for (const unsigned workers : {2u, 3u, 8u}) {
+    fuzz::BackendConfig config = base;
+    config.exec_workers = workers;
+    fuzz::Backend parallel(config);
+    ASSERT_EQ(make_battery(parallel, kTests).size(), kTests);  // same RNG draw
+    std::vector<fuzz::TestOutcome> actual;
+    parallel.run_batch(tests, actual);
+    ASSERT_EQ(actual.size(), kTests);
+    for (std::size_t i = 0; i < kTests; ++i) {
+      expect_outcome_eq(expected[i], actual[i], i);
+    }
+    EXPECT_EQ(parallel.tests_executed(), sequential.tests_executed());
+  }
+}
+
+TEST_P(ParallelExecEquivalence, SmallBatchesAndInterleavedRunTest) {
+  // Batches narrower than the team (including singletons) and run_test
+  // calls interleaved between parallel batches: lane 0 shares the
+  // backend's primary simulators and scratch context, so the single-test
+  // path must stay correct after any parallel batch.
+  // 12 tests across the four batches + 3 interleaved run_test singles.
+  constexpr std::size_t kTests = 15;
+  const fuzz::BackendConfig base = backend_config_of(GetParam());
+  fuzz::Backend sequential(base);
+  const std::vector<fuzz::TestCase> tests = make_battery(sequential, kTests);
+
+  std::vector<fuzz::TestOutcome> expected(kTests);
+  for (std::size_t i = 0; i < kTests; ++i) {
+    sequential.run_test(tests[i], expected[i]);
+  }
+
+  fuzz::BackendConfig config = base;
+  config.exec_workers = 8;
+  fuzz::Backend parallel(config);
+  ASSERT_EQ(make_battery(parallel, kTests).size(), kTests);
+
+  std::vector<fuzz::TestOutcome> block;
+  std::size_t offset = 0;
+  for (const std::size_t size : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{3}, std::size_t{6}}) {
+    parallel.run_batch(std::span(tests).subspan(offset, size), block);
+    for (std::size_t i = 0; i < size; ++i) {
+      expect_outcome_eq(expected[offset + i], block[i], offset + i);
+    }
+    offset += size;
+    if (offset < kTests) {
+      fuzz::TestOutcome single;
+      parallel.run_test(tests[offset], single);
+      expect_outcome_eq(expected[offset], single, offset);
+      ++offset;
+    }
+  }
+  ASSERT_EQ(offset, kTests);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoresAndBugUniverses, ParallelExecEquivalence,
+    ::testing::Values(Universe{soc::CoreKind::kCva6, "none"},
+                      Universe{soc::CoreKind::kCva6, "default"},
+                      Universe{soc::CoreKind::kCva6, "all"},
+                      Universe{soc::CoreKind::kRocket, "none"},
+                      Universe{soc::CoreKind::kRocket, "default"},
+                      Universe{soc::CoreKind::kRocket, "all"},
+                      Universe{soc::CoreKind::kBoom, "none"},
+                      Universe{soc::CoreKind::kBoom, "default"},
+                      Universe{soc::CoreKind::kBoom, "all"}),
+    [](const auto& param_info) {
+      return std::string(soc::core_name(param_info.param.core)) + "_" +
+             param_info.param.bugs;
+    });
+
 TEST(RunBatch, EmptyBatchIsANoOp) {
   fuzz::BackendConfig config;
   config.core = soc::CoreKind::kCva6;
@@ -192,8 +281,11 @@ fuzz::BackendConfig rocket_config() {
   return config;
 }
 
-Trace thehuzz_trace(std::size_t exec_batch, int steps) {
-  fuzz::Backend backend(rocket_config());
+Trace thehuzz_trace(std::size_t exec_batch, int steps,
+                    unsigned exec_workers = 1) {
+  fuzz::BackendConfig backend_config = rocket_config();
+  backend_config.exec_workers = exec_workers;
+  fuzz::Backend backend(backend_config);
   fuzz::TheHuzzConfig config;
   config.exec_batch = exec_batch;
   // A tight pool cap forces drop-oldest churn through the spec window.
@@ -209,8 +301,19 @@ TEST(SpeculativeEquivalence, TheHuzzBatchedReplaysUnbatched) {
   EXPECT_GT(unbatched.covered, 0u);
 }
 
-Trace mab_trace(std::size_t exec_batch, int steps) {
-  fuzz::Backend backend(rocket_config());
+TEST(SpeculativeEquivalence, TheHuzzParallelShardsReplayUnbatched) {
+  // Sharding the spec blocks across 4 exec workers must replay the exact
+  // same campaign as the single-threaded single-test baseline.
+  const Trace unbatched = thehuzz_trace(1, 300);
+  EXPECT_EQ(thehuzz_trace(64, 300, 4), unbatched);
+  EXPECT_EQ(thehuzz_trace(5, 300, 4), unbatched);
+}
+
+Trace mab_trace(std::size_t exec_batch, int steps,
+                unsigned exec_workers = 1) {
+  fuzz::BackendConfig backend_config = rocket_config();
+  backend_config.exec_workers = exec_workers;
+  fuzz::Backend backend(backend_config);
   core::MabFuzzConfig config;
   config.num_arms = 4;
   config.exec_batch = exec_batch;
@@ -231,6 +334,13 @@ TEST(SpeculativeEquivalence, MabSchedulerBatchedReplaysUnbatched) {
   EXPECT_EQ(batched, unbatched);
   EXPECT_GT(unbatched.covered, 0u);
   EXPECT_GT(unbatched.resets, 0u);  // arm resets crossed the spec blocks
+}
+
+TEST(SpeculativeEquivalence, MabSchedulerParallelShardsReplayUnbatched) {
+  // The full chain — bandit selections, rewards, resets — is invariant
+  // under parallel intra-batch execution.
+  const Trace unbatched = mab_trace(1, 300);
+  EXPECT_EQ(mab_trace(64, 300, 8), unbatched);
 }
 
 Trace reuse_trace(std::size_t exec_batch, int steps) {
