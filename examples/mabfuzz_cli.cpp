@@ -45,10 +45,32 @@
 //   corpus info PATH...              print store summaries
 //   corpus merge --out OUT IN IN...  fold stores (argument order) into OUT
 //   corpus distill IN [--out OUT]    greedy set-cover; in place without --out
+//
+// Service mode (first positional argument "serve"):
+//   serve [--socket PATH] [--service-workers N] [--slice N]
+//         [--queue-cap N] [--tenant-cap N]
+//         [--checkpoint-dir DIR] [--checkpoint-every N]
+//   Runs a persistent harness::CampaignService. Commands arrive as lines
+//   on the Unix domain socket (--socket) or on stdin; JSON events stream
+//   to stdout (one object per line); command replies go to the issuing
+//   connection (socket mode) or stderr (stdin mode). Commands:
+//     submit tenant=T job=NAME artifact-out=PREFIX KEY=VALUE...
+//     resume-checkpoint PATH
+//     pause NAME | resume NAME | cancel NAME
+//     status | drain | shutdown
+//   SIGTERM/SIGINT trigger a graceful stop: every unfinished job is
+//   parked in a final checkpoint (when --checkpoint-dir is set), exit 0.
 
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -58,6 +80,7 @@
 #include "fuzz/registry.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "harness/service.hpp"
 #include "mab/registry.hpp"
 
 namespace {
@@ -94,7 +117,10 @@ int print_help(const std::string& program) {
                "--target-bug Vn, --json PATH\n"
                "corpus verbs: corpus info PATH..., "
                "corpus merge --out OUT IN IN..., "
-               "corpus distill IN [--out OUT]\n";
+               "corpus distill IN [--out OUT]\n"
+               "service mode: serve [--socket PATH] [--service-workers N] "
+               "[--slice N] [--queue-cap N] [--tenant-cap N] "
+               "[--checkpoint-dir DIR] [--checkpoint-every N]\n";
   return 0;
 }
 
@@ -164,6 +190,271 @@ int run_corpus_tool(const common::CliArgs& args) {
   }
   std::cerr << "error: unknown corpus verb '" << verb << "'\n";
   return corpus_usage(args.program());
+}
+
+// --- serve mode -----------------------------------------------------------------
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens = common::split(line, ' ');
+  std::erase(tokens, "");
+  return tokens;
+}
+
+/// Executes one control command; every command yields exactly one reply
+/// line ("ok ..." / "error ..."). `shutdown` is set by the shutdown verb.
+std::string handle_serve_command(harness::CampaignService& service,
+                                 const std::string& line, bool& shutdown) {
+  const std::vector<std::string> tokens = split_tokens(line);
+  if (tokens.empty()) {
+    return "error: empty command";
+  }
+  const std::string& verb = tokens.front();
+  try {
+    if (verb == "submit") {
+      harness::JobSpec spec;
+      spec.tenant = "default";
+      std::vector<std::string> pairs;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        const auto eq = token.find('=');
+        if (eq == std::string::npos) {
+          return "error: expected key=value, got '" + token + "'";
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "tenant") {
+          spec.tenant = value;
+        } else if (key == "job") {
+          spec.name = value;
+        } else if (key == "artifact-out") {
+          spec.artifact_out = value;
+        } else {
+          pairs.push_back(token);  // campaign vocabulary
+        }
+      }
+      if (spec.name.empty()) {
+        return "error: submit requires job=<name>";
+      }
+      spec.config = harness::CampaignConfig::from_pairs(pairs);
+      std::string name = spec.name;
+      service.submit(std::move(spec));
+      return "ok submitted " + name;
+    }
+    if (verb == "resume-checkpoint") {
+      if (tokens.size() != 2) {
+        return "error: usage: resume-checkpoint PATH";
+      }
+      return "ok resumed " + service.resume_from_checkpoint(tokens[1]);
+    }
+    if (verb == "pause" || verb == "resume" || verb == "cancel") {
+      if (tokens.size() != 2) {
+        return "error: usage: " + verb + " NAME";
+      }
+      const bool applied = verb == "pause"    ? service.pause(tokens[1])
+                           : verb == "resume" ? service.resume(tokens[1])
+                                              : service.cancel(tokens[1]);
+      return applied ? "ok " + verb + " requested"
+                     : "error: job '" + tokens[1] +
+                           "' is unknown or already terminal";
+    }
+    if (verb == "status") {
+      std::string reply = "ok";
+      for (const harness::JobStatus& job : service.jobs()) {
+        reply += ' ';
+        reply += job.name;
+        reply += ':';
+        reply += harness::job_state_name(job.state);
+        reply += ':';
+        reply += std::to_string(job.tests_executed);
+        reply += '/';
+        reply += std::to_string(job.max_tests);
+      }
+      return reply;
+    }
+    if (verb == "drain") {
+      service.drain();
+      return "ok drained";
+    }
+    if (verb == "shutdown") {
+      shutdown = true;
+      return "ok shutting down";
+    }
+    return "error: unknown command '" + verb +
+           "' (submit, resume-checkpoint, pause, resume, cancel, status, "
+           "drain, shutdown)";
+  } catch (const std::exception& e) {
+    return std::string("error: ") + e.what();
+  }
+}
+
+/// Pulls complete lines out of a connection buffer, handling each.
+/// Returns the replies, one per completed line.
+std::vector<std::string> drain_command_buffer(
+    harness::CampaignService& service, std::string& buffer, bool& shutdown) {
+  std::vector<std::string> replies;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = buffer.find('\n', start);
+    if (nl == std::string::npos) {
+      break;
+    }
+    std::string line = buffer.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!line.empty()) {
+      replies.push_back(handle_serve_command(service, line, shutdown));
+    }
+    start = nl + 1;
+  }
+  buffer.erase(0, start);
+  return replies;
+}
+
+int serve_socket_loop(harness::CampaignService& service,
+                      const std::string& socket_path) {
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "error: cannot create socket\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "error: socket path too long\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  std::copy(socket_path.begin(), socket_path.end(), addr.sun_path);
+  ::unlink(socket_path.c_str());  // stale socket from a crashed server
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 8) != 0) {
+    std::cerr << "error: cannot bind/listen on '" << socket_path << "'\n";
+    ::close(listen_fd);
+    return 1;
+  }
+
+  struct Client {
+    int fd;
+    std::string buffer;
+  };
+  std::vector<Client> clients;
+  bool shutdown = false;
+  while (g_serve_stop == 0 && !shutdown) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd, POLLIN, 0});
+    for (const Client& client : clients) {
+      fds.push_back({client.fd, POLLIN, 0});
+    }
+    // The 100ms timeout bounds signal-reaction latency (the handler only
+    // sets a flag; this loop is the one that acts on it).
+    if (::poll(fds.data(), fds.size(), 100) < 0) {
+      continue;  // EINTR: re-check g_serve_stop
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) {
+        clients.push_back({fd, {}});
+      }
+    }
+    for (std::size_t i = 0; i < clients.size();) {
+      // fds[0] is the listener; client i sits at fds[i + 1] — but the
+      // clients vector may have grown after accept, so guard the index.
+      const bool readable =
+          i + 1 < fds.size() &&
+          (fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      bool closed = false;
+      if (readable) {
+        char chunk[4096];
+        const ssize_t n = ::read(clients[i].fd, chunk, sizeof(chunk));
+        if (n <= 0) {
+          closed = true;
+        } else {
+          clients[i].buffer.append(chunk, static_cast<std::size_t>(n));
+          for (const std::string& reply : drain_command_buffer(
+                   service, clients[i].buffer, shutdown)) {
+            const std::string line = reply + "\n";
+            // Best-effort reply; a vanished client is dropped next round.
+            (void)!::write(clients[i].fd, line.data(), line.size());
+          }
+        }
+      }
+      if (closed) {
+        ::close(clients[i].fd);
+        clients.erase(clients.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const Client& client : clients) {
+    ::close(client.fd);
+  }
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  return 0;
+}
+
+int serve_stdin_loop(harness::CampaignService& service) {
+  std::string buffer;
+  bool shutdown = false;
+  while (g_serve_stop == 0 && !shutdown) {
+    pollfd fd{STDIN_FILENO, POLLIN, 0};
+    if (::poll(&fd, 1, 100) < 0) {
+      continue;  // EINTR
+    }
+    if ((fd.revents & (POLLIN | POLLHUP)) == 0) {
+      continue;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;  // EOF: run what was accepted, then stop below
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    for (const std::string& reply :
+         drain_command_buffer(service, buffer, shutdown)) {
+      // stdout carries the JSON event stream; replies go to stderr so the
+      // event log stays machine-parseable.
+      std::cerr << reply << "\n";
+    }
+  }
+  if (!shutdown && g_serve_stop == 0) {
+    // EOF without an explicit shutdown: finish the accepted work first.
+    service.drain();
+  }
+  return 0;
+}
+
+int run_serve(const common::CliArgs& args) {
+  core::ensure_builtin_policies_registered();
+  harness::ServiceConfig config;
+  config.workers =
+      static_cast<unsigned>(args.get_uint("service-workers", 2));
+  config.slice = args.get_uint("slice", 256);
+  config.queue_cap = args.get_uint("queue-cap", 64);
+  config.per_tenant_cap = args.get_uint("tenant-cap", 8);
+  config.checkpoint_dir = args.get_string("checkpoint-dir", "");
+  config.checkpoint_every = args.get_uint("checkpoint-every", 0);
+  const std::string socket_path = args.get_string("socket", "");
+
+  harness::CampaignService service(std::move(config), &std::cout);
+  service.start();
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+
+  const int status = socket_path.empty()
+                         ? serve_stdin_loop(service)
+                         : serve_socket_loop(service, socket_path);
+  // Graceful stop: lanes finish their slice, unfinished jobs are parked
+  // in final checkpoints (with --checkpoint-dir), then a clean exit.
+  service.stop();
+  return status;
 }
 
 int run_matrix(const common::CliArgs& args, harness::CampaignConfig config) {
@@ -277,6 +568,9 @@ int main(int argc, char** argv) {
     const common::CliArgs args(argc, argv);
     if (!args.positional().empty() && args.positional().front() == "corpus") {
       return run_corpus_tool(args);
+    }
+    if (!args.positional().empty() && args.positional().front() == "serve") {
+      return run_serve(args);
     }
     if (args.has("list-fuzzers")) {
       return list_fuzzers();

@@ -125,4 +125,10 @@ fuzz::StepResult MabScheduler::step() {
   return result;
 }
 
+void MabScheduler::append_state(std::string& out) const {
+  mab::state_put_u64(out, steps_);
+  mab::state_put_u64(out, total_resets_);
+  bandit_->save_state(out);
+}
+
 }  // namespace mabfuzz::core

@@ -78,6 +78,9 @@ class MabScheduler final : public fuzz::Fuzzer {
   [[nodiscard]] const mab::Bandit& bandit() const noexcept { return *bandit_; }
   [[nodiscard]] std::uint64_t total_resets() const noexcept { return total_resets_; }
 
+  /// Checkpoint state witness: steps, resets, and the bandit's full state.
+  void append_state(std::string& out) const override;
+
  private:
   fuzz::Backend& backend_;
   std::unique_ptr<mab::Bandit> bandit_;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "coverage/map.hpp"
@@ -40,6 +41,14 @@ class Fuzzer {
   [[nodiscard]] virtual const coverage::Accumulator& accumulated() const = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Appends a deterministic fingerprint of the policy's mutable state
+  /// (bandit statistics, RNG stream positions, reset counters) to `out` —
+  /// the divergence witness harness/checkpoint.hpp compares after a
+  /// resume replay. Policies whose state is fully reconstructed by
+  /// replay anyway may keep the empty default; the bandit-backed
+  /// schedulers serialize their mab::Bandit state.
+  virtual void append_state(std::string& out) const { (void)out; }
 };
 
 }  // namespace mabfuzz::fuzz

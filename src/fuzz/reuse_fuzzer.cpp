@@ -149,4 +149,11 @@ StepResult ReuseFuzzer::step() {
   return result;
 }
 
+void ReuseFuzzer::append_state(std::string& out) const {
+  mab::state_put_u64(out, steps_);
+  mab::state_put_u64(out, total_resets_);
+  mab::state_put_u64(out, reserve_cursor_);
+  bandit_->save_state(out);
+}
+
 }  // namespace mabfuzz::fuzz

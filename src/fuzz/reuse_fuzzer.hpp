@@ -79,6 +79,10 @@ class ReuseFuzzer final : public Fuzzer {
     return total_resets_;
   }
 
+  /// Checkpoint state witness: steps, resets, reserve cursor, and the
+  /// seed-selection bandit's full state.
+  void append_state(std::string& out) const override;
+
  private:
   struct ArmState {
     TestCase parent;  // current working test; mutation parent once executed

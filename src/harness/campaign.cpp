@@ -4,6 +4,7 @@
 #include <charconv>
 #include <exception>
 #include <filesystem>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -115,118 +116,184 @@ std::vector<unsigned> parse_lengths(std::string_view key, std::string_view value
   return out;
 }
 
+// --- canonical value formatting (to_pairs) --------------------------------------
+
+/// Shortest round-trip decimal form (std::to_chars): parse_f64 of the
+/// output reproduces the exact double, and equal doubles format
+/// identically — both required for the checkpoint config round trip.
+std::string format_exact(double v) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  return ec == std::errc{} ? std::string(buffer, ptr) : std::string("0");
+}
+
+std::string format_bug_set(const CampaignConfig& config) {
+  std::string out;
+  for (const soc::BugInfo& info : soc::all_bugs()) {
+    if (!config.bugs.enabled(info.id)) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ',';
+    }
+    out.append(info.name);
+  }
+  // The explicit name list (never "default") keeps the value independent
+  // of the core key it rides alongside.
+  return out.empty() ? "none" : out;
+}
+
+std::string format_lengths(const std::vector<unsigned>& lengths) {
+  std::string out;
+  for (const unsigned length : lengths) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += std::to_string(length);
+  }
+  return out;
+}
+
 struct ConfigKey {
   std::string_view key;
   std::string_view description;
   void (*apply)(CampaignConfig&, std::string_view);
+  /// Canonical value for to_pairs(); parse(format(c)) == c per key.
+  std::string (*format)(const CampaignConfig&);
 };
 
 // Declaration order is application order for from_args(): `core` precedes
 // `bugs` so "bugs=default" resolves against the requested core.
 constexpr ConfigKey kConfigKeys[] = {
     {"fuzzer", "scheduling policy name (see FuzzerRegistry / --list-fuzzers)",
-     [](CampaignConfig& c, std::string_view v) { c.fuzzer = std::string(v); }},
+     [](CampaignConfig& c, std::string_view v) { c.fuzzer = std::string(v); },
+     [](const CampaignConfig& c) { return c.fuzzer; }},
     {"core", "DUT core: cva6 | rocket | boom",
-     [](CampaignConfig& c, std::string_view v) { c.core = parse_core(v); }},
+     [](CampaignConfig& c, std::string_view v) { c.core = parse_core(v); },
+     [](const CampaignConfig& c) { return std::string(soc::core_name(c.core)); }},
     {"bugs", "injected bug set: default | none | all | V1,..,V7",
      [](CampaignConfig& c, std::string_view v) {
        c.bugs = parse_bug_set(v, c.core);
-     }},
+     },
+     [](const CampaignConfig& c) { return format_bug_set(c); }},
     {"tests", "test budget for run()",
      [](CampaignConfig& c, std::string_view v) {
        c.max_tests = parse_u64("tests", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.max_tests); }},
     {"seed", "root RNG seed",
      [](CampaignConfig& c, std::string_view v) {
        c.rng_seed = parse_u64("seed", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.rng_seed); }},
     {"run", "repetition index (decorrelates repetitions)",
      [](CampaignConfig& c, std::string_view v) {
        c.run_index = parse_u64("run", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.run_index); }},
     {"snapshot-every", "coverage snapshot cadence; 0 = auto (tests/100)",
      [](CampaignConfig& c, std::string_view v) {
        c.snapshot_every = parse_u64("snapshot-every", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.snapshot_every); }},
     {"arms", "number of bandit arms (paper: 10)",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.bandit.num_arms = parse_u64("arms", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.policy.bandit.num_arms); }},
     {"epsilon", "epsilon-greedy exploration rate (paper: 0.1)",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.bandit.epsilon = parse_f64("epsilon", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return format_exact(c.policy.bandit.epsilon); }},
     {"eta", "EXP3 learning rate (paper: 0.1)",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.bandit.eta = parse_f64("eta", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return format_exact(c.policy.bandit.eta); }},
     {"alpha", "reward mix R = a|covL| + (1-a)|covG| (paper: 0.25)",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.alpha = parse_f64("alpha", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return format_exact(c.policy.alpha); }},
     {"gamma", "depletion reset threshold; 0 disables (paper: 3)",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.gamma = parse_u64("gamma", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.policy.gamma); }},
     {"mutants", "mutant burst per interesting test (paper: 5)",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.mutants_per_interesting =
            static_cast<unsigned>(parse_u64("mutants", v));
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.policy.mutants_per_interesting); }},
     {"pool-cap", "per-arm test pool capacity",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.arm_pool_cap = parse_u64("pool-cap", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.policy.arm_pool_cap); }},
     {"exec-batch", "execution block size for Backend::run_batch; 1 = unbatched",
      [](CampaignConfig& c, std::string_view v) {
        const std::uint64_t n = parse_u64("exec-batch", v);
        c.policy.exec_batch = n == 0 ? 1 : n;
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.policy.exec_batch); }},
     {"exec-workers", "intra-trial execution threads for Backend::run_batch; "
                      "1 = sequential (results are identical for any value)",
      [](CampaignConfig& c, std::string_view v) {
        const std::uint64_t n = parse_u64("exec-workers", v);
        c.policy.exec_workers = n == 0 ? 1 : n;
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.policy.exec_workers); }},
     {"initial-seeds", "TheHuzz initial seed count",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.thehuzz.initial_seeds =
            static_cast<unsigned>(parse_u64("initial-seeds", v));
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.policy.thehuzz.initial_seeds); }},
     {"feed-op-rewards", "feed operator-level rewards to the mutation policy",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.feed_operator_rewards = parse_flag("feed-op-rewards", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::string(c.policy.feed_operator_rewards ? "true" : "false"); }},
     {"adaptive-ops", "Sec. V: MAB mutation-operator selection",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.adaptive_operators = parse_flag("adaptive-ops", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::string(c.policy.adaptive_operators ? "true" : "false"); }},
     {"adaptive-op-epsilon", "exploration rate of the operator bandit",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.adaptive_op_epsilon = parse_f64("adaptive-op-epsilon", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return format_exact(c.policy.adaptive_op_epsilon); }},
     {"adaptive-length", "Sec. V: MAB seed-length selection",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.adaptive_length = parse_flag("adaptive-length", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::string(c.policy.adaptive_length ? "true" : "false"); }},
     {"length-choices", "candidate seed lengths for adaptive-length",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.length_choices = parse_lengths("length-choices", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return format_lengths(c.policy.length_choices); }},
     {"corpus-in", "load a mabfuzz-corpus-v2 store before the run",
-     [](CampaignConfig& c, std::string_view v) { c.corpus_in = std::string(v); }},
+     [](CampaignConfig& c, std::string_view v) { c.corpus_in = std::string(v); },
+     [](const CampaignConfig& c) { return c.corpus_in; }},
     {"corpus-out", "save the campaign's corpus here after the run",
      [](CampaignConfig& c, std::string_view v) {
        c.corpus_out = std::string(v);
-     }},
+     },
+     [](const CampaignConfig& c) { return c.corpus_out; }},
     {"corpus-cap", "fresh-corpus entry cap (full: evict lowest novelty)",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.corpus_cap = parse_u64("corpus-cap", v);
-     }},
+     },
+     [](const CampaignConfig& c) { return std::to_string(c.policy.corpus_cap); }},
     {"reuse-bandit", "bandit policy for the reuse fuzzer's seed selection",
      [](CampaignConfig& c, std::string_view v) {
        c.policy.reuse_bandit = std::string(v);
-     }},
+     },
+     [](const CampaignConfig& c) { return c.policy.reuse_bandit; }},
 };
 
 }  // namespace
@@ -309,6 +376,18 @@ std::vector<std::pair<std::string, std::string>> CampaignConfig::known_keys() {
   std::vector<std::pair<std::string, std::string>> out;
   for (const ConfigKey& entry : kConfigKeys) {
     out.emplace_back(std::string(entry.key), std::string(entry.description));
+  }
+  return out;
+}
+
+std::vector<std::string> CampaignConfig::to_pairs() const {
+  std::vector<std::string> out;
+  out.reserve(std::size(kConfigKeys));
+  for (const ConfigKey& entry : kConfigKeys) {
+    std::string pair(entry.key);
+    pair += '=';
+    pair += entry.format(*this);
+    out.push_back(std::move(pair));
   }
   return out;
 }
@@ -582,9 +661,10 @@ void Campaign::take_snapshot() {
   }
 }
 
-RunResult Campaign::run_until(const StopCondition& stop) {
+std::optional<RunResult> Campaign::run_slice(const StopCondition& stop,
+                                             std::uint64_t quantum) {
   const std::uint64_t batch = config_.effective_snapshot_every();
-  std::uint64_t in_batch = 0;
+  std::uint64_t executed = 0;
   const StopCondition::Clause* fired = nullptr;
   auto first_satisfied = [&]() -> const StopCondition::Clause* {
     for (const StopCondition::Clause& clause : stop.clauses_) {
@@ -595,12 +675,17 @@ RunResult Campaign::run_until(const StopCondition& stop) {
     return nullptr;
   };
   // Evaluated between steps (including before the first), so an already
-  // satisfied condition executes zero tests.
+  // satisfied condition executes zero tests. The snapshot cadence keys on
+  // the campaign-global step count, not a per-call counter, so slicing
+  // does not perturb the snapshot sequence.
   while ((fired = first_satisfied()) == nullptr) {
+    if (executed == quantum) {
+      return std::nullopt;
+    }
     step();
-    if (++in_batch == batch) {
+    ++executed;
+    if (steps_ % batch == 0) {
       take_snapshot();
-      in_batch = 0;
     }
   }
   if (steps_ > 0 &&
@@ -618,6 +703,11 @@ RunResult Campaign::run_until(const StopCondition& stop) {
     observer->on_stop(*this, result);
   }
   return result;
+}
+
+RunResult Campaign::run_until(const StopCondition& stop) {
+  // A quantum that can never be exhausted before a stop clause fires.
+  return *run_slice(stop, std::numeric_limits<std::uint64_t>::max());
 }
 
 RunResult Campaign::run() {

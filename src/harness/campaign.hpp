@@ -96,6 +96,14 @@ struct CampaignConfig {
   [[nodiscard]] static std::vector<std::pair<std::string, std::string>>
   known_keys();
 
+  /// Serializes every known key as "key=value" in declaration order (the
+  /// checkpoint-v1 config section and the wire echo format). Values are
+  /// canonical: doubles print shortest-round-trip, the bug set prints as
+  /// an explicit name list ("none" when empty), so
+  /// from_pairs(to_pairs()) reconstructs an equivalent config and
+  /// to_pairs() of that reconstruction is byte-identical.
+  [[nodiscard]] std::vector<std::string> to_pairs() const;
+
   [[nodiscard]] std::uint64_t effective_snapshot_every() const noexcept {
     if (snapshot_every != 0) {
       return snapshot_every;
@@ -178,6 +186,8 @@ struct BatchSnapshot {
   std::uint64_t tests_executed = 0;
   std::size_t covered = 0;
   std::size_t universe = 0;
+
+  friend bool operator==(const BatchSnapshot&, const BatchSnapshot&) = default;
 };
 
 /// What a run_until() call did.
@@ -220,8 +230,23 @@ class Campaign {
 
   /// Batched stepping until `stop` is satisfied, snapshotting coverage
   /// every config().effective_snapshot_every() tests (plus once at stop).
-  /// Callable repeatedly; totals accumulate across calls.
+  /// Callable repeatedly; totals accumulate across calls. The snapshot
+  /// cadence follows the campaign-global test count, so a run split into
+  /// slices (run_slice) produces the same snapshot sequence as one
+  /// uninterrupted call.
   RunResult run_until(const StopCondition& stop);
+
+  /// One scheduling quantum: executes at most `quantum` further tests.
+  /// When `stop` fires first, the run is finalized exactly like
+  /// run_until (trailing snapshot + on_stop) and the engaged result is
+  /// returned; when the quantum is exhausted first, no finalization
+  /// happens and std::nullopt is returned — call again to continue. The
+  /// campaign-service scheduler interleaves jobs through this, and
+  /// checkpoint resume replays through it (stop that never fires,
+  /// quantum = checkpointed steps), so sliced, resumed and uninterrupted
+  /// runs all produce identical snapshots and artifacts.
+  std::optional<RunResult> run_slice(const StopCondition& stop,
+                                     std::uint64_t quantum);
 
   /// run_until(StopCondition::max_tests(config().max_tests)).
   RunResult run();

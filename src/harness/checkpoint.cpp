@@ -1,0 +1,415 @@
+#include "harness/checkpoint.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "fuzz/corpus.hpp"
+#include "soc/bugs.hpp"
+
+namespace mabfuzz::harness {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'A', 'B', 'F', 'U', 'Z', 'Z', 'K'};
+
+/// Sanity bounds mirroring fuzz/corpus.cpp: every allocation a corrupt
+/// file could steer is capped before it happens. Strings (config pairs,
+/// state blobs) are tiny; the corpus image is the one legitimately large
+/// field and gets corpus-scale headroom.
+constexpr std::uint64_t kMaxString = 1u << 20;
+constexpr std::uint64_t kMaxCount = 1u << 20;
+constexpr std::uint64_t kMaxCorpusImage = 1u << 26;
+
+[[noreturn]] void fail(std::string_view what) {
+  throw std::runtime_error("checkpoint load: " + std::string(what));
+}
+
+/// errno captured before the message strings allocate (allocation may
+/// clobber it).
+[[noreturn]] void fail_io(std::string_view action, const std::string& path) {
+  const int saved_errno = errno;
+  throw std::runtime_error(std::string(action) + " '" + path +
+                           "': " + std::strerror(saved_errno));
+}
+
+// Payload is built in memory (little-endian bytes appended to a string)
+// so the FNV-1a trailer covers it exactly and load() can checksum before
+// parsing a single field.
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked big-string variant (the corpus image).
+void put_blob(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.append(s);
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Cursor over the checksummed payload; every read is bounds-checked so
+/// a payload that lies about its lengths fails with "truncated payload"
+/// instead of reading past the buffer.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32(std::string_view what) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(byte(what)) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64(std::string_view what) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(byte(what)) << (8 * i);
+    }
+    return v;
+  }
+
+  std::string str(std::string_view what) {
+    const std::uint32_t n = u32(what);
+    if (n > kMaxString) {
+      fail(std::string(what) + " length " + std::to_string(n) +
+           " exceeds the sanity bound");
+    }
+    return take(n, what);
+  }
+
+  std::string blob(std::string_view what, std::uint64_t max) {
+    const std::uint64_t n = u64(what);
+    if (n > max) {
+      fail(std::string(what) + " length " + std::to_string(n) +
+           " exceeds the sanity bound");
+    }
+    return take(n, what);
+  }
+
+  unsigned char u8(std::string_view what) { return byte(what); }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == bytes_.size();
+  }
+
+ private:
+  unsigned char byte(std::string_view what) {
+    if (pos_ >= bytes_.size()) {
+      fail("truncated payload (" + std::string(what) + ")");
+    }
+    return static_cast<unsigned char>(bytes_[pos_++]);
+  }
+
+  std::string take(std::uint64_t n, std::string_view what) {
+    if (n > bytes_.size() - pos_) {
+      fail("truncated payload (" + std::string(what) + ")");
+    }
+    std::string out(bytes_.substr(pos_, static_cast<std::size_t>(n)));
+    pos_ += static_cast<std::size_t>(n);
+    return out;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string serialize_payload(const Checkpoint& checkpoint) {
+  std::string out;
+  put_str(out, checkpoint.job_name);
+  put_str(out, checkpoint.tenant);
+  put_str(out, checkpoint.artifact_out);
+  put_u32(out, static_cast<std::uint32_t>(checkpoint.config_pairs.size()));
+  for (const std::string& pair : checkpoint.config_pairs) {
+    put_str(out, pair);
+  }
+  put_u64(out, checkpoint.steps);
+  put_u64(out, checkpoint.mismatches);
+  put_u32(out, static_cast<std::uint32_t>(checkpoint.first_detection.size()));
+  for (const std::uint64_t test : checkpoint.first_detection) {
+    put_u64(out, test);
+  }
+  put_u64(out, checkpoint.snapshots.size());
+  for (const BatchSnapshot& snapshot : checkpoint.snapshots) {
+    put_u64(out, snapshot.tests_executed);
+    put_u64(out, snapshot.covered);
+    put_u64(out, snapshot.universe);
+  }
+  put_blob(out, checkpoint.fuzzer_state);
+  put_u64(out, checkpoint.coverage_universe);
+  put_u64(out, checkpoint.coverage_words.size());
+  for (const std::uint64_t word : checkpoint.coverage_words) {
+    put_u64(out, word);
+  }
+  out.push_back(checkpoint.has_corpus ? '\1' : '\0');
+  if (checkpoint.has_corpus) {
+    put_blob(out, checkpoint.corpus_image);
+  }
+  return out;
+}
+
+Checkpoint parse_payload(std::string_view payload) {
+  Reader in(payload);
+  Checkpoint out;
+  out.job_name = in.str("job name");
+  out.tenant = in.str("tenant");
+  out.artifact_out = in.str("artifact path");
+  const std::uint32_t num_pairs = in.u32("config pair count");
+  if (num_pairs > kMaxCount) {
+    fail("config pair count exceeds the sanity bound");
+  }
+  out.config_pairs.reserve(num_pairs);
+  for (std::uint32_t i = 0; i < num_pairs; ++i) {
+    out.config_pairs.push_back(in.str("config pair"));
+  }
+  out.steps = in.u64("step count");
+  out.mismatches = in.u64("mismatch count");
+  const std::uint32_t num_bugs = in.u32("bug count");
+  if (num_bugs != soc::kNumBugs) {
+    fail("bug count " + std::to_string(num_bugs) + " does not match this "
+         "build's " + std::to_string(soc::kNumBugs) + " (version skew?)");
+  }
+  out.first_detection.reserve(num_bugs);
+  for (std::uint32_t i = 0; i < num_bugs; ++i) {
+    out.first_detection.push_back(in.u64("first detection"));
+  }
+  const std::uint64_t num_snapshots = in.u64("snapshot count");
+  if (num_snapshots > kMaxCount) {
+    fail("snapshot count exceeds the sanity bound");
+  }
+  out.snapshots.reserve(static_cast<std::size_t>(num_snapshots));
+  for (std::uint64_t i = 0; i < num_snapshots; ++i) {
+    BatchSnapshot snapshot;
+    snapshot.tests_executed = in.u64("snapshot tests");
+    snapshot.covered = static_cast<std::size_t>(in.u64("snapshot covered"));
+    snapshot.universe = static_cast<std::size_t>(in.u64("snapshot universe"));
+    out.snapshots.push_back(snapshot);
+  }
+  out.fuzzer_state = in.blob("fuzzer state", kMaxString);
+  out.coverage_universe = in.u64("coverage universe");
+  const std::uint64_t num_words = in.u64("coverage word count");
+  if (num_words > kMaxCount) {
+    fail("coverage word count exceeds the sanity bound");
+  }
+  out.coverage_words.reserve(static_cast<std::size_t>(num_words));
+  for (std::uint64_t i = 0; i < num_words; ++i) {
+    out.coverage_words.push_back(in.u64("coverage word"));
+  }
+  const unsigned char flag = in.u8("corpus flag");
+  if (flag > 1) {
+    fail("corpus flag must be 0 or 1");
+  }
+  out.has_corpus = flag == 1;
+  if (out.has_corpus) {
+    out.corpus_image = in.blob("corpus image", kMaxCorpusImage);
+  }
+  if (!in.exhausted()) {
+    fail("trailing bytes after the corpus image");
+  }
+  return out;
+}
+
+}  // namespace
+
+Checkpoint Checkpoint::capture(const Campaign& campaign) {
+  Checkpoint out;
+  out.config_pairs = campaign.config().to_pairs();
+  out.steps = campaign.tests_executed();
+  out.mismatches = campaign.mismatches();
+  out.first_detection.assign(soc::kNumBugs, 0);
+  for (const soc::BugInfo& info : soc::all_bugs()) {
+    out.first_detection[static_cast<std::size_t>(info.id)] =
+        campaign.first_detection_test(info.id);
+  }
+  out.snapshots = campaign.snapshots();
+  campaign.fuzzer().append_state(out.fuzzer_state);
+  const coverage::Map& global = campaign.fuzzer().accumulated().global();
+  out.coverage_universe = global.universe();
+  out.coverage_words.assign(global.words().begin(), global.words().end());
+  if (campaign.corpus() != nullptr) {
+    std::ostringstream image;
+    campaign.corpus()->save(image);
+    out.has_corpus = true;
+    out.corpus_image = std::move(image).str();
+  }
+  return out;
+}
+
+void Checkpoint::save(const std::string& path) const {
+  const std::string payload = serialize_payload(*this);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      fail_io("cannot open checkpoint file", tmp);
+    }
+    os.write(kMagic, sizeof(kMagic));
+    std::string header;
+    put_u32(header, kVersion);
+    put_u64(header, payload.size());
+    os.write(header.data(), static_cast<std::streamsize>(header.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    std::string trailer;
+    put_u64(trailer, fnv1a64(payload));
+    os.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+    os.flush();
+    if (!os) {
+      fail_io("cannot write checkpoint file", tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail_io("cannot rename checkpoint file onto", path);
+  }
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    fail_io("cannot open checkpoint file", path);
+  }
+  char magic[sizeof(kMagic)];
+  if (!is.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail("'" + path + "' is not a mabfuzz checkpoint (bad magic)");
+  }
+  char header[12];
+  if (!is.read(header, sizeof(header))) {
+    fail("'" + path + "': truncated header");
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[i]))
+               << (8 * i);
+  }
+  if (version != kVersion) {
+    fail("'" + path + "': unsupported version " + std::to_string(version) +
+         " (this build reads version " + std::to_string(kVersion) + ")");
+  }
+  std::uint64_t payload_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    payload_len |=
+        static_cast<std::uint64_t>(static_cast<unsigned char>(header[4 + i]))
+        << (8 * i);
+  }
+  if (payload_len > kMaxCorpusImage + kMaxString + (kMaxCount * 32)) {
+    fail("'" + path + "': payload length exceeds the sanity bound");
+  }
+  std::string payload(static_cast<std::size_t>(payload_len), '\0');
+  if (!is.read(payload.data(), static_cast<std::streamsize>(payload.size()))) {
+    fail("'" + path + "': truncated payload");
+  }
+  char trailer[8];
+  if (!is.read(trailer, sizeof(trailer))) {
+    fail("'" + path + "': truncated checksum trailer");
+  }
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(static_cast<unsigned char>(trailer[i]))
+              << (8 * i);
+  }
+  // Checksum gate first: a corrupt payload is rejected wholesale, never
+  // parsed into partial state.
+  if (stored != fnv1a64(payload)) {
+    fail("'" + path + "': checksum mismatch (corrupt or truncated file)");
+  }
+  return parse_payload(payload);
+}
+
+std::unique_ptr<Campaign> resume_campaign(const Checkpoint& checkpoint) {
+  const CampaignConfig config =
+      CampaignConfig::from_pairs(checkpoint.config_pairs);
+  auto campaign = std::make_unique<Campaign>(config);
+
+  // Deterministic replay: re-execute exactly `steps` tests. The stop
+  // condition never fires, so run_slice neither finalizes nor emits the
+  // trailing snapshot — the campaign ends up mid-run, exactly where the
+  // original was when the checkpoint was captured.
+  if (checkpoint.steps > 0) {
+    const StopCondition never = StopCondition::custom(
+        "checkpoint-replay", [](const Campaign&) { return false; });
+    const auto finished = campaign->run_slice(never, checkpoint.steps);
+    if (finished.has_value()) {
+      throw std::runtime_error(
+          "checkpoint resume: replay finalized unexpectedly");
+    }
+  }
+
+  // Witness verification: prove the replay landed on the captured state.
+  auto diverged = [](std::string_view witness) -> std::runtime_error {
+    return std::runtime_error(
+        "checkpoint resume: " + std::string(witness) +
+        " diverged from the checkpoint — the config, corpus-in file or "
+        "code version changed since the checkpoint was taken");
+  };
+  if (campaign->tests_executed() != checkpoint.steps) {
+    throw diverged("step count");
+  }
+  if (campaign->mismatches() != checkpoint.mismatches) {
+    throw diverged("mismatch count");
+  }
+  for (const soc::BugInfo& info : soc::all_bugs()) {
+    const std::size_t index = static_cast<std::size_t>(info.id);
+    if (index < checkpoint.first_detection.size() &&
+        campaign->first_detection_test(info.id) !=
+            checkpoint.first_detection[index]) {
+      throw diverged(std::string("first detection of ") +
+                     std::string(info.name));
+    }
+  }
+  if (campaign->snapshots() != checkpoint.snapshots) {
+    throw diverged("snapshot sequence");
+  }
+  std::string fuzzer_state;
+  campaign->fuzzer().append_state(fuzzer_state);
+  if (fuzzer_state != checkpoint.fuzzer_state) {
+    throw diverged("fuzzer state");
+  }
+  const coverage::Map& global = campaign->fuzzer().accumulated().global();
+  if (global.universe() != checkpoint.coverage_universe ||
+      !std::equal(global.words().begin(), global.words().end(),
+                  checkpoint.coverage_words.begin(),
+                  checkpoint.coverage_words.end())) {
+    throw diverged("coverage map");
+  }
+  if (checkpoint.has_corpus != (campaign->corpus() != nullptr)) {
+    throw diverged("corpus presence");
+  }
+  if (checkpoint.has_corpus) {
+    std::ostringstream image;
+    campaign->corpus()->save(image);
+    if (std::move(image).str() != checkpoint.corpus_image) {
+      throw diverged("corpus store");
+    }
+  }
+  return campaign;
+}
+
+}  // namespace mabfuzz::harness

@@ -258,6 +258,48 @@ CoverageCurve average_curve(const std::vector<const TrialResult*>& trials) {
 
 }  // namespace
 
+void aggregate_experiment(ExperimentResult& result) {
+  result.cells.clear();
+  result.failed_trials = 0;
+  // Cells in first-appearance order over the trials (matrix-expansion
+  // order for Experiment::run(), submission order for the service).
+  for (const TrialResult& lead : result.trials) {
+    if (result.find_cell(lead.fuzzer, lead.variant) != nullptr) {
+      continue;
+    }
+    CellStats cell;
+    cell.fuzzer = lead.fuzzer;
+    cell.variant = lead.variant;
+    std::vector<const TrialResult*> ok_trials;
+    std::vector<double> tests;
+    std::vector<double> covered;
+    std::vector<double> detection;
+    for (const TrialResult& trial : result.trials) {
+      if (trial.fuzzer != lead.fuzzer || trial.variant != lead.variant) {
+        continue;
+      }
+      ++cell.trials;
+      if (trial.failed) {
+        ++cell.failed_trials;
+        continue;
+      }
+      ok_trials.push_back(&trial);
+      cell.detected_trials += trial.target_detected ? 1 : 0;
+      tests.push_back(static_cast<double>(trial.tests_executed));
+      covered.push_back(static_cast<double>(trial.covered));
+      detection.push_back(static_cast<double>(trial.detection_tests));
+    }
+    cell.tests = common::summarize(tests);
+    cell.covered = common::summarize(covered);
+    cell.detection = common::summarize(detection);
+    cell.mean_curve = average_curve(ok_trials);
+    result.cells.push_back(std::move(cell));
+  }
+  for (const TrialResult& trial : result.trials) {
+    result.failed_trials += trial.failed ? 1 : 0;
+  }
+}
+
 ExperimentResult Experiment::run() const {
   ExperimentResult result;
   result.trials.resize(specs_.size());
@@ -283,44 +325,10 @@ ExperimentResult Experiment::run() const {
   }
 
   merge_corpus_shards(result);
-
-  // Cells in fuzzer-major expansion order.
-  for (const TrialSpec& spec : specs_) {
-    if (result.find_cell(spec.fuzzer, spec.variant) != nullptr) {
-      continue;
-    }
-    CellStats cell;
-    cell.fuzzer = spec.fuzzer;
-    cell.variant = spec.variant;
-    std::vector<const TrialResult*> ok_trials;
-    std::vector<double> tests;
-    std::vector<double> covered;
-    std::vector<double> detection;
-    for (const TrialResult& trial : result.trials) {
-      if (trial.fuzzer != spec.fuzzer || trial.variant != spec.variant) {
-        continue;
-      }
-      ++cell.trials;
-      if (trial.failed) {
-        ++cell.failed_trials;
-        continue;
-      }
-      ok_trials.push_back(&trial);
-      cell.detected_trials += trial.target_detected ? 1 : 0;
-      tests.push_back(static_cast<double>(trial.tests_executed));
-      covered.push_back(static_cast<double>(trial.covered));
-      detection.push_back(static_cast<double>(trial.detection_tests));
-    }
-    cell.tests = common::summarize(tests);
-    cell.covered = common::summarize(covered);
-    cell.detection = common::summarize(detection);
-    cell.mean_curve = average_curve(ok_trials);
-    result.cells.push_back(std::move(cell));
-  }
-
-  for (const TrialResult& trial : result.trials) {
-    result.failed_trials += trial.failed ? 1 : 0;
-  }
+  // Every trial slot carries its spec's (fuzzer, variant) — including pool
+  // failures, filled above — so first-appearance order over the trials is
+  // exactly the fuzzer-major matrix order the cell schema documents.
+  aggregate_experiment(result);
   return result;
 }
 

@@ -163,6 +163,13 @@ struct ExperimentResult {
       std::string_view fuzzer, std::string_view variant = {}) const noexcept;
 };
 
+/// Recomputes `result.cells` (first-appearance (fuzzer, variant) order
+/// over `result.trials`, which for Experiment::run() equals fuzzer-major
+/// matrix order) and `result.failed_trials`. Experiment::run() calls this
+/// after the pool drains; the campaign service reuses it to wrap a single
+/// finished campaign in the same experiment-v1 artifact schema.
+void aggregate_experiment(ExperimentResult& result);
+
 /// Table I / Fig. 4-style pairwise comparison of every non-baseline cell
 /// against the baseline fuzzer's cell of the same variant.
 struct SpeedupReport {

@@ -1,0 +1,632 @@
+#include "harness/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/thread_team.hpp"
+#include "fuzz/corpus.hpp"
+#include "harness/curves.hpp"
+#include "harness/experiment.hpp"
+#include "soc/bugs.hpp"
+
+namespace mabfuzz::harness {
+
+std::string_view job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kPaused: return "paused";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// Per-job campaign observer: counts arm pulls for the done event and
+/// streams new-coverage / mismatch events. Runs on the lane that owns the
+/// job's slice, so the Job fields it touches are single-writer; event
+/// emission serializes through the service's events mutex.
+class CampaignService::JobObserver final : public CampaignObserver {
+ public:
+  JobObserver(CampaignService& service, Job& job)
+      : service_(service), job_(job) {}
+
+  void on_arm_selected(const Campaign&, std::size_t arm) override;
+  void on_new_coverage(const Campaign&, const fuzz::StepResult&) override;
+  void on_mismatch(const Campaign&, const fuzz::StepResult&) override;
+
+ private:
+  CampaignService& service_;
+  Job& job_;
+};
+
+struct CampaignService::Job {
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  bool started = false;           // "started" event emitted
+  bool pause_requested = false;   // applied at the next slice boundary
+  bool cancel_requested = false;
+  std::unique_ptr<Campaign> campaign;
+  std::unique_ptr<JobObserver> observer;
+  std::vector<std::uint64_t> arm_pulls;  // lane-owned (observer-written)
+  std::uint64_t last_checkpoint_step = 0;
+
+  // Cached progress, published under the service mutex at slice
+  // boundaries; status() reads these, never the live campaign.
+  std::uint64_t tests_executed = 0;
+  std::size_t covered = 0;
+  std::uint64_t mismatches = 0;
+  std::string error;
+};
+
+void CampaignService::JobObserver::on_arm_selected(const Campaign&,
+                                                   std::size_t arm) {
+  if (arm >= job_.arm_pulls.size()) {
+    job_.arm_pulls.resize(arm + 1, 0);
+  }
+  ++job_.arm_pulls[arm];
+}
+
+void CampaignService::JobObserver::on_new_coverage(
+    const Campaign& campaign, const fuzz::StepResult& step) {
+  std::ostringstream line;
+  common::JsonWriter json(line, /*pretty=*/false);
+  json.begin_object();
+  json.key("event").value("new_coverage");
+  json.key("job").value(job_.spec.name);
+  json.key("test").value(step.test_index);
+  json.key("new_points").value(std::uint64_t{step.new_global_points});
+  json.key("covered").value(std::uint64_t{campaign.covered()});
+  json.end_object();
+  service_.emit_event(std::move(line).str());
+}
+
+void CampaignService::JobObserver::on_mismatch(const Campaign&,
+                                               const fuzz::StepResult& step) {
+  std::ostringstream line;
+  common::JsonWriter json(line, /*pretty=*/false);
+  json.begin_object();
+  json.key("event").value("mismatch");
+  json.key("job").value(job_.spec.name);
+  json.key("test").value(step.test_index);
+  json.key("bugs").begin_array();
+  // Firing order is commit order within the test — deterministic.
+  for (const soc::BugFiring& firing : step.firings) {
+    json.value(soc::bug_info(firing.id).name);
+  }
+  json.end_array();
+  json.end_object();
+  service_.emit_event(std::move(line).str());
+}
+
+CampaignService::CampaignService(ServiceConfig config, std::ostream* events)
+    : config_(std::move(config)), events_(events) {
+  if (config_.workers == 0) {
+    config_.workers = 1;
+  }
+  if (config_.slice == 0) {
+    config_.slice = 1;
+  }
+  if (!config_.checkpoint_dir.empty()) {
+    // Fail at construction, not at the first checkpoint mid-campaign.
+    validate_output_directory(config_.checkpoint_dir + "/x",
+                              "checkpoint directory");
+  }
+}
+
+CampaignService::~CampaignService() { stop(); }
+
+void CampaignService::emit_event(const std::string& line) {
+  if (events_ == nullptr) {
+    return;
+  }
+  const std::lock_guard<std::mutex> guard(events_mutex_);
+  // One write + flush per line: a crash loses at most the line in flight
+  // and never interleaves two events.
+  *events_ << line << '\n';
+  events_->flush();
+}
+
+CampaignService::Job* CampaignService::find_job(
+    std::string_view name) noexcept {
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    if (job->spec.name == name) {
+      return job.get();
+    }
+  }
+  return nullptr;
+}
+
+JobStatus CampaignService::status_of(const Job& job) const {
+  JobStatus out;
+  out.name = job.spec.name;
+  out.tenant = job.spec.tenant;
+  out.state = job.state;
+  out.tests_executed = job.tests_executed;
+  out.max_tests = job.spec.config.max_tests;
+  out.covered = job.covered;
+  out.mismatches = job.mismatches;
+  out.error = job.error;
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] bool is_terminal(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kCancelled ||
+         state == JobState::kFailed;
+}
+
+}  // namespace
+
+void CampaignService::admit(std::unique_ptr<Job> job,
+                            const std::string& accepted_event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (find_job(job->spec.name) != nullptr) {
+    throw std::invalid_argument("service: job name '" + job->spec.name +
+                                "' already exists");
+  }
+  std::size_t live = 0;
+  std::size_t tenant_live = 0;
+  for (const std::unique_ptr<Job>& existing : jobs_) {
+    if (is_terminal(existing->state)) {
+      continue;
+    }
+    ++live;
+    tenant_live += existing->spec.tenant == job->spec.tenant ? 1 : 0;
+  }
+  if (live >= config_.queue_cap) {
+    throw std::invalid_argument(
+        "service: queue is full (" + std::to_string(config_.queue_cap) +
+        " live jobs); drain or raise queue_cap");
+  }
+  if (tenant_live >= config_.per_tenant_cap) {
+    throw std::invalid_argument(
+        "service: tenant '" + job->spec.tenant + "' is at its cap (" +
+        std::to_string(config_.per_tenant_cap) + " live jobs)");
+  }
+  Job* raw = job.get();
+  jobs_.push_back(std::move(job));
+  runnable_.push_back(raw);
+  lock.unlock();
+  // Accepted precedes every other event of the job: lanes are only woken
+  // after the line is out.
+  emit_event(accepted_event);
+  work_cv_.notify_one();
+}
+
+void CampaignService::submit(JobSpec spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("service: job name must be non-empty");
+  }
+  auto job = std::make_unique<Job>();
+  job->spec = std::move(spec);
+  // Constructed on the submitting thread so a bad config (unknown fuzzer,
+  // missing corpus-in) throws out of submit(), not inside a lane.
+  job->campaign = std::make_unique<Campaign>(job->spec.config);
+  job->observer = std::make_unique<JobObserver>(*this, *job);
+  job->campaign->add_observer(*job->observer);
+
+  std::ostringstream line;
+  common::JsonWriter json(line, /*pretty=*/false);
+  json.begin_object();
+  json.key("event").value("accepted");
+  json.key("job").value(job->spec.name);
+  json.key("tenant").value(job->spec.tenant);
+  json.key("fuzzer").value(job->spec.config.fuzzer);
+  json.key("tests").value(job->spec.config.max_tests);
+  json.end_object();
+
+  admit(std::move(job), std::move(line).str());
+}
+
+std::string CampaignService::resume_from_checkpoint(const std::string& path) {
+  const Checkpoint checkpoint = Checkpoint::load(path);
+  auto job = std::make_unique<Job>();
+  job->spec.tenant = checkpoint.tenant;
+  job->spec.name = checkpoint.job_name;
+  job->spec.artifact_out = checkpoint.artifact_out;
+  if (job->spec.name.empty()) {
+    throw std::invalid_argument("service: checkpoint '" + path +
+                                "' carries no job name");
+  }
+  // Verified deterministic replay up to the checkpointed step.
+  job->campaign = resume_campaign(checkpoint);
+  job->spec.config = job->campaign->config();
+  job->observer = std::make_unique<JobObserver>(*this, *job);
+  job->campaign->add_observer(*job->observer);
+  job->last_checkpoint_step = checkpoint.steps;
+  job->tests_executed = job->campaign->tests_executed();
+  job->covered = job->campaign->covered();
+  job->mismatches = job->campaign->mismatches();
+
+  std::ostringstream line;
+  common::JsonWriter json(line, /*pretty=*/false);
+  json.begin_object();
+  json.key("event").value("accepted");
+  json.key("job").value(job->spec.name);
+  json.key("tenant").value(job->spec.tenant);
+  json.key("fuzzer").value(job->spec.config.fuzzer);
+  json.key("tests").value(job->spec.config.max_tests);
+  json.key("resumed_at").value(checkpoint.steps);
+  json.key("checkpoint").value(path);
+  json.end_object();
+
+  std::string name = job->spec.name;
+  admit(std::move(job), std::move(line).str());
+  return name;
+}
+
+bool CampaignService::pause(std::string_view name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Job* job = find_job(name);
+  if (job == nullptr || is_terminal(job->state) ||
+      job->state == JobState::kPaused) {
+    return false;
+  }
+  job->pause_requested = true;
+  return true;
+}
+
+bool CampaignService::resume(std::string_view name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Job* job = find_job(name);
+  if (job == nullptr || is_terminal(job->state)) {
+    return false;
+  }
+  if (job->pause_requested) {
+    // The pause had not landed yet; just withdraw it.
+    job->pause_requested = false;
+    return true;
+  }
+  if (job->state != JobState::kPaused) {
+    return false;
+  }
+  job->state = JobState::kQueued;
+  runnable_.push_back(job);
+  std::string event;
+  {
+    std::ostringstream line;
+    common::JsonWriter json(line, /*pretty=*/false);
+    json.begin_object();
+    json.key("event").value("resumed");
+    json.key("job").value(job->spec.name);
+    json.end_object();
+    event = std::move(line).str();
+  }
+  lock.unlock();
+  work_cv_.notify_one();
+  emit_event(event);
+  return true;
+}
+
+bool CampaignService::cancel(std::string_view name) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Job* job = find_job(name);
+  if (job == nullptr || is_terminal(job->state)) {
+    return false;
+  }
+  if (job->state == JobState::kPaused) {
+    // No lane will visit a parked job; finalize it here.
+    finish_job(lock, *job, JobState::kCancelled, {});
+    return true;
+  }
+  job->cancel_requested = true;
+  return true;
+}
+
+std::optional<JobStatus> CampaignService::status(std::string_view name) const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  // find_job is non-const for the scheduler's benefit; the lookup itself
+  // does not mutate.
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    if (job->spec.name == name) {
+      return status_of(*job);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<JobStatus> CampaignService::jobs() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    out.push_back(status_of(*job));
+  }
+  return out;
+}
+
+void CampaignService::start() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (started_ || stopping_) {
+      return;
+    }
+    started_ = true;
+  }
+  // The dispatcher thread hosts the ThreadTeam: it is the team's caller
+  // lane (uncounted by the budget, mirroring WorkerPool's caller), and
+  // the requested extra lanes are budget-accounted team threads.
+  dispatcher_ = std::thread([this] {
+    common::ThreadTeam team(config_.workers);
+    team.run([this](unsigned) { lane_loop(); });
+  });
+}
+
+void CampaignService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] {
+    return stopping_ || !started_ ||
+           (runnable_.empty() && active_slices_ == 0);
+  });
+}
+
+void CampaignService::stop() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (stopping_) {
+      // A second stop() still waits for the dispatcher below.
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+  // Lanes are gone; the caller thread owns every campaign now. Park the
+  // unfinished ones in final checkpoints so a restart can resume them.
+  if (config_.checkpoint_dir.empty()) {
+    return;
+  }
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    if (is_terminal(job->state) || job->campaign == nullptr) {
+      continue;
+    }
+    write_checkpoint(*job);
+  }
+}
+
+std::string CampaignService::checkpoint_path(const Job& job) const {
+  return config_.checkpoint_dir + "/" + job.spec.name + ".ckpt";
+}
+
+void CampaignService::write_checkpoint(Job& job) {
+  Checkpoint checkpoint = Checkpoint::capture(*job.campaign);
+  checkpoint.job_name = job.spec.name;
+  checkpoint.tenant = job.spec.tenant;
+  checkpoint.artifact_out = job.spec.artifact_out;
+  const std::string path = checkpoint_path(job);
+  checkpoint.save(path);
+  job.last_checkpoint_step = checkpoint.steps;
+
+  std::ostringstream line;
+  common::JsonWriter json(line, /*pretty=*/false);
+  json.begin_object();
+  json.key("event").value("checkpoint");
+  json.key("job").value(job.spec.name);
+  json.key("test").value(checkpoint.steps);
+  json.key("path").value(path);
+  json.end_object();
+  emit_event(std::move(line).str());
+}
+
+void CampaignService::write_artifacts(Job& job, const RunResult& run) {
+  Campaign& campaign = *job.campaign;
+  if (campaign.corpus() != nullptr &&
+      !campaign.config().corpus_out.empty()) {
+    campaign.save_corpus();
+  }
+  if (job.spec.artifact_out.empty()) {
+    return;
+  }
+  // One-trial experiment wrapper: the service emits the same
+  // experiment-v1 JSON/CSV schema the matrix engine writes, with timing
+  // excluded so reruns and resumed runs are byte-identical.
+  ExperimentResult result;
+  TrialResult trial;
+  trial.index = 0;
+  trial.fuzzer = campaign.config().fuzzer;
+  trial.run_index = campaign.config().run_index;
+  trial.corpus_in = campaign.config().corpus_in;
+  trial.corpus_out = campaign.config().corpus_out;
+  trial.exec_workers = static_cast<unsigned>(
+      std::max<std::size_t>(1, campaign.config().policy.exec_workers));
+  trial.corpus_entries = campaign.corpus_loaded_entries();
+  if (campaign.corpus() != nullptr && !campaign.config().corpus_out.empty()) {
+    trial.corpus_out_entries = campaign.corpus()->size();
+  }
+  trial.stop = run.reason;
+  trial.tests_executed = run.tests_executed;
+  trial.covered = campaign.covered();
+  trial.universe = campaign.coverage_universe();
+  trial.mismatches = campaign.mismatches();
+  trial.detected_bugs = campaign.detected_bug_count();
+  trial.curve = curve_from_snapshots(campaign.snapshots());
+  trial.curve.universe = campaign.coverage_universe();
+  result.trials.push_back(std::move(trial));
+  aggregate_experiment(result);
+
+  const ArtifactOptions options{/*include_timing=*/false,
+                                /*pretty_json=*/true};
+  {
+    std::ofstream os(job.spec.artifact_out + ".json",
+                     std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("service: cannot write artifact '" +
+                               job.spec.artifact_out + ".json'");
+    }
+    write_experiment_json(os, result, options);
+  }
+  {
+    std::ofstream os(job.spec.artifact_out + ".csv",
+                     std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("service: cannot write artifact '" +
+                               job.spec.artifact_out + ".csv'");
+    }
+    write_trials_csv(os, result, options);
+  }
+}
+
+/// Terminal transition: publishes the final state, drops the campaign,
+/// removes the job's checkpoint (its run is settled) and emits the
+/// lifecycle event. Caller holds the service mutex; the event is emitted
+/// with it held (lock order mutex_ -> events_mutex_ is acquired nowhere
+/// in reverse).
+void CampaignService::finish_job(std::unique_lock<std::mutex>& lock, Job& job,
+                                 JobState state, std::string error) {
+  job.state = state;
+  job.error = std::move(error);
+  if (job.campaign != nullptr) {
+    job.tests_executed = job.campaign->tests_executed();
+    job.covered = job.campaign->covered();
+    job.mismatches = job.campaign->mismatches();
+  }
+
+  std::ostringstream line;
+  common::JsonWriter json(line, /*pretty=*/false);
+  json.begin_object();
+  if (state == JobState::kDone) {
+    json.key("event").value("done");
+    json.key("job").value(job.spec.name);
+    json.key("tests").value(job.tests_executed);
+    json.key("covered").value(std::uint64_t{job.covered});
+    json.key("universe").value(
+        std::uint64_t{job.campaign->coverage_universe()});
+    json.key("mismatches").value(job.mismatches);
+    json.key("detected_bugs").value(
+        std::uint64_t{job.campaign->detected_bug_count()});
+    json.key("arm_pulls").begin_array();
+    for (const std::uint64_t pulls : job.arm_pulls) {
+      json.value(pulls);
+    }
+    json.end_array();
+  } else if (state == JobState::kCancelled) {
+    json.key("event").value("cancelled");
+    json.key("job").value(job.spec.name);
+    json.key("tests").value(job.tests_executed);
+  } else {
+    json.key("event").value("failed");
+    json.key("job").value(job.spec.name);
+    json.key("error").value(job.error);
+  }
+  json.end_object();
+
+  // The campaign (backend, corpus, arenas) is the job's only heavy state;
+  // a finished job keeps just its status row.
+  job.campaign.reset();
+  job.observer.reset();
+  if (!config_.checkpoint_dir.empty()) {
+    std::remove(checkpoint_path(job).c_str());
+  }
+
+  lock.unlock();
+  emit_event(std::move(line).str());
+  drain_cv_.notify_all();
+  lock.lock();
+}
+
+void CampaignService::run_one_slice(Job& job) {
+  // Unlocked region: this lane exclusively owns the job's campaign (the
+  // job is neither in runnable_ nor visible to another lane until the
+  // boundary below).
+  std::optional<RunResult> finished;
+  std::string error;
+  bool failed = false;
+  try {
+    finished = job.campaign->run_slice(
+        StopCondition::max_tests(job.spec.config.max_tests), config_.slice);
+    if (!config_.checkpoint_dir.empty() && config_.checkpoint_every > 0 &&
+        !finished.has_value() &&
+        job.campaign->tests_executed() - job.last_checkpoint_step >=
+            config_.checkpoint_every) {
+      write_checkpoint(job);
+    }
+    if (finished.has_value()) {
+      write_artifacts(job, *finished);
+    }
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  --active_slices_;
+  job.tests_executed = job.campaign->tests_executed();
+  job.covered = job.campaign->covered();
+  job.mismatches = job.campaign->mismatches();
+  if (failed) {
+    finish_job(lock, job, JobState::kFailed, std::move(error));
+  } else if (finished.has_value()) {
+    finish_job(lock, job, JobState::kDone, {});
+  } else {
+    job.state = JobState::kQueued;
+    runnable_.push_back(&job);  // round-robin: back of the queue
+    lock.unlock();
+    work_cv_.notify_one();
+    lock.lock();
+  }
+  drain_cv_.notify_all();
+}
+
+void CampaignService::lane_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_cv_.wait(lock, [this] { return stopping_ || !runnable_.empty(); });
+    if (stopping_) {
+      return;
+    }
+    Job* job = runnable_.front();
+    runnable_.pop_front();
+    // Control requests land at slice boundaries only.
+    if (job->cancel_requested) {
+      finish_job(lock, *job, JobState::kCancelled, {});
+      continue;
+    }
+    if (job->pause_requested) {
+      job->pause_requested = false;
+      job->state = JobState::kPaused;
+      // Built under the lock: once it is released a concurrent resume()
+      // may hand the job to another lane, which would race these reads.
+      std::ostringstream line;
+      common::JsonWriter json(line, /*pretty=*/false);
+      json.begin_object();
+      json.key("event").value("paused");
+      json.key("job").value(job->spec.name);
+      json.key("test").value(job->tests_executed);
+      json.end_object();
+      const std::string event = std::move(line).str();
+      lock.unlock();
+      emit_event(event);
+      drain_cv_.notify_all();
+      continue;
+    }
+    job->state = JobState::kRunning;
+    ++active_slices_;
+    const bool first_slice = !job->started;
+    job->started = true;
+    lock.unlock();
+
+    if (first_slice) {
+      std::ostringstream line;
+      common::JsonWriter json(line, /*pretty=*/false);
+      json.begin_object();
+      json.key("event").value("started");
+      json.key("job").value(job->spec.name);
+      json.key("at_test").value(job->tests_executed);
+      json.end_object();
+      emit_event(std::move(line).str());
+    }
+    run_one_slice(*job);
+  }
+}
+
+}  // namespace mabfuzz::harness

@@ -10,14 +10,41 @@
 //  - requires_normalized_reward() is true for algorithms (EXP3) whose
 //    update assumes rewards in [0, 1]; the caller then divides the raw
 //    coverage reward by |C| (Algorithm 2, line 6).
+//  - save_state() appends the algorithm's complete mutable state (value
+//    estimates, pull counts, weights, RNG stream position) as
+//    deterministic little-endian bytes — the bandit half of the
+//    checkpoint-v1 state witness (harness/checkpoint.hpp): two bandits
+//    with equal blobs will select identical arm sequences forever.
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "common/rng.hpp"
 
 namespace mabfuzz::mab {
+
+/// Little-endian byte appenders shared by every save_state()
+/// implementation (doubles travel as their IEEE-754 bit patterns, so the
+/// blob is bit-exact, not round-tripped through decimal).
+inline void state_put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void state_put_f64(std::string& out, double v) {
+  state_put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void state_put_rng(std::string& out,
+                          const common::Xoshiro256StarStar& rng) {
+  for (const std::uint64_t word : rng.state()) {
+    state_put_u64(out, word);
+  }
+}
 
 class Bandit {
  public:
@@ -31,6 +58,13 @@ class Bandit {
     return false;
   }
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Appends the algorithm's mutable state to `out` (see the file
+  /// comment). The default appends nothing — a custom bandit that skips
+  /// this still checkpoints and resumes correctly (resume replays the
+  /// campaign deterministically); it merely contributes a weaker
+  /// divergence witness. All four built-ins implement it.
+  virtual void save_state(std::string& out) const { (void)out; }
 
   [[nodiscard]] std::size_t num_arms() const noexcept { return num_arms_; }
 

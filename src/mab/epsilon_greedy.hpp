@@ -27,6 +27,8 @@ class EpsilonGreedy final : public Bandit {
   [[nodiscard]] std::uint64_t n(std::size_t arm) const { return n_.at(arm); }
   [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
 
+  void save_state(std::string& out) const override;
+
  private:
   double epsilon_;
   common::Xoshiro256StarStar rng_;

@@ -60,6 +60,15 @@ void Exp3::reset_arm(std::size_t arm) {
   w_[arm] = total / static_cast<double>(others);
 }
 
+void Exp3::save_state(std::string& out) const {
+  for (std::size_t a = 0; a < num_arms(); ++a) {
+    state_put_f64(out, w_[a]);
+  }
+  state_put_u64(out, last_selected_);
+  state_put_f64(out, last_prob_);
+  state_put_rng(out, rng_);
+}
+
 void Exp3::renormalize_if_needed() {
   const double max_w = *std::max_element(w_.begin(), w_.end());
   if (max_w > 1e100) {

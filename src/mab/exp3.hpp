@@ -28,6 +28,8 @@ class Exp3 final : public Bandit {
   [[nodiscard]] double weight(std::size_t arm) const { return w_.at(arm); }
   [[nodiscard]] double eta() const noexcept { return eta_; }
 
+  void save_state(std::string& out) const override;
+
   /// Current sampling distribution (exposed for tests).
   [[nodiscard]] std::vector<double> probabilities() const;
 

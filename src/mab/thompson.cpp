@@ -39,6 +39,14 @@ void Thompson::update(std::size_t arm, double reward) {
   mean_[arm] += (reward - mean_[arm]) / static_cast<double>(n_[arm]);
 }
 
+void Thompson::save_state(std::string& out) const {
+  for (std::size_t a = 0; a < num_arms(); ++a) {
+    state_put_f64(out, mean_[a]);
+    state_put_u64(out, n_[a]);
+  }
+  state_put_rng(out, rng_);
+}
+
 void Thompson::reset_arm(std::size_t arm) {
   if (arm >= num_arms()) {
     return;

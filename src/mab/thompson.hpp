@@ -27,6 +27,8 @@ class Thompson final : public Bandit {
   [[nodiscard]] double mean(std::size_t arm) const { return mean_.at(arm); }
   [[nodiscard]] std::uint64_t n(std::size_t arm) const { return n_.at(arm); }
 
+  void save_state(std::string& out) const override;
+
  private:
   [[nodiscard]] double gaussian();
 

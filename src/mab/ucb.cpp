@@ -29,6 +29,15 @@ void Ucb::update(std::size_t arm, double reward) {
   q_[arm] += (reward - q_[arm]) / static_cast<double>(n_[arm]);
 }
 
+void Ucb::save_state(std::string& out) const {
+  state_put_u64(out, t_);
+  for (std::size_t a = 0; a < num_arms(); ++a) {
+    state_put_f64(out, q_[a]);
+    state_put_u64(out, n_[a]);
+  }
+  state_put_rng(out, rng_);
+}
+
 void Ucb::reset_arm(std::size_t arm) {
   if (arm >= num_arms()) {
     return;

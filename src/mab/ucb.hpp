@@ -25,6 +25,8 @@ class Ucb final : public Bandit {
   [[nodiscard]] std::uint64_t n(std::size_t arm) const { return n_.at(arm); }
   [[nodiscard]] std::uint64_t t() const noexcept { return t_; }
 
+  void save_state(std::string& out) const override;
+
  private:
   common::Xoshiro256StarStar rng_;
   std::vector<double> q_;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/register.hpp"
 #include "fuzz/registry.hpp"
 #include "harness/campaign.hpp"
@@ -196,6 +197,85 @@ TEST(CampaignConfigTest, RejectsMalformedValues) {
   EXPECT_THROW(config.set("core", "pentium"), std::invalid_argument);
   EXPECT_THROW(config.set("bugs", "V9"), std::invalid_argument);
   EXPECT_THROW(CampaignConfig::from_pairs({{"tests"}}), std::invalid_argument);
+}
+
+TEST(CampaignConfigTest, ToPairsRoundTripsEveryFieldByteForByte) {
+  CampaignConfig config;
+  config.fuzzer = "epsilon-greedy";
+  config.core = soc::CoreKind::kBoom;
+  config.bugs.enable(soc::BugId::kV2IllegalOpExec);
+  config.bugs.enable(soc::BugId::kV5SilentLoadFault);
+  config.bugs.enable(soc::BugId::kV7EbreakInstret);
+  config.max_tests = 12'345;
+  config.rng_seed = 0xDEADBEEFu;
+  config.snapshot_every = 7;
+  config.corpus_out = "/tmp/some store with spaces.bin";
+  config.policy.alpha = 0.3333333333333333;  // not exactly representable
+  config.policy.bandit.epsilon = 0.05;
+  config.policy.bandit.eta = 1e-9;
+  config.policy.exec_workers = 8;
+  config.policy.exec_batch = 32;
+  config.policy.length_choices = {3, 17, 255};
+
+  const std::vector<std::string> pairs = config.to_pairs();
+  const CampaignConfig reparsed = CampaignConfig::from_pairs(pairs);
+  EXPECT_EQ(reparsed.to_pairs(), pairs);
+  EXPECT_EQ(reparsed.fuzzer, config.fuzzer);
+  EXPECT_EQ(reparsed.bugs, config.bugs);
+  EXPECT_EQ(reparsed.corpus_out, config.corpus_out);
+  EXPECT_EQ(reparsed.policy.alpha, config.policy.alpha);  // exact, not near
+  EXPECT_EQ(reparsed.policy.bandit.eta, config.policy.bandit.eta);
+  EXPECT_EQ(reparsed.policy.length_choices, config.policy.length_choices);
+
+  // The default config round-trips too (every key has a formatter).
+  const CampaignConfig fresh;
+  EXPECT_EQ(CampaignConfig::from_pairs(fresh.to_pairs()).to_pairs(),
+            fresh.to_pairs());
+}
+
+TEST(CampaignConfigTest, RandomKeySoupNeverCrashesTheParser) {
+  // Property test: set()/from_pairs() on arbitrary byte soup either
+  // succeeds or throws std::invalid_argument — never anything else.
+  common::Xoshiro256StarStar rng(common::derive_seed(2024, 0, "key-soup"));
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz-=0123456789.,+ \t_\"\\V";
+  auto soup = [&](std::size_t max_len) {
+    std::string out;
+    const std::size_t len = rng.next_index(max_len + 1);
+    for (std::size_t i = 0; i < len; ++i) {
+      out += alphabet[rng.next_index(alphabet.size())];
+    }
+    return out;
+  };
+  std::vector<std::string> known_keys;
+  for (const char* key :
+       {"fuzzer", "core", "bugs", "tests", "seed", "epsilon", "eta", "alpha",
+        "arms", "exec-workers", "exec-batch", "length-choices"}) {
+    known_keys.push_back(key);
+  }
+  std::size_t accepted = 0;
+  for (int trial = 0; trial < 2'000; ++trial) {
+    CampaignConfig config;
+    // Half the time aim garbage values at a real key; otherwise full soup.
+    const std::string key = rng.next_bool(0.5)
+                                ? known_keys[rng.next_index(known_keys.size())]
+                                : soup(12);
+    const std::string value = soup(16);
+    try {
+      config.set(key, value);
+      ++accepted;
+    } catch (const std::invalid_argument&) {
+      // The only acceptable failure mode.
+    }
+    const std::vector<std::string> pairs{key + "=" + value, soup(24)};
+    try {
+      CampaignConfig::from_pairs(pairs);
+      ++accepted;
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  // The soup must occasionally hit valid settings, or the test is vacuous.
+  EXPECT_GT(accepted, 0u);
 }
 
 TEST(CampaignConfigTest, DefaultsMatchPaperSectionIVA) {

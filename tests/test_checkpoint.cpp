@@ -1,0 +1,299 @@
+// Checkpoint-v1 tests: struct round-trip through the binary format,
+// corruption rejection (truncation at every byte boundary, bit flips,
+// bad magic/version — always a descriptive throw, never partial state),
+// verified-replay resume equivalence (a resumed campaign finishes with
+// exactly the state of an uninterrupted one), and divergence detection
+// when the config or the warm-start corpus drifted under a checkpoint.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "harness/campaign.hpp"
+#include "harness/checkpoint.hpp"
+
+namespace mabfuzz::harness {
+namespace {
+
+CampaignConfig tiny(std::string fuzzer, std::uint64_t tests = 120) {
+  CampaignConfig config;
+  config.fuzzer = std::move(fuzzer);
+  config.core = soc::CoreKind::kRocket;
+  config.max_tests = tests;
+  config.rng_seed = 11;
+  config.snapshot_every = 25;
+  return config;
+}
+
+/// Runs `campaign` forward by exactly `steps` tests without finalizing.
+void advance(Campaign& campaign, std::uint64_t steps) {
+  const StopCondition never =
+      StopCondition::custom("never", [](const Campaign&) { return false; });
+  ASSERT_FALSE(campaign.run_slice(never, steps).has_value());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream out;
+  out << is.rdbuf();
+  return std::move(out).str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointFormatTest, SaveLoadRoundTripPreservesEveryField) {
+  Campaign campaign(tiny("ucb"));
+  advance(campaign, 60);
+  Checkpoint before = Checkpoint::capture(campaign);
+  before.job_name = "job-7";
+  before.tenant = "team-a";
+  before.artifact_out = "/tmp/out/prefix";
+
+  const std::string path = testing::TempDir() + "roundtrip.ckpt";
+  before.save(path);
+  const Checkpoint after = Checkpoint::load(path);
+
+  EXPECT_EQ(after.job_name, before.job_name);
+  EXPECT_EQ(after.tenant, before.tenant);
+  EXPECT_EQ(after.artifact_out, before.artifact_out);
+  EXPECT_EQ(after.config_pairs, before.config_pairs);
+  EXPECT_EQ(after.steps, before.steps);
+  EXPECT_EQ(after.mismatches, before.mismatches);
+  EXPECT_EQ(after.first_detection, before.first_detection);
+  EXPECT_EQ(after.snapshots, before.snapshots);
+  EXPECT_EQ(after.fuzzer_state, before.fuzzer_state);
+  EXPECT_EQ(after.coverage_universe, before.coverage_universe);
+  EXPECT_EQ(after.coverage_words, before.coverage_words);
+  EXPECT_EQ(after.has_corpus, before.has_corpus);
+  EXPECT_EQ(after.corpus_image, before.corpus_image);
+}
+
+TEST(CheckpointFormatTest, CaptureRecordsMidRunState) {
+  Campaign campaign(tiny("exp3"));
+  advance(campaign, 50);
+  const Checkpoint checkpoint = Checkpoint::capture(campaign);
+  EXPECT_EQ(checkpoint.steps, 50u);
+  EXPECT_EQ(checkpoint.snapshots.size(), 2u);  // snapshot-every=25
+  EXPECT_FALSE(checkpoint.fuzzer_state.empty());
+  EXPECT_EQ(checkpoint.coverage_universe, campaign.coverage_universe());
+  EXPECT_FALSE(checkpoint.has_corpus);  // no corpus configured
+  EXPECT_EQ(checkpoint.first_detection.size(), soc::kNumBugs);
+}
+
+TEST(CheckpointFormatTest, EmbedsCorpusImageWhenConfigured) {
+  CampaignConfig config = tiny("ucb");
+  config.corpus_out = testing::TempDir() + "embed-corpus.bin";
+  Campaign campaign(config);
+  advance(campaign, 40);
+  const Checkpoint checkpoint = Checkpoint::capture(campaign);
+  ASSERT_TRUE(checkpoint.has_corpus);
+  // The image is a loadable corpus-v2 store equal to the live one.
+  std::istringstream image(checkpoint.corpus_image);
+  const fuzz::Corpus decoded = fuzz::Corpus::load(image);
+  EXPECT_EQ(decoded, *campaign.corpus());
+}
+
+// --- corruption -----------------------------------------------------------------
+
+TEST(CheckpointCorruptionTest, EveryTruncationLengthIsRejected) {
+  Campaign campaign(tiny("ucb", 60));
+  advance(campaign, 30);
+  const std::string path = testing::TempDir() + "trunc.ckpt";
+  Checkpoint::capture(campaign).save(path);
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 40u);
+
+  const std::string mutilated = testing::TempDir() + "trunc-cut.ckpt";
+  // Every strictly-shorter prefix must throw: the trailing checksum (and
+  // before it, the header's payload length) makes truncation detectable
+  // at any byte boundary.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    write_file(mutilated, bytes.substr(0, cut));
+    EXPECT_THROW((void)Checkpoint::load(mutilated), std::runtime_error)
+        << "prefix of " << cut << " bytes parsed successfully";
+  }
+}
+
+TEST(CheckpointCorruptionTest, BitFlipsAreRejectedEverywhere) {
+  Campaign campaign(tiny("thompson", 60));
+  advance(campaign, 30);
+  const std::string path = testing::TempDir() + "flip.ckpt";
+  Checkpoint::capture(campaign).save(path);
+  const std::string bytes = read_file(path);
+
+  const std::string mutilated = testing::TempDir() + "flip-bad.ckpt";
+  // A flip in the magic/header fails structurally; a flip anywhere in the
+  // payload or trailer fails the checksum gate. Stride keeps it fast
+  // while still probing every region of the file.
+  for (std::size_t at = 0; at < bytes.size(); at += 7) {
+    std::string corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x20);
+    write_file(mutilated, corrupt);
+    EXPECT_THROW((void)Checkpoint::load(mutilated), std::runtime_error)
+        << "flip at byte " << at << " parsed successfully";
+  }
+}
+
+TEST(CheckpointCorruptionTest, ErrorsAreDescriptive) {
+  const std::string missing = testing::TempDir() + "no-such.ckpt";
+  try {
+    (void)Checkpoint::load(missing);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos);
+  }
+
+  const std::string not_a_checkpoint = testing::TempDir() + "not-ckpt.bin";
+  write_file(not_a_checkpoint, "this is not a checkpoint at all");
+  try {
+    (void)Checkpoint::load(not_a_checkpoint);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+
+  Campaign campaign(tiny("ucb", 40));
+  advance(campaign, 20);
+  const std::string path = testing::TempDir() + "checksum.ckpt";
+  Checkpoint::capture(campaign).save(path);
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 2] =
+      static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  write_file(path, bytes);
+  try {
+    (void)Checkpoint::load(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+// --- resume ---------------------------------------------------------------------
+
+TEST(CheckpointResumeTest, ResumedCampaignFinishesIdenticallyToUninterrupted) {
+  const CampaignConfig config = tiny("ucb", 120);
+
+  // Reference: one uninterrupted run.
+  Campaign reference(config);
+  const RunResult ref_run =
+      reference.run_until(StopCondition::max_tests(config.max_tests));
+
+  // Checkpointed: run 47 tests, capture, save, load, resume, finish.
+  Campaign interrupted(config);
+  advance(interrupted, 47);
+  const std::string path = testing::TempDir() + "resume.ckpt";
+  Checkpoint::capture(interrupted).save(path);
+
+  const std::unique_ptr<Campaign> resumed =
+      resume_campaign(Checkpoint::load(path));
+  EXPECT_EQ(resumed->tests_executed(), 47u);
+  const RunResult resumed_run =
+      resumed->run_until(StopCondition::max_tests(config.max_tests));
+
+  EXPECT_EQ(resumed_run.reason, ref_run.reason);
+  EXPECT_EQ(resumed_run.tests_executed, ref_run.tests_executed);
+  EXPECT_EQ(resumed_run.covered, ref_run.covered);
+  EXPECT_EQ(resumed->snapshots(), reference.snapshots());
+  EXPECT_EQ(resumed->mismatches(), reference.mismatches());
+  std::string resumed_state;
+  std::string reference_state;
+  resumed->fuzzer().append_state(resumed_state);
+  reference.fuzzer().append_state(reference_state);
+  EXPECT_EQ(resumed_state, reference_state);
+}
+
+TEST(CheckpointResumeTest, ResumePreservesCorpusByteForByte) {
+  CampaignConfig config = tiny("ucb", 90);
+  config.corpus_out = testing::TempDir() + "resume-corpus.bin";
+  Campaign interrupted(config);
+  advance(interrupted, 45);
+  const std::string path = testing::TempDir() + "resume-corpus.ckpt";
+  Checkpoint::capture(interrupted).save(path);
+
+  const std::unique_ptr<Campaign> resumed =
+      resume_campaign(Checkpoint::load(path));
+  ASSERT_NE(resumed->corpus(), nullptr);
+  EXPECT_EQ(*resumed->corpus(), *interrupted.corpus());
+}
+
+TEST(CheckpointResumeTest, ConfigDriftIsDetectedAsDivergence) {
+  Campaign campaign(tiny("ucb", 80));
+  advance(campaign, 40);
+  Checkpoint checkpoint = Checkpoint::capture(campaign);
+
+  // Tamper with the replay cursor: a different seed replays a different
+  // campaign, so every witness check must fire.
+  for (std::string& pair : checkpoint.config_pairs) {
+    if (pair.rfind("seed=", 0) == 0) {
+      pair = "seed=999";
+    }
+  }
+  const std::string path = testing::TempDir() + "drift.ckpt";
+  checkpoint.save(path);
+  try {
+    (void)resume_campaign(Checkpoint::load(path));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("diverged"), std::string::npos);
+  }
+}
+
+TEST(CheckpointResumeTest, DriftedWarmStartCorpusIsDetected) {
+  // Warm-start store: one short campaign writes it.
+  const std::string store = testing::TempDir() + "warm-store.bin";
+  {
+    CampaignConfig seeder = tiny("ucb", 40);
+    seeder.corpus_out = store;
+    Campaign campaign(seeder);
+    (void)campaign.run();
+    ASSERT_TRUE(campaign.save_corpus());
+  }
+
+  CampaignConfig config = tiny("ucb", 80);
+  config.corpus_in = store;
+  config.corpus_out = store + ".next";
+  Campaign campaign(config);
+  advance(campaign, 30);
+  const std::string path = testing::TempDir() + "warm.ckpt";
+  Checkpoint::capture(campaign).save(path);
+
+  // The corpus-in file drifts between checkpoint and resume: replay now
+  // starts from different seeds, which the witness verification catches.
+  {
+    CampaignConfig seeder = tiny("exp3", 60);
+    seeder.rng_seed = 77;
+    seeder.corpus_out = store;
+    Campaign other(seeder);
+    (void)other.run();
+    ASSERT_TRUE(other.save_corpus());
+  }
+  EXPECT_THROW((void)resume_campaign(Checkpoint::load(path)),
+               std::runtime_error);
+}
+
+TEST(CheckpointResumeTest, ZeroStepCheckpointResumesToFreshCampaign) {
+  const CampaignConfig config = tiny("epsilon-greedy", 50);
+  Campaign fresh(config);
+  const std::string path = testing::TempDir() + "zero.ckpt";
+  Checkpoint::capture(fresh).save(path);
+  const std::unique_ptr<Campaign> resumed =
+      resume_campaign(Checkpoint::load(path));
+  EXPECT_EQ(resumed->tests_executed(), 0u);
+  const RunResult run = resumed->run();
+  Campaign reference(config);
+  const RunResult ref = reference.run();
+  EXPECT_EQ(run.covered, ref.covered);
+  EXPECT_EQ(resumed->snapshots(), reference.snapshots());
+}
+
+}  // namespace
+}  // namespace mabfuzz::harness

@@ -1,0 +1,380 @@
+// CampaignService tests: admission control (duplicate names, queue and
+// per-tenant caps, bad configs), FIFO completion order, pause / resume /
+// cancel at slice boundaries, interrupt-and-resume byte-identity of every
+// artifact across exec-worker counts, and scheduler behaviour under an
+// exhausted process thread budget (degraded grants, no deadlock, same
+// bytes).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_team.hpp"
+#include "harness/service.hpp"
+
+namespace mabfuzz::harness {
+namespace {
+
+CampaignConfig tiny(std::uint64_t tests = 300, std::uint64_t seed = 5) {
+  CampaignConfig config;
+  config.fuzzer = "ucb";
+  config.core = soc::CoreKind::kRocket;
+  config.max_tests = tests;
+  config.rng_seed = seed;
+  config.snapshot_every = 50;
+  return config;
+}
+
+JobSpec job(std::string name, CampaignConfig config,
+            std::string tenant = "t") {
+  JobSpec spec;
+  spec.tenant = std::move(tenant);
+  spec.name = std::move(name);
+  spec.config = std::move(config);
+  return spec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream out;
+  out << is.rdbuf();
+  return std::move(out).str();
+}
+
+/// Spins (1ms steps, ~10s cap) until `ready()`; fails the test on timeout.
+template <typename Fn>
+void wait_until(Fn&& ready, const char* what) {
+  for (int i = 0; i < 10'000; ++i) {
+    if (ready()) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "timed out waiting for " << what;
+}
+
+// --- admission ------------------------------------------------------------------
+
+TEST(ServiceAdmissionTest, RejectsDuplicateJobNames) {
+  CampaignService service(ServiceConfig{});
+  service.submit(job("dup", tiny(50)));
+  EXPECT_THROW(service.submit(job("dup", tiny(50))), std::invalid_argument);
+}
+
+TEST(ServiceAdmissionTest, EnforcesQueueCapWithBackpressure) {
+  ServiceConfig config;
+  config.queue_cap = 2;
+  CampaignService service(config);
+  service.submit(job("a", tiny(50)));
+  service.submit(job("b", tiny(50)));
+  try {
+    service.submit(job("c", tiny(50)));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("queue is full"), std::string::npos);
+  }
+}
+
+TEST(ServiceAdmissionTest, EnforcesPerTenantCap) {
+  ServiceConfig config;
+  config.per_tenant_cap = 1;
+  CampaignService service(config);
+  service.submit(job("a1", tiny(50), "alpha"));
+  // A different tenant still has room...
+  service.submit(job("b1", tiny(50), "beta"));
+  // ...but tenant alpha is at its cap.
+  try {
+    service.submit(job("a2", tiny(50), "alpha"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("alpha"), std::string::npos);
+  }
+}
+
+TEST(ServiceAdmissionTest, RejectsUnknownFuzzerAtSubmitTime) {
+  CampaignConfig config = tiny(50);
+  config.fuzzer = "no-such-policy";
+  CampaignService service(ServiceConfig{});
+  try {
+    service.submit(job("bad", std::move(config)));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(message.find("ucb"), std::string::npos);  // lists known names
+  }
+}
+
+// --- scheduling -----------------------------------------------------------------
+
+TEST(ServiceSchedulingTest, SingleWorkerCompletesJobsInSubmissionOrder) {
+  std::ostringstream events;
+  ServiceConfig config;
+  config.workers = 1;
+  config.slice = 1'000;  // each job finishes within one slice
+  CampaignService service(config, &events);
+  service.submit(job("first", tiny(80, 1)));
+  service.submit(job("second", tiny(80, 2)));
+  service.submit(job("third", tiny(80, 3)));
+  service.start();
+  service.drain();
+  service.stop();
+
+  std::vector<std::string> done_order;
+  std::istringstream lines(events.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');  // every event line is one JSON object
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"event\":\"done\"") == std::string::npos) {
+      continue;
+    }
+    for (const char* name : {"first", "second", "third"}) {
+      if (line.find('"' + std::string(name) + '"') != std::string::npos) {
+        done_order.push_back(name);
+      }
+    }
+  }
+  EXPECT_EQ(done_order,
+            (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(ServiceSchedulingTest, StatusTracksProgressAndTerminalStates) {
+  CampaignService service(ServiceConfig{});
+  service.submit(job("watched", tiny(100)));
+  ASSERT_TRUE(service.status("watched").has_value());
+  EXPECT_EQ(service.status("watched")->state, JobState::kQueued);
+  EXPECT_FALSE(service.status("missing").has_value());
+  service.start();
+  service.drain();
+  const std::optional<JobStatus> status = service.status("watched");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_EQ(status->tests_executed, 100u);
+  EXPECT_GT(status->covered, 0u);
+  service.stop();
+}
+
+TEST(ServiceControlTest, PauseParksAndResumeContinues) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.slice = 25;
+  CampaignService service(config);
+  service.submit(job("pausable", tiny(200)));
+  // Requested before start(): the job parks at its first slice boundary,
+  // having executed nothing.
+  EXPECT_TRUE(service.pause("pausable"));
+  service.start();
+  wait_until(
+      [&] { return service.status("pausable")->state == JobState::kPaused; },
+      "job to park");
+  EXPECT_EQ(service.status("pausable")->tests_executed, 0u);
+  // A drain is not blocked by a paused job.
+  service.drain();
+
+  EXPECT_TRUE(service.resume("pausable"));
+  wait_until(
+      [&] { return service.status("pausable")->state == JobState::kDone; },
+      "job to finish");
+  EXPECT_EQ(service.status("pausable")->tests_executed, 200u);
+  // Terminal jobs reject further control.
+  EXPECT_FALSE(service.pause("pausable"));
+  EXPECT_FALSE(service.resume("pausable"));
+  EXPECT_FALSE(service.cancel("pausable"));
+  service.stop();
+}
+
+TEST(ServiceControlTest, CancelStopsAJobEarly) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.slice = 10;
+  CampaignService service(config);
+  service.submit(job("doomed", tiny(100'000)));  // far too long to finish
+  service.start();
+  wait_until(
+      [&] { return service.status("doomed")->tests_executed >= 10; },
+      "job to make progress");
+  EXPECT_TRUE(service.cancel("doomed"));
+  wait_until(
+      [&] { return service.status("doomed")->state == JobState::kCancelled; },
+      "job to cancel");
+  service.drain();
+  EXPECT_LT(service.status("doomed")->tests_executed, 100'000u);
+  service.stop();
+}
+
+TEST(ServiceControlTest, CancelAppliesToPausedJobsImmediately) {
+  CampaignService service(ServiceConfig{});
+  service.submit(job("parked", tiny(100)));
+  EXPECT_TRUE(service.pause("parked"));
+  service.start();
+  wait_until(
+      [&] { return service.status("parked")->state == JobState::kPaused; },
+      "job to park");
+  EXPECT_TRUE(service.cancel("parked"));
+  EXPECT_EQ(service.status("parked")->state, JobState::kCancelled);
+  service.stop();
+}
+
+// --- interrupt + resume byte-identity -------------------------------------------
+
+/// The acceptance property: a campaign interrupted into a checkpoint and
+/// resumed in a fresh service produces byte-identical artifacts (JSON,
+/// CSV, corpus store) to an uninterrupted run — at every exec-worker
+/// count, which must itself never change a byte.
+TEST(ServiceResumeTest, InterruptAndResumeIsByteIdenticalAcrossExecWorkers) {
+  const std::string dir = testing::TempDir();
+  const std::string artifact = dir + "svc-artifact";
+  const std::string corpus = dir + "svc-corpus.bin";
+
+  std::string ref_json;
+  std::string ref_csv;
+  std::string ref_corpus;
+  for (const unsigned exec_workers : {1u, 2u, 8u}) {
+    CampaignConfig campaign = tiny(900, 21);
+    campaign.corpus_out = corpus;
+    campaign.policy.exec_workers = exec_workers;
+    campaign.policy.exec_batch = 16;
+
+    ServiceConfig config;
+    config.workers = 2;
+    config.slice = 50;
+    config.checkpoint_dir = dir;
+
+    // Uninterrupted reference (recorded once, from exec-workers=1).
+    {
+      CampaignService service(config);
+      JobSpec spec = job("ref", campaign);
+      spec.artifact_out = artifact;
+      service.submit(std::move(spec));
+      service.start();
+      service.drain();
+      service.stop();
+    }
+    const std::string json = read_file(artifact + ".json");
+    const std::string csv = read_file(artifact + ".csv");
+    const std::string store = read_file(corpus);
+    ASSERT_FALSE(json.empty());
+    ASSERT_FALSE(store.empty());
+    if (exec_workers == 1) {
+      ref_json = json;
+      ref_csv = csv;
+      ref_corpus = store;
+    } else {
+      // Exec-worker sharding alone never changes artifact bytes.
+      EXPECT_EQ(json, ref_json) << "exec-workers " << exec_workers;
+      EXPECT_EQ(csv, ref_csv) << "exec-workers " << exec_workers;
+      EXPECT_EQ(store, ref_corpus) << "exec-workers " << exec_workers;
+    }
+    std::remove((artifact + ".json").c_str());
+    std::remove((artifact + ".csv").c_str());
+    std::remove(corpus.c_str());
+
+    // Interrupted run: park the job mid-campaign, stop the service (the
+    // final checkpoint is written), resume in a brand-new service.
+    {
+      CampaignService service(config);
+      JobSpec spec = job("victim", campaign);
+      spec.artifact_out = artifact;
+      service.submit(std::move(spec));
+      service.start();
+      wait_until(
+          [&] { return service.status("victim")->tests_executed >= 100; },
+          "mid-run progress");
+      ASSERT_TRUE(service.pause("victim"));
+      wait_until(
+          [&] {
+            return service.status("victim")->state == JobState::kPaused;
+          },
+          "job to park");
+      ASSERT_LT(service.status("victim")->tests_executed, 900u);
+      service.stop();
+    }
+    const std::string checkpoint = dir + "victim.ckpt";
+    ASSERT_FALSE(read_file(checkpoint).empty());
+    {
+      CampaignService service(config);
+      EXPECT_EQ(service.resume_from_checkpoint(checkpoint), "victim");
+      service.start();
+      service.drain();
+      service.stop();
+      EXPECT_EQ(service.status("victim")->state, JobState::kDone);
+      EXPECT_EQ(service.status("victim")->tests_executed, 900u);
+    }
+    EXPECT_EQ(read_file(artifact + ".json"), ref_json)
+        << "resume diverged at exec-workers " << exec_workers;
+    EXPECT_EQ(read_file(artifact + ".csv"), ref_csv);
+    EXPECT_EQ(read_file(corpus), ref_corpus);
+    // The settled job's checkpoint is removed.
+    EXPECT_TRUE(read_file(checkpoint).empty());
+    std::remove((artifact + ".json").c_str());
+    std::remove((artifact + ".csv").c_str());
+    std::remove(corpus.c_str());
+  }
+}
+
+// --- thread-budget stress -------------------------------------------------------
+
+TEST(ServiceBudgetTest, ExhaustedBudgetDegradesWithoutDeadlockOrDrift) {
+  const std::string dir = testing::TempDir();
+  auto run_fleet = [&](const std::string& tag) {
+    // 3 services x 2 scheduler lanes x exec-workers 4 wildly oversubscribes
+    // a budget of 4; grants degrade to fewer (or zero extra) threads and
+    // callers absorb the work — never blocking, never changing bytes.
+    std::vector<std::unique_ptr<CampaignService>> services;
+    for (int s = 0; s < 3; ++s) {
+      ServiceConfig config;
+      config.workers = 2;
+      config.slice = 40;
+      services.push_back(std::make_unique<CampaignService>(config));
+    }
+    for (int s = 0; s < 3; ++s) {
+      for (int j = 0; j < 2; ++j) {
+        CampaignConfig campaign = tiny(200, 100 + 10 * s + j);
+        campaign.policy.exec_workers = 4;
+        campaign.policy.exec_batch = 8;
+        JobSpec spec = job("job-" + std::to_string(j), campaign);
+        spec.artifact_out = dir + tag + "-s" + std::to_string(s) + "-j" +
+                            std::to_string(j);
+        services[s]->submit(std::move(spec));
+      }
+      services[s]->start();
+    }
+    for (const auto& service : services) {
+      service->drain();
+      service->stop();
+    }
+  };
+
+  run_fleet("unlimited");
+  common::set_thread_budget(4);
+  run_fleet("starved");
+  common::set_thread_budget(0);
+  EXPECT_EQ(common::thread_budget(), 0u);
+
+  for (int s = 0; s < 3; ++s) {
+    for (int j = 0; j < 2; ++j) {
+      const std::string suffix =
+          "-s" + std::to_string(s) + "-j" + std::to_string(j);
+      const std::string unlimited =
+          read_file(dir + "unlimited" + suffix + ".json");
+      ASSERT_FALSE(unlimited.empty());
+      EXPECT_EQ(read_file(dir + "starved" + suffix + ".json"), unlimited)
+          << suffix;
+      EXPECT_EQ(read_file(dir + "starved" + suffix + ".csv"),
+                read_file(dir + "unlimited" + suffix + ".csv"))
+          << suffix;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mabfuzz::harness

@@ -100,6 +100,8 @@ ARTIFACT_PATH_GLOBS = [
     "src/harness/curves.*",
     "src/harness/report.*",
     "src/harness/detection.*",
+    "src/harness/checkpoint.*",
+    "src/harness/service.*",
     "src/fuzz/corpus.*",
     "bench/*",
 ]

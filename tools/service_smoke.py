@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""End-to-end crash-safety smoke for `mabfuzz_cli serve`.
+
+Drives the campaign service daemon over its Unix socket the way an
+operator would — and the way no unit test can: with a real SIGKILL.
+
+  1. Reference: serve, submit two campaigns, drain, shutdown. Record the
+     artifact bytes of an uninterrupted run.
+  2. Victim: serve with periodic checkpointing, submit the same two
+     campaigns, wait until both have streamed a `checkpoint` event, then
+     SIGKILL the server mid-run.
+  3. Recovery: start a fresh server, `resume-checkpoint` both jobs from
+     the files the dead server left behind, drain, shutdown.
+
+Validated along the way: every stdout line of every server is one
+parseable JSON event object, replies follow the ok/error wire protocol,
+and the recovered run's artifacts are byte-identical to the reference —
+the determinism contract surviving a kill -9.
+
+Usage: tools/service_smoke.py [--cli PATH] [--workdir DIR]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+JOBS = {
+    # name -> (campaign pairs, max_tests). Two different policies and cores
+    # so the two jobs exercise different code paths concurrently.
+    "smoke-ucb": ("fuzzer=ucb core=rocket tests=20000 seed=7", 20000),
+    "smoke-huzz": ("fuzzer=thehuzz core=cva6 tests=15000 seed=3", 15000),
+}
+CHECKPOINT_EVERY = 1000
+DEADLINE = 120.0  # seconds; every wait below shares this cap
+
+
+def fail(message):
+    print(f"service_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+class ServeClient:
+    """Line-oriented client for the serve control socket."""
+
+    def __init__(self, path, deadline):
+        self.sock = None
+        while self.sock is None:
+            try:
+                self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self.sock.connect(str(path))
+            except OSError:
+                self.sock = None
+                if time.monotonic() > deadline:
+                    fail(f"socket {path} never became connectable")
+                time.sleep(0.05)
+        self.sock.settimeout(DEADLINE)
+        self.buffer = b""
+
+    def command(self, line):
+        """Sends one command, returns its one reply line."""
+        self.sock.sendall(line.encode() + b"\n")
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                fail(f"server hung up mid-reply to {line!r}")
+            self.buffer += chunk
+        reply, _, self.buffer = self.buffer.partition(b"\n")
+        return reply.decode()
+
+    def expect_ok(self, line):
+        reply = self.command(line)
+        if not reply.startswith("ok"):
+            fail(f"command {line!r} got {reply!r}")
+        return reply
+
+    def close(self):
+        self.sock.close()
+
+
+def start_server(cli, events_path, sock_path, checkpoint_dir=None):
+    argv = [str(cli), "serve", "--socket", str(sock_path), "--slice", "100",
+            "--service-workers", "2"]
+    if checkpoint_dir is not None:
+        argv += ["--checkpoint-dir", str(checkpoint_dir),
+                 "--checkpoint-every", str(CHECKPOINT_EVERY)]
+    events = open(events_path, "wb")
+    return subprocess.Popen(argv, stdout=events, stderr=subprocess.PIPE), events
+
+
+def parse_events(events_path, context):
+    """Every stdout line must be one JSON object with an `event` key."""
+    events = []
+    for index, line in enumerate(pathlib.Path(events_path).read_bytes().splitlines()):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"{context}: stdout line {index + 1} is not JSON "
+                 f"({error}): {line[:120]!r}")
+        if not isinstance(doc, dict) or "event" not in doc:
+            fail(f"{context}: line {index + 1} lacks an `event` key: {doc}")
+        events.append(doc)
+    return events
+
+
+def submit_all(client):
+    for name, (pairs, _) in JOBS.items():
+        reply = client.expect_ok(
+            f"submit tenant=smoke job={name} artifact-out={name} {pairs}")
+        if reply != f"ok submitted {name}":
+            fail(f"unexpected submit reply {reply!r}")
+
+
+def read_artifacts(directory):
+    out = {}
+    for name in JOBS:
+        for ext in (".json", ".csv"):
+            path = pathlib.Path(directory) / (name + ext)
+            if not path.is_file():
+                fail(f"missing artifact {path}")
+            out[name + ext] = path.read_bytes()
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", default="examples/example_mabfuzz_cli",
+                        help="path to the built mabfuzz CLI")
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    args = parser.parse_args()
+
+    cli = pathlib.Path(args.cli).resolve()
+    if not cli.is_file():
+        fail(f"CLI not found at {cli} (build it, or pass --cli)")
+    workdir = pathlib.Path(args.workdir or tempfile.mkdtemp(prefix="mabfuzz-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    deadline = time.monotonic() + DEADLINE
+
+    # --- 1. uninterrupted reference run ---------------------------------------
+    ref_dir = workdir / "reference"
+    ref_dir.mkdir(exist_ok=True)
+    # The server resolves relative artifact-out prefixes against its own
+    # cwd, so move there before spawning it.
+    os.chdir(ref_dir)
+    server, events_file = start_server(cli, ref_dir / "events.jsonl",
+                                       ref_dir / "ctl.sock")
+    client = ServeClient(ref_dir / "ctl.sock", deadline)
+    submit_all(client)
+    client.expect_ok("drain")
+    status = client.expect_ok("status")
+    for name, (_, tests) in JOBS.items():
+        if f"{name}:done:{tests}/{tests}" not in status:
+            fail(f"reference status missing completed {name}: {status!r}")
+    client.expect_ok("shutdown")
+    client.close()
+    if server.wait(timeout=DEADLINE) != 0:
+        fail(f"reference server exited {server.returncode}")
+    events_file.close()
+    ref_events = parse_events(ref_dir / "events.jsonl", "reference")
+    done = [e for e in ref_events if e["event"] == "done"]
+    if {e["job"] for e in done} != set(JOBS):
+        fail(f"reference run missing done events: {done}")
+    reference = read_artifacts(ref_dir)
+    print(f"service_smoke: reference OK ({len(ref_events)} events)")
+
+    # --- 2. victim run, SIGKILLed mid-campaign --------------------------------
+    kill_dir = workdir / "victim"
+    kill_dir.mkdir(exist_ok=True)
+    ckpt_dir = kill_dir / "checkpoints"
+    ckpt_dir.mkdir(exist_ok=True)
+    os.chdir(kill_dir)
+    server, events_file = start_server(cli, kill_dir / "events.jsonl",
+                                       kill_dir / "ctl.sock", ckpt_dir)
+    client = ServeClient(kill_dir / "ctl.sock", deadline)
+    submit_all(client)
+    # Wait until every job has a checkpoint on disk but none has finished.
+    while True:
+        events = parse_events(kill_dir / "events.jsonl", "victim")
+        checkpointed = {e["job"] for e in events if e["event"] == "checkpoint"}
+        finished = {e["job"] for e in events if e["event"] == "done"}
+        if finished:
+            fail(f"jobs finished before the kill landed: {finished} "
+                 "(raise JOBS test counts)")
+        if checkpointed == set(JOBS):
+            break
+        if time.monotonic() > deadline:
+            fail(f"timed out waiting for checkpoints (have {checkpointed})")
+        time.sleep(0.02)
+    server.send_signal(signal.SIGKILL)
+    server.wait()
+    events_file.close()
+    client.close()
+    parse_events(kill_dir / "events.jsonl", "victim post-kill")  # still valid JSON
+    checkpoints = {name: ckpt_dir / f"{name}.ckpt" for name in JOBS}
+    for name, path in checkpoints.items():
+        if not path.is_file():
+            fail(f"no checkpoint file for {name} after SIGKILL")
+    print("service_smoke: victim SIGKILLed with both jobs checkpointed")
+
+    # --- 3. recovery: resume both checkpoints in a fresh server ---------------
+    server, events_file = start_server(cli, kill_dir / "recovery.jsonl",
+                                       kill_dir / "ctl.sock", ckpt_dir)
+    client = ServeClient(kill_dir / "ctl.sock", deadline)
+    for name, path in checkpoints.items():
+        reply = client.expect_ok(f"resume-checkpoint {path}")
+        if reply != f"ok resumed {name}":
+            fail(f"unexpected resume reply {reply!r}")
+    client.expect_ok("drain")
+    status = client.expect_ok("status")
+    for name, (_, tests) in JOBS.items():
+        if f"{name}:done:{tests}/{tests}" not in status:
+            fail(f"recovered status missing completed {name}: {status!r}")
+    client.expect_ok("shutdown")
+    client.close()
+    if server.wait(timeout=DEADLINE) != 0:
+        fail(f"recovery server exited {server.returncode}")
+    events_file.close()
+    recovery_events = parse_events(kill_dir / "recovery.jsonl", "recovery")
+    if {e["job"] for e in recovery_events if e["event"] == "done"} != set(JOBS):
+        fail("recovery run did not finish both jobs")
+    for name, path in checkpoints.items():
+        if path.exists():
+            fail(f"settled job {name} left its checkpoint behind: {path}")
+
+    # --- 4. the contract: recovered artifacts == reference bytes --------------
+    recovered = read_artifacts(kill_dir)
+    for key, expected in reference.items():
+        if recovered[key] != expected:
+            fail(f"artifact {key} differs between the reference run and the "
+                 "SIGKILL+resume run — checkpoint recovery is not exact")
+    print(f"service_smoke: PASS — {len(reference)} artifacts byte-identical "
+          "across SIGKILL + resume")
+
+
+if __name__ == "__main__":
+    main()
